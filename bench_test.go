@@ -1,0 +1,256 @@
+package eta2
+
+// This file is the benchmark harness required by DESIGN.md: one benchmark
+// per table and figure of the paper's evaluation (each executes the full
+// experiment at reduced run count and reports its headline metric), plus
+// micro-benchmarks of the core algorithms (skip-gram training, clustering,
+// MLE truth analysis, max-quality and min-cost allocation).
+//
+// Regenerate any experiment's full report with
+//
+//	go run ./cmd/eta2bench -experiment <id> -runs 10
+//
+// The benchmarks here use 1–2 runs per data point so `go test -bench=.`
+// completes in minutes; the printed metrics are correspondingly noisier
+// than the eta2bench reports recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"eta2/internal/allocation"
+	"eta2/internal/cluster"
+	"eta2/internal/core"
+	"eta2/internal/dataset"
+	"eta2/internal/embedding"
+	"eta2/internal/experiments"
+	"eta2/internal/semantic"
+	"eta2/internal/simulation"
+	"eta2/internal/stats"
+	"eta2/internal/truth"
+)
+
+// benchOpts keeps experiment benchmarks affordable.
+var benchOpts = experiments.Options{Runs: 1, Seed: 1, Days: 5}
+
+// runExperiment executes a registered experiment b.N times.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per table and figure (Sec. 2.3 and Sec. 6) ---
+
+func BenchmarkFig2ErrorDistribution(b *testing.B)   { runExperiment(b, "fig2") }
+func BenchmarkTable1Normality(b *testing.B)         { runExperiment(b, "table1") }
+func BenchmarkFig4ParameterStudy(b *testing.B)      { runExperiment(b, "fig4") }
+func BenchmarkFig5ErrorPerDay(b *testing.B)         { runExperiment(b, "fig5") }
+func BenchmarkFig6ErrorVsCapacity(b *testing.B)     { runExperiment(b, "fig6") }
+func BenchmarkFig7ExpertiseBoxplots(b *testing.B)   { runExperiment(b, "fig7") }
+func BenchmarkFig8NormalityBias(b *testing.B)       { runExperiment(b, "fig8") }
+func BenchmarkFig9And10MinCost(b *testing.B)        { runExperiment(b, "fig9") }
+func BenchmarkFig11ExpertiseError(b *testing.B)     { runExperiment(b, "fig11") }
+func BenchmarkFig12ConvergenceCDF(b *testing.B)     { runExperiment(b, "fig12") }
+func BenchmarkTable2AllocationProfile(b *testing.B) { runExperiment(b, "table2") }
+
+// --- Ablation benchmarks (DESIGN.md Sec. 5) ---
+
+func BenchmarkAblationSecondPass(b *testing.B)     { runExperiment(b, "ablation-secondpass") }
+func BenchmarkAblationExpertiseAware(b *testing.B) { runExperiment(b, "ablation-expertise") }
+func BenchmarkAblationPairWord(b *testing.B)       { runExperiment(b, "ablation-pairword") }
+func BenchmarkAblationDecay(b *testing.B)          { runExperiment(b, "ablation-decay") }
+
+// --- Micro-benchmarks of the substrates ---
+
+func BenchmarkSkipGramTraining(b *testing.B) {
+	corpus := embedding.GenerateCorpus(embedding.BuiltinDomains, embedding.CorpusConfig{
+		Seed:               1,
+		SentencesPerDomain: 100,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := embedding.Train(corpus, embedding.TrainConfig{Dim: 32, Epochs: 2, Seed: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPairWordExtraction(b *testing.B) {
+	descs := make([]string, 0, 64)
+	ds := dataset.SurveyLike(1)
+	for _, t := range ds.Tasks[:64] {
+		descs = append(descs, t.Description)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := semantic.ExtractPair(descs[i%len(descs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClustering500Tasks(b *testing.B) {
+	rng := stats.NewRNG(1)
+	const n = 500
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{rng.Uniform(0, 10), rng.Uniform(0, 10)}
+	}
+	dist := func(a, c int) float64 {
+		dx := pts[a][0] - pts[c][0]
+		dy := pts[a][1] - pts[c][1]
+		return dx*dx + dy*dy
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := cluster.New(0.4, dist)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.AddItems(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDynamicClusteringAdd(b *testing.B) {
+	rng := stats.NewRNG(2)
+	const base, add = 400, 100
+	pts := make([][2]float64, base+add)
+	for i := range pts {
+		pts[i] = [2]float64{rng.Uniform(0, 10), rng.Uniform(0, 10)}
+	}
+	dist := func(a, c int) float64 {
+		dx := pts[a][0] - pts[c][0]
+		dy := pts[a][1] - pts[c][1]
+		return dx*dx + dy*dy
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng, err := cluster.New(0.4, dist)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.AddItems(base); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := eng.AddItems(add); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchObservations(seed int64, nUsers, nTasks, perTask int) (*core.ObservationTable, func(core.TaskID) core.DomainID) {
+	ds := dataset.Synthetic(dataset.SyntheticConfig{Seed: seed, NumUsers: nUsers, NumTasks: nTasks, NumDomains: 8})
+	rng := stats.NewRNG(seed)
+	var pairs []core.Pair
+	for j := range ds.Tasks {
+		for _, u := range rng.Perm(nUsers)[:perTask] {
+			pairs = append(pairs, core.Pair{User: core.UserID(u), Task: core.TaskID(j)})
+		}
+	}
+	obs := ds.ObservePairs(pairs, dataset.ObservationModel{}, 0, rng)
+	return core.NewObservationTable(obs), func(id core.TaskID) core.DomainID { return ds.Tasks[int(id)].Domain }
+}
+
+func BenchmarkMLEEstimate1000Tasks(b *testing.B) {
+	table, domainOf := benchObservations(1, 100, 1000, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := truth.Estimate(table, domainOf, nil, truth.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDynamicUpdateStep(b *testing.B) {
+	table, domainOf := benchObservations(2, 100, 200, 6)
+	warm := truth.NewStore(0.5)
+	res, err := truth.Estimate(table, domainOf, nil, truth.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm.Commit(truth.Contributions(table, domainOf, res.Mu, res.Sigma, truth.Config{}))
+	newTable, _ := benchObservations(3, 100, 200, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := warm.Clone()
+		if _, err := truth.UpdateStep(st, newTable, domainOf, truth.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxQualityAllocation(b *testing.B) {
+	ds := dataset.Synthetic(dataset.SyntheticConfig{Seed: 4})
+	in := allocation.Input{
+		Users: ds.Users,
+		Tasks: ds.Tasks[:200],
+		Expertise: func(u core.UserID, t core.TaskID) float64 {
+			return ds.ExpertiseOf(u, t)
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := allocation.MaxQuality(in, allocation.MaxQualityOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullSimulationDay(b *testing.B) {
+	ds := dataset.Synthetic(dataset.SyntheticConfig{Seed: 5})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simulation.Run(ds, simulation.Config{Method: simulation.MethodETA2, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServerAPIRoundTrip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := NewServer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for u := 0; u < 20; u++ {
+			if err := s.AddUsers(User{ID: UserID(u), Capacity: 8}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		specs := make([]TaskSpec, 40)
+		for j := range specs {
+			specs[j] = TaskSpec{Description: "t", ProcTime: 1, DomainHint: DomainID(j%4 + 1)}
+		}
+		if _, err := s.CreateTasks(specs...); err != nil {
+			b.Fatal(err)
+		}
+		alloc, err := s.AllocateMaxQuality()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range alloc.Pairs {
+			if err := s.SubmitObservations(Observation{Task: p.Task, User: p.User, Value: float64(p.Task)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := s.CloseTimeStep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionAdversarial(b *testing.B) { runExperiment(b, "ext-adversarial") }
+
+func BenchmarkExtensionDropout(b *testing.B) { runExperiment(b, "ext-dropout") }

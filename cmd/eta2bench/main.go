@@ -1,0 +1,106 @@
+// Command eta2bench regenerates the tables and figures of the ETA² paper's
+// evaluation (Sec. 2.3 and Sec. 6).
+//
+// Usage:
+//
+//	eta2bench -list
+//	eta2bench -experiment fig5 -runs 10
+//	eta2bench -experiment all -runs 3 > report.txt
+//
+// Each experiment prints the same rows/series the paper reports. Absolute
+// values differ (the substrate is a simulator); shapes are comparable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"eta2/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		experiment = flag.String("experiment", "all", "experiment id, comma-separated list, or 'all'")
+		runs       = flag.Int("runs", 5, "random seeds averaged per data point (paper uses 100)")
+		seed       = flag.Int64("seed", 1, "base random seed")
+		days       = flag.Int("days", 5, "simulated days per run")
+		format     = flag.String("format", "text", "output format: text or json")
+	)
+	flag.Parse()
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "eta2bench: unknown format %q\n", *format)
+		return 2
+	}
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-22s %s\n", r.ID, r.Title)
+		}
+		return 0
+	}
+
+	var runners []experiments.Runner
+	if *experiment == "all" {
+		runners = experiments.Registry()
+	} else {
+		for _, id := range strings.Split(*experiment, ",") {
+			r, ok := experiments.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "eta2bench: unknown experiment %q (use -list)\n", id)
+				return 2
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	opts := experiments.Options{Runs: *runs, Seed: *seed, Days: *days}
+	if *format == "json" {
+		return runJSON(runners, opts)
+	}
+	for _, r := range runners {
+		start := time.Now()
+		out, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eta2bench: %s: %v\n", r.ID, err)
+			return 1
+		}
+		fmt.Printf("### %s — %s (runs=%d, %v)\n%s\n", r.ID, r.Title, opts.Runs, time.Since(start).Round(time.Millisecond), out)
+	}
+	return 0
+}
+
+// runJSON emits one JSON document with every requested experiment's typed
+// result, suitable for external plotting.
+func runJSON(runners []experiments.Runner, opts experiments.Options) int {
+	type entry struct {
+		ID     string      `json:"id"`
+		Title  string      `json:"title"`
+		Runs   int         `json:"runs"`
+		Result interface{} `json:"result"`
+	}
+	var out []entry
+	for _, r := range runners {
+		res, err := experiments.RunTyped(r.ID, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eta2bench: %s: %v\n", r.ID, err)
+			return 1
+		}
+		out = append(out, entry{ID: r.ID, Title: r.Title, Runs: opts.Runs, Result: res})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "eta2bench:", err)
+		return 1
+	}
+	return 0
+}

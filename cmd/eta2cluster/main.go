@@ -1,0 +1,134 @@
+// Command eta2cluster demonstrates ETA²'s task-expertise identification: it
+// reads task descriptions (one per line from stdin, or generated samples
+// with -demo), extracts (Query, Target) pairs with the pair-word method,
+// embeds them with skip-gram vectors, and clusters them into expertise
+// domains with dynamic hierarchical clustering.
+//
+// Usage:
+//
+//	echo "What is the noise level around the municipal building?" | eta2cluster
+//	eta2cluster -demo 40 -gamma 0.5
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"eta2/internal/cluster"
+	"eta2/internal/core"
+	"eta2/internal/embedding"
+	"eta2/internal/semantic"
+	"eta2/internal/stats"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		gamma = flag.Float64("gamma", 0.5, "clustering termination parameter in [0, 1]")
+		demo  = flag.Int("demo", 0, "generate N sample descriptions instead of reading stdin")
+		seed  = flag.Int64("seed", 1, "random seed for -demo")
+	)
+	flag.Parse()
+
+	var descriptions []string
+	if *demo > 0 {
+		descriptions = demoDescriptions(*demo, *seed)
+	} else {
+		scanner := bufio.NewScanner(os.Stdin)
+		for scanner.Scan() {
+			line := strings.TrimSpace(scanner.Text())
+			if line != "" {
+				descriptions = append(descriptions, line)
+			}
+		}
+		if err := scanner.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "eta2cluster: read stdin:", err)
+			return 1
+		}
+	}
+	if len(descriptions) == 0 {
+		fmt.Fprintln(os.Stderr, "eta2cluster: no descriptions (pipe one per line, or use -demo N)")
+		return 2
+	}
+
+	fmt.Fprintln(os.Stderr, "eta2cluster: training skip-gram embeddings...")
+	corpus := embedding.GenerateCorpus(embedding.BuiltinDomains, embedding.CorpusConfig{Seed: 1})
+	model, err := embedding.Train(corpus, embedding.TrainConfig{Seed: 2})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eta2cluster:", err)
+		return 1
+	}
+
+	vzr := semantic.NewVectorizer(model)
+	vectors := make([]semantic.TaskVector, len(descriptions))
+	for i, d := range descriptions {
+		pair, err := semantic.ExtractPair(d)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eta2cluster: %q: %v\n", d, err)
+			return 1
+		}
+		fmt.Printf("%-70q  Query=%v Target=%v\n", d, pair.Query, pair.Target)
+		vectors[i], err = vzr.Vectorize(d)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eta2cluster: %q: %v\n", d, err)
+			return 1
+		}
+	}
+
+	eng, err := cluster.New(*gamma, func(a, b int) float64 {
+		return semantic.Distance(vectors[a], vectors[b])
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eta2cluster:", err)
+		return 1
+	}
+	up, err := eng.AddItems(len(descriptions))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eta2cluster:", err)
+		return 1
+	}
+
+	byDomain := make(map[core.DomainID][]int)
+	for item, dom := range up.Assigned {
+		byDomain[dom] = append(byDomain[dom], item)
+	}
+	domains := make([]core.DomainID, 0, len(byDomain))
+	for d := range byDomain {
+		domains = append(domains, d)
+	}
+	sort.Slice(domains, func(i, j int) bool { return domains[i] < domains[j] })
+
+	fmt.Printf("\n%d expertise domains (gamma=%.2f, d*=%.3f, silhouette=%.3f):\n",
+		len(domains), *gamma, eng.DStar(), eng.Silhouette())
+	for _, d := range domains {
+		fmt.Printf("domain %d:\n", d)
+		for _, item := range byDomain[d] {
+			fmt.Printf("  %s\n", descriptions[item])
+		}
+	}
+	return 0
+}
+
+func demoDescriptions(n int, seed int64) []string {
+	rng := stats.NewRNG(seed)
+	templates := []string{
+		"What is the %s at the %s?",
+		"How many %s near the %s today?",
+		"Please report the %s of the %s.",
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		dom := embedding.BuiltinDomains[rng.Intn(len(embedding.BuiltinDomains))]
+		q := dom.QueryTerms[rng.Intn(len(dom.QueryTerms))]
+		t := dom.TargetTerms[rng.Intn(len(dom.TargetTerms))]
+		out = append(out, fmt.Sprintf(templates[rng.Intn(len(templates))], q, t))
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+// Command eta2server runs the ETA² crowdsourcing server as an HTTP service.
+//
+// Usage:
+//
+//	eta2server -addr :8080
+//	eta2server -addr :8080 -semantic     # train embeddings for described tasks
+//
+// Endpoints (JSON over HTTP, versioned under /v1):
+//
+//	POST /v1/users                 register users and their capacities
+//	POST /v1/tasks                 create tasks (description or domain hint)
+//	POST /v1/allocate/max-quality  allocate pending tasks to users
+//	POST /v1/observations          submit collected values
+//	POST /v1/step/close            run truth analysis, advance the clock
+//	GET  /v1/truth?task=ID         latest estimate for a task
+//	GET  /v1/expertise?user=&domain=
+//	GET  /v1/healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"eta2"
+	"eta2/internal/embedding"
+	"eta2/internal/httpapi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal("eta2server: ", err)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		alpha     = flag.Float64("alpha", 0.5, "expertise decay factor")
+		gamma     = flag.Float64("gamma", 0.5, "clustering termination parameter")
+		semantic  = flag.Bool("semantic", false, "train skip-gram embeddings at startup so tasks can be created from descriptions")
+		modelPath = flag.String("model", "", "embedding model file: loaded if it exists, written after training otherwise (implies -semantic)")
+	)
+	flag.Parse()
+
+	opts := []eta2.Option{eta2.WithAlpha(*alpha), eta2.WithGamma(*gamma)}
+	if *semantic || *modelPath != "" {
+		model, err := loadOrTrainModel(*modelPath)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, eta2.WithEmbedder(model))
+	}
+
+	server, err := eta2.NewServer(opts...)
+	if err != nil {
+		return err
+	}
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.New(server),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	return serve(ctx, httpServer)
+}
+
+// loadOrTrainModel loads the embedding model from path when present,
+// training (and persisting, when a path is given) otherwise.
+func loadOrTrainModel(path string) (*embedding.Model, error) {
+	if path != "" {
+		if f, err := os.Open(path); err == nil {
+			defer f.Close()
+			model, err := embedding.Load(f)
+			if err != nil {
+				return nil, fmt.Errorf("load model %s: %w", path, err)
+			}
+			log.Printf("loaded embeddings from %s: %d words", path, model.VocabSize())
+			return model, nil
+		}
+	}
+	log.Println("training skip-gram embeddings...")
+	start := time.Now()
+	corpus := embedding.GenerateCorpus(embedding.BuiltinDomains, embedding.CorpusConfig{Seed: 1})
+	model, err := embedding.Train(corpus, embedding.TrainConfig{Seed: 2})
+	if err != nil {
+		return nil, fmt.Errorf("train embedder: %w", err)
+	}
+	log.Printf("embeddings ready: %d words in %v", model.VocabSize(), time.Since(start).Round(time.Millisecond))
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("create model file: %w", err)
+		}
+		defer f.Close()
+		if err := model.Save(f); err != nil {
+			return nil, err
+		}
+		log.Printf("saved embeddings to %s", path)
+	}
+	return model, nil
+}
+
+// serve runs the HTTP server until ctx is cancelled, then shuts down
+// gracefully.
+func serve(ctx context.Context, httpServer *http.Server) error {
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", httpServer.Addr)
+		errCh <- httpServer.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case <-ctx.Done():
+		log.Println("shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		<-errCh // drain the ListenAndServe result
+		return nil
+	}
+}

@@ -1,0 +1,68 @@
+package eta2_test
+
+import (
+	"fmt"
+
+	"eta2"
+)
+
+// The minimal server loop: register users, create tasks, allocate, submit
+// what the users reported, and close the step to get truth estimates.
+func Example() {
+	server, err := eta2.NewServer(eta2.WithAlpha(0.5))
+	if err != nil {
+		panic(err)
+	}
+	if err := server.AddUsers(
+		eta2.User{ID: 0, Capacity: 4},
+		eta2.User{ID: 1, Capacity: 4},
+	); err != nil {
+		panic(err)
+	}
+
+	const sensing eta2.DomainID = 1
+	ids, err := server.CreateTasks(
+		eta2.TaskSpec{Description: "temperature in the lobby", ProcTime: 1, DomainHint: sensing},
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	alloc, err := server.AllocateMaxQuality()
+	if err != nil {
+		panic(err)
+	}
+	// Both users have capacity for the single task; each reports a value.
+	readings := map[eta2.UserID]float64{0: 21.4, 1: 21.8}
+	for _, p := range alloc.Pairs {
+		if err := server.SubmitObservations(eta2.Observation{
+			Task: p.Task, User: p.User, Value: readings[p.User],
+		}); err != nil {
+			panic(err)
+		}
+	}
+
+	if _, err := server.CloseTimeStep(); err != nil {
+		panic(err)
+	}
+	est, _ := server.Truth(ids[0])
+	fmt.Printf("estimated temperature: %.1f\n", est.Value)
+	// Output: estimated temperature: 21.6
+}
+
+// Expertise defaults to 1 until a user has contributed evidence in a
+// domain.
+func ExampleServer_ExpertiseInDomain() {
+	server, _ := eta2.NewServer()
+	_ = server.AddUsers(eta2.User{ID: 7, Capacity: 8})
+	fmt.Println(server.ExpertiseInDomain(7, 1))
+	// Output: 1
+}
+
+// TaskSpec validation rejects unusable tasks up front.
+func ExampleServer_CreateTasks() {
+	server, _ := eta2.NewServer()
+	_, err := server.CreateTasks(eta2.TaskSpec{Description: "broken", ProcTime: 0, DomainHint: 1})
+	fmt.Println(err != nil)
+	// Output: true
+}

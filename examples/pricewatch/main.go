@@ -1,0 +1,183 @@
+// Pricewatch: min-cost task allocation for a price-reporting service.
+//
+// A server pays shoppers $1 per reported price and must publish prices that
+// are accurate to within half a "price unit" with 95% confidence — while
+// paying as little as possible. ETA²'s min-cost allocator recruits shoppers
+// iteratively, re-estimating after each batch and stopping per task the
+// moment its confidence interval is tight enough. The same tasks allocated
+// max-quality (recruit everyone useful) show how much money min-cost saves.
+//
+// Run with: go run ./examples/pricewatch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"eta2"
+)
+
+const (
+	nShoppers   = 50
+	nStores     = 25
+	priceUnit   = 2.0 // the σ_j scale of the price noise
+	domainPrice = eta2.DomainID(1)
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// newScenario builds a server with shoppers of varying diligence and one
+// day's worth of price-check tasks, plus the hidden true prices.
+func newScenario(seed int64) (*eta2.Server, []float64, map[eta2.TaskID]float64, error) {
+	server, err := eta2.NewServer(eta2.WithAlpha(0.5))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	diligence := make([]float64, nShoppers)
+	users := make([]eta2.User, nShoppers)
+	for i := range users {
+		users[i] = eta2.User{ID: eta2.UserID(i), Capacity: 4}
+		diligence[i] = 0.4 + 2.4*rng.Float64()
+	}
+	if err := server.AddUsers(users...); err != nil {
+		return nil, nil, nil, err
+	}
+
+	var specs []eta2.TaskSpec
+	for s := 0; s < nStores; s++ {
+		specs = append(specs, eta2.TaskSpec{
+			Description: fmt.Sprintf("grocery price at supermarket %d", s),
+			ProcTime:    0.5,
+			Cost:        1, // $1 per recruited shopper
+			DomainHint:  domainPrice,
+		})
+	}
+	ids, err := server.CreateTasks(specs...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	prices := make(map[eta2.TaskID]float64, len(ids))
+	for _, id := range ids {
+		prices[id] = 5 + 20*rng.Float64()
+	}
+	return server, diligence, prices, nil
+}
+
+func run() error {
+	// Warm up both scenarios identically so expertise is known before the
+	// cost comparison.
+	warmup := func(server *eta2.Server, diligence []float64, prices map[eta2.TaskID]float64, rng *rand.Rand) error {
+		alloc, err := server.AllocateMaxQuality()
+		if err != nil {
+			return err
+		}
+		for _, p := range alloc.Pairs {
+			v := prices[p.Task] + rng.NormFloat64()*priceUnit/diligence[int(p.User)]
+			if err := server.SubmitObservations(eta2.Observation{Task: p.Task, User: p.User, Value: v}); err != nil {
+				return err
+			}
+		}
+		_, err = server.CloseTimeStep()
+		return err
+	}
+
+	// --- Max-quality day: recruit everyone useful. ---
+	serverMQ, dilMQ, pricesMQ, err := newScenario(11)
+	if err != nil {
+		return err
+	}
+	rngMQ := rand.New(rand.NewSource(99))
+	if err := warmup(serverMQ, dilMQ, pricesMQ, rngMQ); err != nil {
+		return err
+	}
+	if _, err := serverMQ.CreateTasks(storeSpecs()...); err != nil {
+		return err
+	}
+	allocMQ, err := serverMQ.AllocateMaxQuality()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("max-quality day: recruited %d shopper-tasks → cost $%d\n",
+		allocMQ.Len(), allocMQ.Len())
+
+	// --- Min-cost day on an identical scenario. ---
+	serverMC, dilMC, pricesMC, err := newScenario(11)
+	if err != nil {
+		return err
+	}
+	rngMC := rand.New(rand.NewSource(99))
+	if err := warmup(serverMC, dilMC, pricesMC, rngMC); err != nil {
+		return err
+	}
+	newIDs, err := serverMC.CreateTasks(storeSpecs()...)
+	if err != nil {
+		return err
+	}
+	newPrices := make(map[eta2.TaskID]float64, len(newIDs))
+	day2rng := rand.New(rand.NewSource(123))
+	for _, id := range newIDs {
+		newPrices[id] = 5 + 20*day2rng.Float64()
+	}
+
+	outcome, err := serverMC.AllocateMinCost(
+		eta2.MinCostParams{EpsBar: 0.5, ConfAlpha: 0.05, IterBudget: 30},
+		func(pairs []eta2.Pair) ([]eta2.Observation, error) {
+			obs := make([]eta2.Observation, 0, len(pairs))
+			for _, p := range pairs {
+				v := newPrices[p.Task] + day2rng.NormFloat64()*priceUnit/dilMC[int(p.User)]
+				obs = append(obs, eta2.Observation{Task: p.Task, User: p.User, Value: v})
+			}
+			return obs, nil
+		},
+	)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("min-cost day:    recruited %d shopper-tasks → cost $%.0f (%d iterations, %d unmet)\n",
+		outcome.Allocation.Len(), outcome.Cost, outcome.Iterations, len(outcome.Unsatisfied))
+
+	report, err := serverMC.CloseTimeStep()
+	if err != nil {
+		return err
+	}
+	var worst float64
+	for _, est := range report.Estimates {
+		if p, ok := newPrices[est.Task]; ok {
+			e := abs(est.Value-p) / priceUnit
+			if e > worst {
+				worst = e
+			}
+		}
+	}
+	fmt.Printf("min-cost accuracy: worst normalized price error %.3f (requirement: < 0.5 with 95%% confidence)\n", worst)
+	fmt.Printf("savings vs max-quality: $%.0f (%.0f%%)\n",
+		float64(allocMQ.Len())-outcome.Cost, 100*(1-outcome.Cost/float64(allocMQ.Len())))
+	return nil
+}
+
+func storeSpecs() []eta2.TaskSpec {
+	var specs []eta2.TaskSpec
+	for s := 0; s < nStores; s++ {
+		specs = append(specs, eta2.TaskSpec{
+			Description: fmt.Sprintf("grocery price at supermarket %d, day 2", s),
+			ProcTime:    0.5,
+			Cost:        1,
+			DomainHint:  domainPrice,
+		})
+	}
+	return specs
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,3 @@
+module eta2
+
+go 1.22

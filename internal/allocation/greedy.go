@@ -1,0 +1,120 @@
+package allocation
+
+import (
+	"container/heap"
+
+	"eta2/internal/core"
+)
+
+// greedyOptions tunes one run of the greedy selection loop.
+type greedyOptions struct {
+	// ignoreSize ranks pairs by raw value increase p_ij·(1−p_j) instead of
+	// efficiency (value/t_j). This is the "extra step" greedy of
+	// Sec. 5.1.2 that restores the ½-approximation guarantee when task
+	// processing times differ wildly.
+	ignoreSize bool
+	// costLimit, when positive, stops selection once the cost of the pairs
+	// selected IN THIS RUN would exceed it (Algorithm 2, lines 4–7).
+	costLimit float64
+	// exclude marks tasks that must not receive further allocations (used
+	// by min-cost once a task's quality requirement is met).
+	exclude map[core.TaskID]bool
+}
+
+// pairItem is a lazy-greedy heap entry. Stored efficiencies are upper
+// bounds: p_j only grows and capacity only shrinks during the loop, so the
+// true efficiency of a pair can only be lower than when it was pushed.
+type pairItem struct {
+	eff  float64
+	user int // index into in.Users
+	task int // index into in.Tasks
+}
+
+type pairHeap []pairItem
+
+func (h pairHeap) Len() int            { return len(h) }
+func (h pairHeap) Less(i, j int) bool  { return h[i].eff > h[j].eff }
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pairItem)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// runGreedy executes the greedy selection loop of Algorithm 1 on top of
+// state, committing selections into it, and returns the pairs selected in
+// this run (in selection order) plus their total cost.
+//
+// The implementation is an exact lazy greedy: because every pair's
+// efficiency is non-increasing as the allocation grows (submodularity of
+// the objective, monotone capacity consumption), a popped entry whose
+// recomputed efficiency still beats the next heap top is globally maximal.
+func runGreedy(in Input, state *State, opts greedyOptions) ([]core.Pair, float64) {
+	// Precompute p_ij once per pair: expertise does not change during one
+	// allocation round.
+	pij := make([][]float64, len(in.Users))
+	for ui, u := range in.Users {
+		row := make([]float64, len(in.Tasks))
+		for ti, t := range in.Tasks {
+			row[ti] = AccuracyProb(in.Epsilon, in.Expertise(u.ID, t.ID))
+		}
+		pij[ui] = row
+	}
+
+	efficiency := func(ui, ti int) float64 {
+		u, t := in.Users[ui], in.Tasks[ti]
+		if opts.exclude[t.ID] || state.Assigned(u.ID, t.ID) {
+			return 0
+		}
+		if state.RemainingCapacity(u.ID) < t.ProcTime {
+			return 0 // Definition 1: infeasible pairs have zero efficiency.
+		}
+		gain := pij[ui][ti] * (1 - state.TaskProb(t.ID)) // Eq. 16
+		if gain <= 0 {
+			return 0
+		}
+		if opts.ignoreSize {
+			return gain
+		}
+		return gain / t.ProcTime // Eq. 17
+	}
+
+	h := make(pairHeap, 0, len(in.Users)*len(in.Tasks))
+	for ui := range in.Users {
+		for ti := range in.Tasks {
+			if e := efficiency(ui, ti); e > 0 {
+				h = append(h, pairItem{eff: e, user: ui, task: ti})
+			}
+		}
+	}
+	heap.Init(&h)
+
+	var selected []core.Pair
+	costSpent := 0.0
+	for h.Len() > 0 {
+		top := heap.Pop(&h).(pairItem)
+		cur := efficiency(top.user, top.task)
+		if cur <= 0 {
+			continue // became infeasible or worthless; drop
+		}
+		if cur < top.eff {
+			// Stale upper bound: reinsert with the fresh value unless it
+			// still dominates the rest of the heap.
+			if h.Len() > 0 && cur < h[0].eff {
+				heap.Push(&h, pairItem{eff: cur, user: top.user, task: top.task})
+				continue
+			}
+		}
+		u, t := in.Users[top.user], in.Tasks[top.task]
+		if opts.costLimit > 0 && costSpent+t.Cost > opts.costLimit {
+			break // per-iteration budget exhausted (Algorithm 2, line 4)
+		}
+		state.Select(u.ID, t.ID, t.ProcTime, pij[top.user][top.task])
+		selected = append(selected, core.Pair{User: u.ID, Task: t.ID})
+		costSpent += t.Cost
+	}
+	return selected, costSpent
+}

@@ -1,0 +1,98 @@
+package allocation
+
+import (
+	"errors"
+
+	"eta2/internal/core"
+)
+
+// MaxQualityOptions tunes MaxQuality.
+type MaxQualityOptions struct {
+	// DisableSecondPass skips the size-agnostic second greedy and the
+	// best-of-two selection, yielding plain Algorithm 1. Exposed for the
+	// ablation benchmark; production callers should leave it false, as the
+	// paper notes plain greedy "can perform arbitrarily poorly" when task
+	// processing times differ a lot.
+	DisableSecondPass bool
+}
+
+// MaxQualityResult is the outcome of a max-quality allocation round.
+type MaxQualityResult struct {
+	Allocation *core.Allocation
+	// Objective is Σ_j p_j achieved by the returned allocation.
+	Objective float64
+	// UsedSecondPass reports whether the size-agnostic greedy won the
+	// best-of-two comparison.
+	UsedSecondPass bool
+}
+
+// MaxQuality solves the max-quality task allocation problem (Sec. 5.1):
+// maximize Σ_j [1 − Π_i (1 − p_ij)^{s_ij}] subject to per-user capacity.
+// It runs Algorithm 1 (efficiency greedy) and the size-agnostic greedy of
+// Sec. 5.1.2, then returns whichever allocation achieves the higher
+// objective, which guarantees a ½ approximation ratio.
+func MaxQuality(in Input, opts MaxQualityOptions) (MaxQualityResult, error) {
+	in.applyDefaults()
+	if err := in.Validate(); err != nil {
+		return MaxQualityResult{}, err
+	}
+
+	effState := NewState(in)
+	runGreedy(in, effState, greedyOptions{})
+	effObj := effState.Objective(in.Tasks)
+
+	if opts.DisableSecondPass {
+		return MaxQualityResult{Allocation: effState.Pairs(), Objective: effObj}, nil
+	}
+
+	valState := NewState(in)
+	runGreedy(in, valState, greedyOptions{ignoreSize: true})
+	valObj := valState.Objective(in.Tasks)
+
+	if valObj > effObj {
+		return MaxQualityResult{
+			Allocation:     valState.Pairs(),
+			Objective:      valObj,
+			UsedSecondPass: true,
+		}, nil
+	}
+	return MaxQualityResult{Allocation: effState.Pairs(), Objective: effObj}, nil
+}
+
+// MaxQualityBudgeted solves the budget-capped variant of the max-quality
+// problem: maximize Σ_j p_j subject to per-user capacities AND a total
+// recruiting budget Σ s_ij·c_j ≤ budget. This is the allocation a server
+// with a fixed per-step payroll runs — a middle ground between the paper's
+// two problems (max-quality ignores cost entirely; min-cost needs feedback
+// rounds). Both greedy passes respect the budget and the better allocation
+// wins, preserving the best-of-two structure.
+func MaxQualityBudgeted(in Input, budget float64, opts MaxQualityOptions) (MaxQualityResult, error) {
+	in.applyDefaults()
+	if err := in.Validate(); err != nil {
+		return MaxQualityResult{}, err
+	}
+	if budget <= 0 {
+		return MaxQualityResult{}, errors.New("allocation: budget must be positive")
+	}
+
+	effState := NewState(in)
+	runGreedy(in, effState, greedyOptions{costLimit: budget})
+	effObj := effState.Objective(in.Tasks)
+
+	if opts.DisableSecondPass {
+		return MaxQualityResult{Allocation: effState.Pairs(), Objective: effObj}, nil
+	}
+
+	valState := NewState(in)
+	runGreedy(in, valState, greedyOptions{ignoreSize: true, costLimit: budget})
+	valObj := valState.Objective(in.Tasks)
+
+	if valObj > effObj {
+		return MaxQualityResult{
+			Allocation:     valState.Pairs(),
+			Objective:      valObj,
+			UsedSecondPass: true,
+		}, nil
+	}
+	return MaxQualityResult{Allocation: effState.Pairs(), Objective: effObj}, nil
+}

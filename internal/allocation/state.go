@@ -1,0 +1,152 @@
+// Package allocation implements ETA²'s expertise-aware task allocation
+// (Sec. 5 of the paper): the NP-hard max-quality problem solved by a greedy
+// efficiency heuristic with a ½-approximation guarantee (Algorithm 1 plus
+// the size-agnostic second pass), and the iterative min-cost allocator
+// (Algorithm 2) that spends at most c° per iteration until every task's
+// probabilistic quality requirement is met.
+package allocation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"eta2/internal/core"
+	"eta2/internal/stats"
+)
+
+// ExpertiseFunc returns the expertise u_ij of a user for a task (the user's
+// expertise in the task's domain).
+type ExpertiseFunc func(core.UserID, core.TaskID) float64
+
+// Input is the shared problem description for both allocation problems.
+type Input struct {
+	// Users to recruit from, with their processing capabilities T_i.
+	Users []core.User
+	// Tasks to allocate, with processing times t_j and costs c_j.
+	Tasks []core.Task
+	// Expertise yields u_ij.
+	Expertise ExpertiseFunc
+	// Epsilon is the accuracy threshold ε of Eq. 11: an observation is
+	// "accurate" when its normalized error is below ε. The paper uses 0.1.
+	Epsilon float64
+}
+
+// DefaultEpsilon is the paper's accuracy threshold ε.
+const DefaultEpsilon = 0.1
+
+func (in *Input) applyDefaults() {
+	if in.Epsilon <= 0 {
+		in.Epsilon = DefaultEpsilon
+	}
+}
+
+// Validate checks the problem description.
+func (in *Input) Validate() error {
+	if len(in.Users) == 0 {
+		return errors.New("allocation: no users")
+	}
+	if len(in.Tasks) == 0 {
+		return errors.New("allocation: no tasks")
+	}
+	if in.Expertise == nil {
+		return errors.New("allocation: nil expertise function")
+	}
+	for _, u := range in.Users {
+		if err := u.Validate(); err != nil {
+			return fmt.Errorf("allocation: %w", err)
+		}
+	}
+	for _, t := range in.Tasks {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("allocation: %w", err)
+		}
+	}
+	return nil
+}
+
+// AccuracyProb returns p_ij = Φ(ε·u) − Φ(−ε·u) (Eq. 11): the probability a
+// user of expertise u reports a value within ε base numbers of the truth.
+func AccuracyProb(eps, u float64) float64 {
+	return stats.AccurateInterval(eps, u)
+}
+
+// State tracks the evolving allocation: remaining user capacities, the
+// per-task probability p_j that at least one allocated user is accurate,
+// and the set of already-allocated pairs. Min-cost allocation carries one
+// State across iterations.
+type State struct {
+	remCap   map[core.UserID]float64
+	pj       map[core.TaskID]float64
+	assigned map[core.Pair]struct{}
+}
+
+// NewState initializes capacities from the users and p_j = 0 for every
+// task.
+func NewState(in Input) *State {
+	s := &State{
+		remCap:   make(map[core.UserID]float64, len(in.Users)),
+		pj:       make(map[core.TaskID]float64, len(in.Tasks)),
+		assigned: make(map[core.Pair]struct{}),
+	}
+	for _, u := range in.Users {
+		s.remCap[u.ID] = u.Capacity
+	}
+	for _, t := range in.Tasks {
+		s.pj[t.ID] = 0
+	}
+	return s
+}
+
+// RemainingCapacity returns T'_i for user id.
+func (s *State) RemainingCapacity(id core.UserID) float64 { return s.remCap[id] }
+
+// TaskProb returns the current p_j for task id.
+func (s *State) TaskProb(id core.TaskID) float64 { return s.pj[id] }
+
+// Assigned reports whether the pair was already allocated.
+func (s *State) Assigned(u core.UserID, t core.TaskID) bool {
+	_, ok := s.assigned[core.Pair{User: u, Task: t}]
+	return ok
+}
+
+// Select commits pair (u, t): capacity is consumed and p_j is updated with
+// the probability contribution pij.
+func (s *State) Select(u core.UserID, t core.TaskID, procTime, pij float64) {
+	s.remCap[u] -= procTime
+	s.pj[t] = 1 - (1-s.pj[t])*(1-pij)
+	s.assigned[core.Pair{User: u, Task: t}] = struct{}{}
+}
+
+// Objective returns Σ_j p_j over the given tasks, the value the max-quality
+// problem maximizes (Eq. 12).
+func (s *State) Objective(tasks []core.Task) float64 {
+	total := 0.0
+	for _, t := range tasks {
+		total += s.pj[t.ID]
+	}
+	return total
+}
+
+// Pairs returns all allocated pairs as an Allocation (sorted for
+// determinism by user then task).
+func (s *State) Pairs() *core.Allocation {
+	out := &core.Allocation{}
+	// Deterministic ordering: iterate users/tasks in numeric order.
+	pairs := make([]core.Pair, 0, len(s.assigned))
+	for p := range s.assigned {
+		pairs = append(pairs, p)
+	}
+	sortPairs(pairs)
+	out.Pairs = pairs
+	return out
+}
+
+func sortPairs(pairs []core.Pair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].User != pairs[j].User {
+			return pairs[i].User < pairs[j].User
+		}
+		return pairs[i].Task < pairs[j].Task
+	})
+}

@@ -1,0 +1,79 @@
+package baselines
+
+import (
+	"sort"
+
+	"eta2/internal/core"
+	"eta2/internal/stats"
+)
+
+// ReliabilityGreedy allocates tasks the way the paper pairs with the three
+// reliability-based truth methods (Sec. 6.3): iterate users from highest to
+// lowest inferred reliability and hand each one tasks in increasing
+// processing-time order — prioritizing short tasks for high-reliability
+// users "so that these high-reliability users can finish as many tasks as
+// possible" — until the user's capacity is exhausted. A task may be taken
+// by multiple users.
+func ReliabilityGreedy(users []core.User, tasks []core.Task, reliability map[core.UserID]float64) *core.Allocation {
+	byRel := make([]core.User, len(users))
+	copy(byRel, users)
+	sort.SliceStable(byRel, func(i, j int) bool {
+		ri, rj := reliability[byRel[i].ID], reliability[byRel[j].ID]
+		if ri != rj {
+			return ri > rj
+		}
+		return byRel[i].ID < byRel[j].ID
+	})
+
+	byTime := make([]core.Task, len(tasks))
+	copy(byTime, tasks)
+	sort.SliceStable(byTime, func(i, j int) bool {
+		if byTime[i].ProcTime != byTime[j].ProcTime {
+			return byTime[i].ProcTime < byTime[j].ProcTime
+		}
+		return byTime[i].ID < byTime[j].ID
+	})
+
+	alloc := &core.Allocation{}
+	for _, u := range byRel {
+		remaining := u.Capacity
+		for _, t := range byTime {
+			if t.ProcTime <= remaining {
+				_ = alloc.Add(u.ID, t.ID) // pairs are unique by construction
+				remaining -= t.ProcTime
+			}
+		}
+	}
+	return alloc
+}
+
+// Random allocates (user, task) pairs uniformly at random subject only to
+// user capacities — the task-allocation policy of the paper's lower-bound
+// baseline and of ETA²'s warm-up period.
+func Random(users []core.User, tasks []core.Task, rng *stats.RNG) *core.Allocation {
+	type slot struct {
+		u int
+		t int
+	}
+	slots := make([]slot, 0, len(users)*len(tasks))
+	for ui := range users {
+		for ti := range tasks {
+			slots = append(slots, slot{u: ui, t: ti})
+		}
+	}
+	rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+
+	remaining := make([]float64, len(users))
+	for i, u := range users {
+		remaining[i] = u.Capacity
+	}
+	alloc := &core.Allocation{}
+	for _, s := range slots {
+		t := tasks[s.t]
+		if t.ProcTime <= remaining[s.u] {
+			_ = alloc.Add(users[s.u].ID, t.ID)
+			remaining[s.u] -= t.ProcTime
+		}
+	}
+	return alloc
+}

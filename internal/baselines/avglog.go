@@ -1,0 +1,79 @@
+package baselines
+
+import (
+	"math"
+
+	"eta2/internal/core"
+)
+
+// AverageLog implements the Average·Log heuristic of Pasternack & Roth
+// ([5] in the paper): the reliability of a source is the average
+// credibility of its provided data items multiplied by the logarithm of
+// the number of items it provided, rewarding sources that are both
+// accurate and prolific.
+type AverageLog struct {
+	// MaxIter caps the refinement iterations (default 50).
+	MaxIter int
+	// Tol terminates iteration when reliabilities change less than this
+	// (default 1e-4).
+	Tol float64
+}
+
+var _ Method = (*AverageLog)(nil)
+
+// Name implements Method.
+func (*AverageLog) Name() string { return "Average-Log" }
+
+// Estimate implements Method.
+func (a *AverageLog) Estimate(obs *core.ObservationTable) (Result, error) {
+	if obs == nil || obs.Len() == 0 {
+		return Result{}, ErrNoData
+	}
+	maxIter, tol := a.MaxIter, a.Tol
+	if maxIter <= 0 {
+		maxIter = defaultMaxIter
+	}
+	if tol <= 0 {
+		tol = defaultTol
+	}
+
+	scales := taskScales(obs)
+	rel := uniformReliability(obs)
+	users := obs.Users()
+
+	iterations := 0
+	for iterations = 1; iterations <= maxIter; iterations++ {
+		truth := weightedTruth(obs, rel)
+
+		next := make(map[core.UserID]float64, len(users))
+		for _, uid := range users {
+			userObs := obs.ForUser(uid)
+			if len(userObs) == 0 {
+				next[uid] = 0
+				continue
+			}
+			avgCred := 0.0
+			for _, o := range userObs {
+				avgCred += kernel(o.Value, truth[o.Task], scales[o.Task])
+			}
+			avgCred /= float64(len(userObs))
+			next[uid] = avgCred * math.Log(1+float64(len(userObs)))
+		}
+		normalizeMax(next)
+
+		delta := maxAbsDelta(next, rel)
+		rel = next
+		if delta < tol {
+			break
+		}
+	}
+	if iterations > maxIter {
+		iterations = maxIter
+	}
+
+	return Result{
+		Truth:       weightedTruth(obs, rel),
+		Reliability: rel,
+		Iterations:  iterations,
+	}, nil
+}

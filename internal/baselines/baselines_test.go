@@ -1,0 +1,230 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"eta2/internal/core"
+	"eta2/internal/stats"
+)
+
+// world builds observations from users with known quality: users 0-1 are
+// accurate (σ=0.5), users 2-4 are noisy (σ=5).
+func world(seed int64, nTasks int) (*core.ObservationTable, []float64) {
+	rng := stats.NewRNG(seed)
+	truths := make([]float64, nTasks)
+	var obs []core.Observation
+	for j := 0; j < nTasks; j++ {
+		truths[j] = rng.Uniform(0, 20)
+		for u := 0; u < 5; u++ {
+			sd := 5.0
+			if u < 2 {
+				sd = 0.5
+			}
+			obs = append(obs, core.Observation{
+				Task:  core.TaskID(j),
+				User:  core.UserID(u),
+				Value: rng.Normal(truths[j], sd),
+			})
+		}
+	}
+	return core.NewObservationTable(obs), truths
+}
+
+func meanAbsError(truth map[core.TaskID]float64, truths []float64) float64 {
+	s := 0.0
+	for j, want := range truths {
+		s += math.Abs(truth[core.TaskID(j)] - want)
+	}
+	return s / float64(len(truths))
+}
+
+func allMethods() []Method {
+	return []Method{Mean{}, &HubsAuthorities{}, &AverageLog{}, &TruthFinder{}}
+}
+
+func TestMethodsRejectEmpty(t *testing.T) {
+	for _, m := range allMethods() {
+		if _, err := m.Estimate(nil); !errors.Is(err, ErrNoData) {
+			t.Errorf("%s: nil table gave %v", m.Name(), err)
+		}
+		if _, err := m.Estimate(core.NewObservationTable(nil)); !errors.Is(err, ErrNoData) {
+			t.Errorf("%s: empty table gave %v", m.Name(), err)
+		}
+	}
+}
+
+func TestMethodNames(t *testing.T) {
+	want := map[string]bool{
+		"Baseline": true, "Hubs and Authorities": true,
+		"Average-Log": true, "TruthFinder": true,
+	}
+	for _, m := range allMethods() {
+		if !want[m.Name()] {
+			t.Errorf("unexpected method name %q", m.Name())
+		}
+	}
+}
+
+func TestMeanBaseline(t *testing.T) {
+	obs := []core.Observation{
+		{Task: 0, User: 0, Value: 1},
+		{Task: 0, User: 1, Value: 3},
+	}
+	res, err := Mean{}.Estimate(core.NewObservationTable(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truth[0] != 2 {
+		t.Errorf("mean truth = %g, want 2", res.Truth[0])
+	}
+	if res.Reliability[0] != 1 || res.Reliability[1] != 1 {
+		t.Error("mean baseline should report uniform reliability")
+	}
+}
+
+func TestReliabilityMethodsRankUsers(t *testing.T) {
+	tbl, _ := world(1, 120)
+	for _, m := range allMethods()[1:] { // skip Mean: uniform by design
+		res, err := m.Estimate(tbl)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		// Accurate users must outrank noisy ones.
+		minGood := math.Min(res.Reliability[0], res.Reliability[1])
+		maxBad := math.Max(res.Reliability[2], math.Max(res.Reliability[3], res.Reliability[4]))
+		if minGood <= maxBad {
+			t.Errorf("%s: good users (%.3f) not above noisy users (%.3f)",
+				m.Name(), minGood, maxBad)
+		}
+		// Reliabilities normalized into [0, 1].
+		for u, r := range res.Reliability {
+			if r < 0 || r > 1+1e-9 {
+				t.Errorf("%s: reliability[%d] = %g outside [0,1]", m.Name(), u, r)
+			}
+		}
+	}
+}
+
+func TestReliabilityMethodsBeatMean(t *testing.T) {
+	tbl, truths := world(2, 150)
+	meanRes, err := Mean{}.Estimate(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanErr := meanAbsError(meanRes.Truth, truths)
+	for _, m := range allMethods()[1:] {
+		res, err := m.Estimate(tbl)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if got := meanAbsError(res.Truth, truths); got >= meanErr {
+			t.Errorf("%s error %.3f not below mean baseline %.3f", m.Name(), got, meanErr)
+		}
+	}
+}
+
+func TestMethodsEstimateEveryTask(t *testing.T) {
+	tbl, truths := world(3, 40)
+	for _, m := range allMethods() {
+		res, err := m.Estimate(tbl)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if len(res.Truth) != len(truths) {
+			t.Errorf("%s: %d estimates for %d tasks", m.Name(), len(res.Truth), len(truths))
+		}
+		if res.Iterations < 1 {
+			t.Errorf("%s: iterations = %d", m.Name(), res.Iterations)
+		}
+	}
+}
+
+func TestReliabilityGreedyPrefersReliableUsers(t *testing.T) {
+	users := []core.User{
+		{ID: 0, Capacity: 2},
+		{ID: 1, Capacity: 2},
+	}
+	tasks := []core.Task{
+		{ID: 0, ProcTime: 2, Cost: 1},
+		{ID: 1, ProcTime: 2, Cost: 1},
+	}
+	rel := map[core.UserID]float64{0: 0.2, 1: 1.0}
+	alloc := ReliabilityGreedy(users, tasks, rel)
+	// Both users fill their capacity with one task each; the reliable
+	// user gets the shorter/first task. With equal times, both take task
+	// 0 first? No: each user takes tasks until capacity; capacity 2 fits
+	// exactly one 2-hour task, chosen in ascending (time, id) order → both
+	// take task 0.
+	byUser := alloc.TasksByUser()
+	if len(byUser[1]) != 1 || byUser[1][0] != 0 {
+		t.Errorf("reliable user tasks = %v, want [0]", byUser[1])
+	}
+}
+
+func TestReliabilityGreedyShortTasksFirst(t *testing.T) {
+	users := []core.User{{ID: 0, Capacity: 3}}
+	tasks := []core.Task{
+		{ID: 0, ProcTime: 3, Cost: 1},
+		{ID: 1, ProcTime: 1, Cost: 1},
+		{ID: 2, ProcTime: 2, Cost: 1},
+	}
+	alloc := ReliabilityGreedy(users, tasks, map[core.UserID]float64{0: 1})
+	byUser := alloc.TasksByUser()
+	// Ascending time: task 1 (1h) then task 2 (2h) fill capacity 3.
+	if len(byUser[0]) != 2 || byUser[0][0] != 1 || byUser[0][1] != 2 {
+		t.Errorf("tasks = %v, want [1 2]", byUser[0])
+	}
+}
+
+func TestReliabilityGreedyCapacity(t *testing.T) {
+	rng := stats.NewRNG(4)
+	users := make([]core.User, 10)
+	rel := make(map[core.UserID]float64)
+	for i := range users {
+		users[i] = core.User{ID: core.UserID(i), Capacity: rng.Uniform(1, 6)}
+		rel[users[i].ID] = rng.Float64()
+	}
+	tasks := make([]core.Task, 30)
+	for j := range tasks {
+		tasks[j] = core.Task{ID: core.TaskID(j), ProcTime: rng.Uniform(0.5, 2), Cost: 1}
+	}
+	alloc := ReliabilityGreedy(users, tasks, rel)
+	load := alloc.Load(func(id core.TaskID) float64 { return tasks[int(id)].ProcTime })
+	for _, u := range users {
+		if load[u.ID] > u.Capacity+1e-9 {
+			t.Errorf("user %d over capacity: %.2f > %.2f", u.ID, load[u.ID], u.Capacity)
+		}
+	}
+}
+
+func TestRandomAllocationCapacityAndDeterminism(t *testing.T) {
+	rng := stats.NewRNG(5)
+	users := make([]core.User, 8)
+	for i := range users {
+		users[i] = core.User{ID: core.UserID(i), Capacity: 4}
+	}
+	tasks := make([]core.Task, 20)
+	for j := range tasks {
+		tasks[j] = core.Task{ID: core.TaskID(j), ProcTime: 1, Cost: 1}
+	}
+	alloc := Random(users, tasks, rng)
+	load := alloc.Load(func(core.TaskID) float64 { return 1 })
+	for _, u := range users {
+		if load[u.ID] > u.Capacity+1e-9 {
+			t.Errorf("user %d over capacity", u.ID)
+		}
+	}
+	// Full determinism for a fixed seed.
+	a := Random(users, tasks, stats.NewRNG(9))
+	b := Random(users, tasks, stats.NewRNG(9))
+	if len(a.Pairs) != len(b.Pairs) {
+		t.Fatal("same seed produced different allocation sizes")
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Fatal("same seed produced different allocations")
+		}
+	}
+}

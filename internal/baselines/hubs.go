@@ -1,0 +1,87 @@
+package baselines
+
+import (
+	"eta2/internal/core"
+)
+
+// HubsAuthorities implements the Hubs-and-Authorities truth-discovery
+// scheme (Kleinberg-style mutual reinforcement, per [18] in the paper):
+// the reliability of a source is the sum of the credibility of the data
+// items it provides, and the credibility of a data item is the sum of the
+// reliabilities of the sources providing (numerically similar) data.
+type HubsAuthorities struct {
+	// MaxIter caps the reinforcement iterations (default 50).
+	MaxIter int
+	// Tol terminates iteration when reliabilities change less than this
+	// (default 1e-4).
+	Tol float64
+}
+
+var _ Method = (*HubsAuthorities)(nil)
+
+// Name implements Method.
+func (*HubsAuthorities) Name() string { return "Hubs and Authorities" }
+
+// Estimate implements Method.
+func (h *HubsAuthorities) Estimate(obs *core.ObservationTable) (Result, error) {
+	if obs == nil || obs.Len() == 0 {
+		return Result{}, ErrNoData
+	}
+	maxIter, tol := h.MaxIter, h.Tol
+	if maxIter <= 0 {
+		maxIter = defaultMaxIter
+	}
+	if tol <= 0 {
+		tol = defaultTol
+	}
+
+	scales := taskScales(obs)
+	rel := uniformReliability(obs)
+	users := obs.Users()
+	tasks := obs.Tasks()
+
+	iterations := 0
+	for iterations = 1; iterations <= maxIter; iterations++ {
+		// Credibility step: each observation's credibility is the
+		// reliability-mass of all sources reporting similar values.
+		cred := make(map[core.Pair]float64, obs.Len())
+		for _, tid := range tasks {
+			taskObs := obs.ForTask(tid)
+			scale := scales[tid]
+			for _, o := range taskObs {
+				c := 0.0
+				for _, o2 := range taskObs {
+					c += rel[o2.User] * kernel(o.Value, o2.Value, scale)
+				}
+				cred[core.Pair{User: o.User, Task: o.Task}] = c
+			}
+		}
+
+		// Authority step: a source's reliability is the total credibility
+		// of its items.
+		next := make(map[core.UserID]float64, len(users))
+		for _, uid := range users {
+			s := 0.0
+			for _, o := range obs.ForUser(uid) {
+				s += cred[core.Pair{User: uid, Task: o.Task}]
+			}
+			next[uid] = s
+		}
+		normalizeMax(next)
+
+		delta := maxAbsDelta(next, rel)
+		rel = next
+		if delta < tol {
+			break
+		}
+	}
+	if iterations > maxIter {
+		iterations = maxIter
+	}
+
+	return Result{
+		Truth:       weightedTruth(obs, rel),
+		Reliability: rel,
+		Iterations:  iterations,
+	}, nil
+}

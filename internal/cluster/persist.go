@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"eta2/internal/core"
+)
+
+// EngineState is the serializable snapshot of an Engine. The distance
+// function is not part of the snapshot — the caller re-supplies it (with
+// the same item vectors) on restore.
+type EngineState struct {
+	Gamma      float64         `json:"gamma"`
+	DStar      float64         `json:"d_star"`
+	NItems     int             `json:"n_items"`
+	NextDomain core.DomainID   `json:"next_domain"`
+	Domains    []core.DomainID `json:"domains"`      // per cluster slot
+	Members    [][]int         `json:"members"`      // per cluster slot
+	DMat       [][]float64     `json:"dist_matrix"`  // cluster × cluster
+	ItemSlot   []int           `json:"item_cluster"` // per item
+}
+
+// State exports the engine's clustering state.
+func (e *Engine) State() EngineState {
+	st := EngineState{
+		Gamma:      e.gamma,
+		DStar:      e.dstar,
+		NItems:     e.nItems,
+		NextDomain: e.nextDomain,
+		DMat:       copyMatrix(e.dmat),
+		ItemSlot:   append([]int(nil), e.itemCluster...),
+	}
+	for _, c := range e.clusters {
+		st.Domains = append(st.Domains, c.domain)
+		st.Members = append(st.Members, append([]int(nil), c.items...))
+	}
+	return st
+}
+
+// ErrBadEngineState is returned when restoring an inconsistent snapshot.
+var ErrBadEngineState = errors.New("cluster: invalid engine state")
+
+// Restore rebuilds an Engine from a snapshot and the (re-supplied) item
+// distance function.
+func Restore(st EngineState, dist DistFunc) (*Engine, error) {
+	e, err := New(st.Gamma, dist)
+	if err != nil {
+		return nil, err
+	}
+	k := len(st.Domains)
+	if len(st.Members) != k || len(st.DMat) != k {
+		return nil, fmt.Errorf("%w: %d domains, %d member lists, %d matrix rows",
+			ErrBadEngineState, k, len(st.Members), len(st.DMat))
+	}
+	if len(st.ItemSlot) != st.NItems {
+		return nil, fmt.Errorf("%w: %d items but %d slot entries", ErrBadEngineState, st.NItems, len(st.ItemSlot))
+	}
+	seen := 0
+	for slot, members := range st.Members {
+		for _, it := range members {
+			if it < 0 || it >= st.NItems || st.ItemSlot[it] != slot {
+				return nil, fmt.Errorf("%w: member %d of slot %d inconsistent", ErrBadEngineState, it, slot)
+			}
+			seen++
+		}
+	}
+	if seen != st.NItems {
+		return nil, fmt.Errorf("%w: members cover %d of %d items", ErrBadEngineState, seen, st.NItems)
+	}
+
+	e.nItems = st.NItems
+	e.dstar = st.DStar
+	e.nextDomain = st.NextDomain
+	e.dmat = copyMatrix(st.DMat)
+	e.itemCluster = append([]int(nil), st.ItemSlot...)
+	e.clusters = make([]clusterState, k)
+	for i := range st.Domains {
+		e.clusters[i] = clusterState{
+			domain: st.Domains[i],
+			items:  append([]int(nil), st.Members[i]...),
+		}
+	}
+	return e, nil
+}

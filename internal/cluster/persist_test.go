@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"eta2/internal/core"
+	"eta2/internal/stats"
+)
+
+func TestEngineStateRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(1)
+	pts := make([][2]float64, 40)
+	for i := range pts {
+		pts[i] = [2]float64{rng.Uniform(0, 10), rng.Uniform(0, 10)}
+	}
+	dist := pointDist(pts)
+
+	eng, err := New(0.4, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.AddItems(30); err != nil {
+		t.Fatal(err)
+	}
+
+	st := eng.State()
+	restored, err := Restore(st, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.NumItems() != eng.NumItems() || restored.NumDomains() != eng.NumDomains() {
+		t.Fatal("shape mismatch after restore")
+	}
+	if restored.DStar() != eng.DStar() {
+		t.Error("d* lost")
+	}
+	if !reflect.DeepEqual(restored.Members(), eng.Members()) {
+		t.Error("membership differs after restore")
+	}
+
+	// Both engines must evolve identically on the same new items.
+	upA, err := eng.AddItems(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upB, err := restored.AddItems(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(upA.Assigned, upB.Assigned) {
+		t.Error("restored engine diverged on new items")
+	}
+	if !reflect.DeepEqual(upA.NewDomains, upB.NewDomains) || !reflect.DeepEqual(upA.Merges, upB.Merges) {
+		t.Error("restored engine produced different events")
+	}
+}
+
+func TestRestoreRejectsInvalid(t *testing.T) {
+	dist := func(a, b int) float64 { return 1 }
+
+	if _, err := Restore(EngineState{Gamma: 2}, dist); err == nil {
+		t.Error("bad gamma accepted")
+	}
+	if _, err := Restore(EngineState{
+		Gamma:    0.5,
+		NItems:   2,
+		Domains:  []core.DomainID{1},
+		Members:  [][]int{{0}},
+		DMat:     [][]float64{{0}},
+		ItemSlot: []int{0},
+	}, dist); err == nil {
+		t.Error("item/slot length mismatch accepted")
+	}
+	if _, err := Restore(EngineState{
+		Gamma:    0.5,
+		NItems:   2,
+		Domains:  []core.DomainID{1},
+		Members:  [][]int{{0}}, // item 1 not covered
+		DMat:     [][]float64{{0}},
+		ItemSlot: []int{0, 0},
+	}, dist); err == nil {
+		t.Error("incomplete membership accepted")
+	}
+	if _, err := Restore(EngineState{
+		Gamma:    0.5,
+		NItems:   1,
+		Domains:  []core.DomainID{1, 2}, // 2 domains, 1 member list
+		Members:  [][]int{{0}},
+		DMat:     [][]float64{{0}},
+		ItemSlot: []int{0},
+	}, dist); err == nil {
+		t.Error("domains/members mismatch accepted")
+	}
+}

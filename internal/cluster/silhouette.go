@@ -1,0 +1,55 @@
+package cluster
+
+import "math"
+
+// Silhouette computes the mean silhouette coefficient of the engine's
+// current partition: for each item, (b−a)/max(a,b) with a the mean distance
+// to its own cluster's other members and b the mean distance to the nearest
+// other cluster. Values near 1 mean tight, well-separated domains; values
+// near 0 mean domains touch; negative values mean items sit in the wrong
+// domain. Singleton clusters contribute 0, the conventional choice.
+//
+// Cost is O(n²) item distance evaluations; intended for diagnostics and
+// CLI output, not per-step use.
+func (e *Engine) Silhouette() float64 {
+	n := e.nItems
+	if n < 2 || len(e.clusters) < 2 {
+		return 0
+	}
+
+	total := 0.0
+	for i := 0; i < n; i++ {
+		own := e.itemCluster[i]
+		// Mean distance to each cluster.
+		sums := make([]float64, len(e.clusters))
+		counts := make([]int, len(e.clusters))
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			c := e.itemCluster[j]
+			sums[c] += e.dist(i, j)
+			counts[c]++
+		}
+		if counts[own] == 0 {
+			continue // singleton: contributes 0
+		}
+		a := sums[own] / float64(counts[own])
+		b := math.Inf(1)
+		for c := range e.clusters {
+			if c == own || counts[c] == 0 {
+				continue
+			}
+			if d := sums[c] / float64(counts[c]); d < b {
+				b = d
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,93 @@
+package core
+
+import "sort"
+
+// ObservationTable indexes a set of observations by task and by user for
+// the O(1) lookups the MLE iteration performs in its inner loop.
+type ObservationTable struct {
+	byTask map[TaskID][]Observation
+	byUser map[UserID][]Observation
+	n      int
+}
+
+// NewObservationTable builds an index over obs. The input slice is not
+// retained; observations are copied into internal buckets.
+func NewObservationTable(obs []Observation) *ObservationTable {
+	t := &ObservationTable{
+		byTask: make(map[TaskID][]Observation),
+		byUser: make(map[UserID][]Observation),
+	}
+	for _, o := range obs {
+		t.Add(o)
+	}
+	return t
+}
+
+// Add appends one observation to the index.
+func (t *ObservationTable) Add(o Observation) {
+	if t.byTask == nil {
+		t.byTask = make(map[TaskID][]Observation)
+		t.byUser = make(map[UserID][]Observation)
+	}
+	t.byTask[o.Task] = append(t.byTask[o.Task], o)
+	t.byUser[o.User] = append(t.byUser[o.User], o)
+	t.n++
+}
+
+// AddAll appends every observation of obs.
+func (t *ObservationTable) AddAll(obs []Observation) {
+	for _, o := range obs {
+		t.Add(o)
+	}
+}
+
+// ForTask returns the observations recorded for a task. The returned slice
+// is owned by the table and must not be mutated.
+func (t *ObservationTable) ForTask(id TaskID) []Observation {
+	if t.byTask == nil {
+		return nil
+	}
+	return t.byTask[id]
+}
+
+// ForUser returns the observations recorded by a user. The returned slice
+// is owned by the table and must not be mutated.
+func (t *ObservationTable) ForUser(id UserID) []Observation {
+	if t.byUser == nil {
+		return nil
+	}
+	return t.byUser[id]
+}
+
+// Len returns the total number of observations in the table.
+func (t *ObservationTable) Len() int { return t.n }
+
+// Tasks returns the task IDs that have at least one observation, sorted.
+func (t *ObservationTable) Tasks() []TaskID {
+	out := make([]TaskID, 0, len(t.byTask))
+	for id := range t.byTask {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Users returns the user IDs that have at least one observation, sorted.
+func (t *ObservationTable) Users() []UserID {
+	out := make([]UserID, 0, len(t.byUser))
+	for id := range t.byUser {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Values returns just the observed values for a task, in insertion order.
+func (t *ObservationTable) Values(id TaskID) []float64 {
+	obs := t.ForTask(id)
+	out := make([]float64, len(obs))
+	for i, o := range obs {
+		out[i] = o.Value
+	}
+	return out
+}

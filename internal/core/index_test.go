@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sampleObs() []Observation {
+	return []Observation{
+		{Task: 1, User: 10, Value: 1.5},
+		{Task: 1, User: 11, Value: 2.5},
+		{Task: 2, User: 10, Value: 3.5},
+	}
+}
+
+func TestObservationTableIndexing(t *testing.T) {
+	tbl := NewObservationTable(sampleObs())
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tbl.Len())
+	}
+	if got := tbl.ForTask(1); len(got) != 2 {
+		t.Errorf("ForTask(1) has %d obs, want 2", len(got))
+	}
+	if got := tbl.ForUser(10); len(got) != 2 {
+		t.Errorf("ForUser(10) has %d obs, want 2", len(got))
+	}
+	if got := tbl.ForTask(99); got != nil {
+		t.Errorf("unknown task should yield nil, got %v", got)
+	}
+}
+
+func TestObservationTableSortedIDs(t *testing.T) {
+	tbl := NewObservationTable(sampleObs())
+	tasks := tbl.Tasks()
+	if len(tasks) != 2 || tasks[0] != 1 || tasks[1] != 2 {
+		t.Errorf("Tasks = %v", tasks)
+	}
+	users := tbl.Users()
+	if len(users) != 2 || users[0] != 10 || users[1] != 11 {
+		t.Errorf("Users = %v", users)
+	}
+}
+
+func TestObservationTableValues(t *testing.T) {
+	tbl := NewObservationTable(sampleObs())
+	vals := tbl.Values(1)
+	if len(vals) != 2 || vals[0] != 1.5 || vals[1] != 2.5 {
+		t.Errorf("Values(1) = %v", vals)
+	}
+}
+
+func TestObservationTableZeroValue(t *testing.T) {
+	var tbl ObservationTable
+	if tbl.Len() != 0 || tbl.ForTask(1) != nil || tbl.ForUser(1) != nil {
+		t.Error("zero-value table should behave as empty")
+	}
+	tbl.Add(Observation{Task: 5, User: 6, Value: 1})
+	if tbl.Len() != 1 || len(tbl.ForTask(5)) != 1 {
+		t.Error("zero-value table should be usable after Add")
+	}
+}
+
+func TestObservationTableCountsProperty(t *testing.T) {
+	// Total indexed observations must equal the sum over tasks and over
+	// users, no matter the input.
+	f := func(raw []uint8) bool {
+		obs := make([]Observation, len(raw))
+		for i, b := range raw {
+			obs[i] = Observation{Task: TaskID(b % 7), User: UserID(b % 5), Value: float64(b)}
+		}
+		tbl := NewObservationTable(obs)
+		byTask, byUser := 0, 0
+		for _, id := range tbl.Tasks() {
+			byTask += len(tbl.ForTask(id))
+		}
+		for _, id := range tbl.Users() {
+			byUser += len(tbl.ForUser(id))
+		}
+		return byTask == len(obs) && byUser == len(obs) && tbl.Len() == len(obs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,37 @@
+package embedding
+
+import "errors"
+
+// Embedder maps a word to its embedding vector.
+type Embedder interface {
+	// Vector returns the embedding for word and whether the word is known.
+	Vector(word string) (Vector, bool)
+	// Dim returns the embedding dimensionality.
+	Dim() int
+}
+
+// ErrEmptyPhrase is returned when a phrase contains no embeddable words.
+var ErrEmptyPhrase = errors.New("embedding: phrase has no known words")
+
+// Phrase composes a multi-word term into a single vector with the
+// element-wise additive model of Mikolov et al. (V = x₁ + x₂ + … + xₗ),
+// exactly as the paper's Sec. 3.2 prescribes. Unknown words are skipped;
+// if every word is unknown ErrEmptyPhrase is returned.
+func Phrase(e Embedder, words []string) (Vector, error) {
+	sum := make(Vector, e.Dim())
+	known := 0
+	for _, w := range words {
+		v, ok := e.Vector(w)
+		if !ok {
+			continue
+		}
+		if err := sum.AddInPlace(v); err != nil {
+			return nil, err
+		}
+		known++
+	}
+	if known == 0 {
+		return nil, ErrEmptyPhrase
+	}
+	return sum, nil
+}

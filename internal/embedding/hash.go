@@ -1,0 +1,44 @@
+package embedding
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// HashEmbedder deterministically maps every word to a pseudo-random unit
+// vector derived from an FNV hash of the word. It is the zero-training
+// fallback used when no corpus is available: distances between hash vectors
+// carry no semantics (all distinct words are roughly equidistant in high
+// dimension), but the pipeline stays runnable and deterministic.
+type HashEmbedder struct {
+	dim  int
+	seed int64
+}
+
+var _ Embedder = (*HashEmbedder)(nil)
+
+// NewHashEmbedder creates a hash embedder of the given dimensionality.
+// dim values < 1 are raised to 1.
+func NewHashEmbedder(dim int, seed int64) *HashEmbedder {
+	if dim < 1 {
+		dim = 1
+	}
+	return &HashEmbedder{dim: dim, seed: seed}
+}
+
+// Dim returns the embedding dimensionality.
+func (h *HashEmbedder) Dim() int { return h.dim }
+
+// Vector returns the deterministic unit vector for word. Every word is
+// "known" to a hash embedder.
+func (h *HashEmbedder) Vector(word string) (Vector, bool) {
+	hs := fnv.New64a()
+	_, _ = hs.Write([]byte(word)) // fnv never errors
+	r := rand.New(rand.NewSource(int64(hs.Sum64()) ^ h.seed))
+	v := make(Vector, h.dim)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	v.Normalize()
+	return v, true
+}

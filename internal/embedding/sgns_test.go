@@ -1,0 +1,189 @@
+package embedding
+
+import (
+	"errors"
+	"testing"
+)
+
+// tinyCorpus builds a corpus with two cleanly separated topics.
+func tinyCorpus() [][]string {
+	var corpus [][]string
+	for i := 0; i < 200; i++ {
+		corpus = append(corpus,
+			[]string{"cat", "dog", "pet", "fur", "cat", "dog"},
+			[]string{"car", "road", "drive", "wheel", "car", "road"},
+		)
+	}
+	return corpus
+}
+
+func TestTrainEmptyCorpus(t *testing.T) {
+	if _, err := Train(nil, TrainConfig{}); !errors.Is(err, ErrEmptyCorpus) {
+		t.Errorf("got %v, want ErrEmptyCorpus", err)
+	}
+	if _, err := Train([][]string{{"solo"}}, TrainConfig{}); !errors.Is(err, ErrEmptyCorpus) {
+		t.Errorf("single-token sentences only: got %v, want ErrEmptyCorpus", err)
+	}
+}
+
+func TestTrainLearnsTopics(t *testing.T) {
+	m, err := Train(tinyCorpus(), TrainConfig{Dim: 16, Epochs: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := m.Similarity("cat", "dog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := m.Similarity("cat", "road")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same <= cross {
+		t.Errorf("same-topic similarity %.3f not above cross-topic %.3f", same, cross)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	cfg := TrainConfig{Dim: 8, Epochs: 2, Seed: 7}
+	m1, err := Train(tinyCorpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(tinyCorpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := m1.Vector("cat")
+	v2, _ := m2.Vector("cat")
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("same seed produced different embeddings")
+		}
+	}
+}
+
+func TestModelVectorUnknown(t *testing.T) {
+	m, err := Train(tinyCorpus(), TrainConfig{Dim: 8, Epochs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Vector("unicorn"); ok {
+		t.Error("unknown word reported known")
+	}
+	if _, err := m.Similarity("cat", "unicorn"); err == nil {
+		t.Error("similarity with OOV should fail")
+	}
+	if m.Dim() != 8 {
+		t.Errorf("Dim = %d, want 8", m.Dim())
+	}
+	if m.VocabSize() != 8 {
+		t.Errorf("VocabSize = %d, want 8", m.VocabSize())
+	}
+}
+
+func TestPhraseComposition(t *testing.T) {
+	m, err := Train(tinyCorpus(), TrainConfig{Dim: 8, Epochs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Phrase(m, []string{"cat", "dog"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := m.Vector("cat")
+	d, _ := m.Vector("dog")
+	for i := range v {
+		if v[i] != c[i]+d[i] {
+			t.Fatal("phrase is not the element-wise sum")
+		}
+	}
+	// Unknown words are skipped; all-unknown is an error.
+	if _, err := Phrase(m, []string{"cat", "unicorn"}); err != nil {
+		t.Errorf("partially known phrase failed: %v", err)
+	}
+	if _, err := Phrase(m, []string{"unicorn"}); !errors.Is(err, ErrEmptyPhrase) {
+		t.Errorf("got %v, want ErrEmptyPhrase", err)
+	}
+}
+
+func TestHashEmbedderDeterministic(t *testing.T) {
+	h := NewHashEmbedder(16, 1)
+	v1, ok1 := h.Vector("anything")
+	v2, ok2 := h.Vector("anything")
+	if !ok1 || !ok2 {
+		t.Fatal("hash embedder should know every word")
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("hash embedding not deterministic")
+		}
+	}
+	v3, _ := h.Vector("different")
+	if v1.SquaredDistance(v3) == 0 {
+		t.Error("distinct words should not collide")
+	}
+	if h.Dim() != 16 {
+		t.Errorf("Dim = %d", h.Dim())
+	}
+	if NewHashEmbedder(0, 1).Dim() != 1 {
+		t.Error("dim floor not applied")
+	}
+}
+
+func TestHashEmbedderSeedChangesVectors(t *testing.T) {
+	a, _ := NewHashEmbedder(8, 1).Vector("w")
+	b, _ := NewHashEmbedder(8, 2).Vector("w")
+	if a.SquaredDistance(b) == 0 {
+		t.Error("different seeds should produce different vectors")
+	}
+}
+
+func TestGenerateCorpusShape(t *testing.T) {
+	corpus := GenerateCorpus(BuiltinDomains[:2], CorpusConfig{SentencesPerDomain: 10, WordsPerSentence: 6, Seed: 1})
+	if len(corpus) != 20 {
+		t.Fatalf("corpus has %d sentences, want 20", len(corpus))
+	}
+	for _, s := range corpus {
+		if len(s) != 6 {
+			t.Fatalf("sentence length %d, want 6", len(s))
+		}
+	}
+}
+
+func TestGenerateCorpusDeterministic(t *testing.T) {
+	a := GenerateCorpus(BuiltinDomains, CorpusConfig{Seed: 3})
+	b := GenerateCorpus(BuiltinDomains, CorpusConfig{Seed: 3})
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed produced different corpora")
+			}
+		}
+	}
+}
+
+func TestDomainByName(t *testing.T) {
+	if d, ok := DomainByName("noise"); !ok || d.Name != "noise" {
+		t.Error("builtin domain lookup failed")
+	}
+	if _, ok := DomainByName("nonexistent"); ok {
+		t.Error("unknown domain reported found")
+	}
+}
+
+func TestBuiltinDomainsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range BuiltinDomains {
+		if d.Name == "" || seen[d.Name] {
+			t.Errorf("domain name %q empty or duplicated", d.Name)
+		}
+		seen[d.Name] = true
+		if len(d.QueryTerms) < 3 || len(d.TargetTerms) < 3 || len(d.Context) < 5 {
+			t.Errorf("domain %s too sparse", d.Name)
+		}
+	}
+}

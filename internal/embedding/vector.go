@@ -1,0 +1,108 @@
+// Package embedding provides the word-embedding substrate of ETA²'s semantic
+// analysis: dense vectors, a from-scratch skip-gram-with-negative-sampling
+// (SGNS) trainer, a deterministic hash-projection fallback embedder, and a
+// synthetic multi-domain corpus generator standing in for the Wikipedia dump
+// the paper trained on.
+package embedding
+
+import (
+	"errors"
+	"math"
+)
+
+// Vector is a dense embedding vector.
+type Vector []float64
+
+// ErrDimMismatch is returned when combining vectors of unequal length.
+var ErrDimMismatch = errors.New("embedding: vector dimensions differ")
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add returns v + w. It returns an error for mismatched dimensions.
+func (v Vector) Add(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, ErrDimMismatch
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out, nil
+}
+
+// AddInPlace accumulates w into v; both must have equal length.
+func (v Vector) AddInPlace(w Vector) error {
+	if len(v) != len(w) {
+		return ErrDimMismatch
+	}
+	for i := range v {
+		v[i] += w[i]
+	}
+	return nil
+}
+
+// Scale returns c·v.
+func (v Vector) Scale(c float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = c * v[i]
+	}
+	return out
+}
+
+// Dot returns the inner product ⟨v, w⟩, or 0 for mismatched dimensions.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		return 0
+	}
+	s := 0.0
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm ‖v‖₂.
+func (v Vector) Norm() float64 {
+	return math.Sqrt(v.Dot(v))
+}
+
+// Normalize scales v in place to unit norm. Zero vectors are left unchanged.
+func (v Vector) Normalize() {
+	n := v.Norm()
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// SquaredDistance returns ‖v − w‖₂². Mismatched dimensions yield +Inf so a
+// buggy caller can never mistake them for "close".
+func (v Vector) SquaredDistance(w Vector) float64 {
+	if len(v) != len(w) {
+		return math.Inf(1)
+	}
+	s := 0.0
+	for i := range v {
+		d := v[i] - w[i]
+		s += d * d
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity of v and w in [-1, 1], or 0 if either
+// is a zero vector or the dimensions differ.
+func (v Vector) Cosine(w Vector) float64 {
+	nv, nw := v.Norm(), w.Norm()
+	if nv == 0 || nw == 0 || len(v) != len(w) {
+		return 0
+	}
+	return v.Dot(w) / (nv * nw)
+}

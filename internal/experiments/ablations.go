@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"eta2/internal/cluster"
+
+	"eta2/internal/allocation"
+	"eta2/internal/core"
+	"eta2/internal/dataset"
+	"eta2/internal/semantic"
+	"eta2/internal/simulation"
+	"eta2/internal/stats"
+)
+
+// AblationResult is a generic labelled-values result for the design-choice
+// ablations DESIGN.md calls out.
+type AblationResult struct {
+	Title  string
+	Labels []string
+	Values []float64
+	Unit   string
+}
+
+// Render prints the labelled values.
+func (r AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	for i, l := range r.Labels {
+		fmt.Fprintf(&b, "  %-40s %10.4f %s\n", l, r.Values[i], r.Unit)
+	}
+	return b.String()
+}
+
+// AblationSecondPass measures the value of the size-agnostic second greedy
+// pass (Sec. 5.1.2's approximation-guarantee step) on allocation instances
+// with heavy-tailed task processing times, where plain efficiency greedy
+// "can perform arbitrarily poorly". It reports the mean max-quality
+// objective with and without the second pass.
+func AblationSecondPass(opts Options) (AblationResult, error) {
+	opts.applyDefaults()
+	var with, without []float64
+	for r := 0; r < opts.Runs; r++ {
+		rng := stats.NewRNG(opts.Seed + int64(r))
+		// The classic knapsack inversion of [15]: one user with capacity
+		// 10 faces one whole-capacity task worth ~0.99 and four small
+		// tasks of slightly HIGHER efficiency but much lower value
+		// (~0.2 each, 2h each). Efficiency greedy takes the small tasks
+		// (Σ ≈ 0.8) and can no longer fit the big one; the size-agnostic
+		// pass takes the big task first (0.99) and wins.
+		users := []core.User{{ID: 0, Capacity: 10}}
+		var tasks []core.Task
+		expertise := make(map[core.TaskID]float64)
+		big := core.Task{ID: 0, ProcTime: 10, Cost: 1}
+		expertise[big.ID] = rng.Uniform(2.55, 2.65) // p ≈ 0.99, eff ≈ 0.099
+		tasks = append(tasks, big)
+		for j := 1; j <= 4; j++ {
+			t := core.Task{ID: core.TaskID(j), ProcTime: 2, Cost: 1}
+			expertise[t.ID] = rng.Uniform(0.255, 0.27) // p ≈ 0.2, eff ≈ 0.1
+			tasks = append(tasks, t)
+		}
+		in := allocation.Input{
+			Users: users,
+			Tasks: tasks,
+			Expertise: func(_ core.UserID, t core.TaskID) float64 {
+				return expertise[t]
+			},
+			Epsilon: 1.0, // widen the accuracy window so values separate
+		}
+		resWith, err := allocation.MaxQuality(in, allocation.MaxQualityOptions{})
+		if err != nil {
+			return AblationResult{}, err
+		}
+		resWithout, err := allocation.MaxQuality(in, allocation.MaxQualityOptions{DisableSecondPass: true})
+		if err != nil {
+			return AblationResult{}, err
+		}
+		with = append(with, resWith.Objective)
+		without = append(without, resWithout.Objective)
+	}
+	return AblationResult{
+		Title:  "Ablation: size-agnostic second greedy pass (heavy-tailed processing times)",
+		Labels: []string{"Algorithm 1 + second pass (paper)", "Algorithm 1 only"},
+		Values: []float64{stats.Mean(with), stats.Mean(without)},
+		Unit:   "objective",
+	}, nil
+}
+
+// AblationExpertiseAware compares ETA²'s per-domain expertise against an
+// expertise-unaware variant in which every task shares one domain — i.e.
+// each user has a single global reliability, the assumption of the prior
+// work ETA² argues against.
+func AblationExpertiseAware(opts Options) (AblationResult, error) {
+	opts.applyDefaults()
+	runOnce := func(collapse bool, seed int64) (float64, error) {
+		ds, err := makeDataset("synthetic", opts.Seed, 0)
+		if err != nil {
+			return 0, err
+		}
+		if collapse {
+			for j := range ds.Tasks {
+				ds.Tasks[j].Domain = core.DomainID(1)
+			}
+		}
+		cfg, err := simConfig(ds, simulation.MethodETA2, seed, opts)
+		if err != nil {
+			return 0, err
+		}
+		run, err := simulation.Run(ds, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return run.OverallError, nil
+	}
+	aware, err := averageRuns(opts, func(seed int64) (float64, error) { return runOnce(false, seed) })
+	if err != nil {
+		return AblationResult{}, err
+	}
+	unaware, err := averageRuns(opts, func(seed int64) (float64, error) { return runOnce(true, seed) })
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{
+		Title:  "Ablation: per-domain expertise vs single global reliability (synthetic)",
+		Labels: []string{"expertise-aware (ETA2)", "expertise-unaware (one domain)"},
+		Values: []float64{aware, unaware},
+		Unit:   "estimation error",
+	}, nil
+}
+
+// AblationPairWord compares the clustering purity achieved by the pair-word
+// embedding distance (Eq. 2) against a naive bag-of-words cosine distance
+// on the survey dataset's task descriptions.
+func AblationPairWord(opts Options) (AblationResult, error) {
+	opts.applyDefaults()
+	emb, err := SharedEmbedder()
+	if err != nil {
+		return AblationResult{}, err
+	}
+
+	var pairPurity, bowPurity []float64
+	for r := 0; r < opts.Runs; r++ {
+		ds, err := makeDataset("survey", opts.Seed+int64(r), 0)
+		if err != nil {
+			return AblationResult{}, err
+		}
+
+		// Pair-word distance.
+		vzr := semantic.NewVectorizer(emb)
+		vecs := make([]semantic.TaskVector, len(ds.Tasks))
+		for i, t := range ds.Tasks {
+			vecs[i], err = vzr.Vectorize(t.Description)
+			if err != nil {
+				return AblationResult{}, err
+			}
+		}
+		p1, err := clusterPairwiseF1(ds, func(a, b int) float64 { return semantic.Distance(vecs[a], vecs[b]) }, 0.5)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		pairPurity = append(pairPurity, p1)
+
+		// Bag-of-words cosine distance.
+		bows := make([]map[string]float64, len(ds.Tasks))
+		for i, t := range ds.Tasks {
+			bows[i] = bagOfWords(t.Description)
+		}
+		p2, err := clusterPairwiseF1(ds, func(a, b int) float64 { return 1 - cosineBOW(bows[a], bows[b]) }, 0.5)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		bowPurity = append(bowPurity, p2)
+	}
+	return AblationResult{
+		Title:  "Ablation: pair-word embedding distance vs bag-of-words cosine (survey clustering)",
+		Labels: []string{"pair-word + skip-gram (paper)", "bag-of-words cosine"},
+		Values: []float64{stats.Mean(pairPurity), stats.Mean(bowPurity)},
+		Unit:   "pairwise F1",
+	}, nil
+}
+
+// AblationDecay measures the value of the decay factor α when user
+// expertise drifts mid-deployment: users' strong domains are re-rolled on
+// day 3 of a 6-day horizon, and the post-drift estimation error is compared
+// across α settings. α = 1 (never forget) should recover slowest.
+func AblationDecay(opts Options) (AblationResult, error) {
+	opts.applyDefaults()
+	alphas := []float64{0.1, 0.5, 1.0}
+	labels := make([]string, len(alphas))
+	values := make([]float64, len(alphas))
+	days := 6
+	driftDay := 3
+
+	for ai, alpha := range alphas {
+		labels[ai] = fmt.Sprintf("alpha=%.1f", alpha)
+		var errs []float64
+		for r := 0; r < opts.Runs; r++ {
+			seed := opts.Seed + int64(r)
+			ds, err := makeDataset("synthetic", opts.Seed, 0)
+			if err != nil {
+				return AblationResult{}, err
+			}
+			// Drift: reshuffle every user's expertise across domains.
+			drift := stats.NewRNG(opts.Seed * 31)
+			ds.DriftedExpertise = make([][]float64, len(ds.TrueExpertise))
+			for u, row := range ds.TrueExpertise {
+				perm := drift.Perm(len(row))
+				dr := make([]float64, len(row))
+				for d := range row {
+					dr[d] = row[perm[d]]
+				}
+				ds.DriftedExpertise[u] = dr
+			}
+			ds.DriftDay = driftDay
+
+			cfg := simulation.Config{
+				Method: simulation.MethodETA2,
+				Days:   days,
+				Seed:   seed,
+				Alpha:  alpha,
+			}
+			run, err := simulation.Run(ds, cfg)
+			if err != nil {
+				return AblationResult{}, err
+			}
+			// Post-drift error only: the days after the drift hit.
+			var post []float64
+			for _, dm := range run.Days {
+				if dm.Day > driftDay {
+					post = append(post, dm.Error)
+				}
+			}
+			errs = append(errs, stats.Mean(post))
+		}
+		values[ai] = stats.Mean(errs)
+	}
+	return AblationResult{
+		Title:  "Ablation: decay factor alpha under mid-deployment expertise drift (post-drift error)",
+		Labels: labels,
+		Values: values,
+		Unit:   "estimation error",
+	}, nil
+}
+
+// clusterPairwiseF1 clusters the dataset's tasks with the given distance
+// and scores the result against the generator domains with pairwise F1:
+// precision/recall over unordered task pairs that are co-clustered vs
+// actually same-domain. Unlike purity, this penalizes fragmenting a domain
+// into singletons (which would trivially score purity 1).
+func clusterPairwiseF1(ds *dataset.Dataset, dist func(a, b int) float64, gamma float64) (float64, error) {
+	eng, err := clusterNew(gamma, dist)
+	if err != nil {
+		return 0, err
+	}
+	up, err := eng.AddItems(len(ds.Tasks))
+	if err != nil {
+		return 0, err
+	}
+	var tp, fp, fn float64
+	n := len(ds.Tasks)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			sameCluster := up.Assigned[a] == up.Assigned[b]
+			sameDomain := ds.GenDomain[a] == ds.GenDomain[b]
+			switch {
+			case sameCluster && sameDomain:
+				tp++
+			case sameCluster && !sameDomain:
+				fp++
+			case !sameCluster && sameDomain:
+				fn++
+			}
+		}
+	}
+	if tp == 0 {
+		return 0, nil
+	}
+	precision := tp / (tp + fp)
+	recall := tp / (tp + fn)
+	return 2 * precision * recall / (precision + recall), nil
+}
+
+// bagOfWords builds a term-frequency vector over the content words of a
+// description.
+func bagOfWords(desc string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, tok := range semantic.Tokenize(desc) {
+		if semantic.IsStopword(tok) || semantic.IsPreposition(tok) {
+			continue
+		}
+		out[tok]++
+	}
+	return out
+}
+
+// cosineBOW is the cosine similarity of two sparse term-frequency vectors.
+func cosineBOW(a, b map[string]float64) float64 {
+	var dot, na, nb float64
+	for k, va := range a {
+		na += va * va
+		if vb, ok := b[k]; ok {
+			dot += va * vb
+		}
+	}
+	for _, vb := range b {
+		nb += vb * vb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (sqrt(na) * sqrt(nb))
+}
+
+// clusterNew wraps cluster.New so the ablation reads naturally.
+func clusterNew(gamma float64, dist func(a, b int) float64) (*cluster.Engine, error) {
+	return cluster.New(gamma, dist)
+}
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }

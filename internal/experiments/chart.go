@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// lineChart renders one or more numeric series as a compact ASCII chart so
+// eta2bench reports show curve shapes without leaving the terminal. Each
+// series gets a marker ('a', 'b', …); colliding points show the later
+// series' marker.
+type lineChart struct {
+	title  string
+	xLabel string
+	x      []float64
+	names  []string
+	series [][]float64
+}
+
+// newLineChart creates a chart over shared x positions.
+func newLineChart(title, xLabel string, x []float64) *lineChart {
+	return &lineChart{title: title, xLabel: xLabel, x: x}
+}
+
+// add appends a named series; it must have len(x) points (extra points are
+// ignored, missing points leave gaps).
+func (c *lineChart) add(name string, ys []float64) {
+	c.names = append(c.names, name)
+	c.series = append(c.series, ys)
+}
+
+// render draws the chart with the given plot dimensions.
+func (c *lineChart) render(width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, ys := range c.series {
+		for _, y := range ys {
+			if math.IsNaN(y) {
+				continue
+			}
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+		}
+	}
+	if math.IsInf(lo, 1) { // no data
+		return c.title + "\n(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	xPos := func(i int) int {
+		if len(c.x) <= 1 {
+			return 0
+		}
+		return i * (width - 1) / (len(c.x) - 1)
+	}
+	yPos := func(y float64) int {
+		frac := (y - lo) / (hi - lo)
+		row := int(math.Round(float64(height-1) * (1 - frac)))
+		return min(max(row, 0), height-1)
+	}
+	for si, ys := range c.series {
+		marker := byte('a' + si%26)
+		for i, y := range ys {
+			if i >= len(c.x) || math.IsNaN(y) {
+				continue
+			}
+			grid[yPos(y)][xPos(i)] = marker
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", c.title)
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.3f", hi)
+		case height - 1:
+			label = fmt.Sprintf("%8.3f", lo)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	// X-axis endpoints.
+	left := fmt.Sprintf("%g", c.x[0])
+	right := fmt.Sprintf("%g", c.x[len(c.x)-1])
+	pad := width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%8s  %s%s%s  (%s)\n", "", left, strings.Repeat(" ", pad), right, c.xLabel)
+	for si, name := range c.names {
+		fmt.Fprintf(&b, "%8s  %c = %s\n", "", byte('a'+si%26), name)
+	}
+	return b.String()
+}

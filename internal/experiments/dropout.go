@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"eta2/internal/dataset"
+	"eta2/internal/simulation"
+)
+
+// DropoutResult holds the non-responsive-user extension: allocated users
+// sometimes never report (device offline, task ignored, deadline missed).
+// Max-quality allocation loses the dropped observations outright; min-cost
+// allocation's feedback loop notices the missing information and recruits
+// replacements, trading cost for resilience.
+type DropoutResult struct {
+	// Rates is the swept dropout probability.
+	Rates []float64
+	// ETA2Error is max-quality ETA²'s overall error per rate.
+	ETA2Error []float64
+	// MCError and MCCost are ETA²-mc's overall error and total cost.
+	MCError []float64
+	MCCost  []float64
+}
+
+// DropoutRates is the swept per-pair dropout probability.
+var DropoutRates = []float64{0, 0.1, 0.25, 0.5}
+
+// Dropout runs the resilience extension on the synthetic dataset.
+func Dropout(opts Options) (DropoutResult, error) {
+	opts.applyDefaults()
+	res := DropoutResult{Rates: DropoutRates}
+
+	for _, rate := range DropoutRates {
+		runOne := func(method simulation.Method) (errMean, costMean float64, err error) {
+			type point struct{ err, cost float64 }
+			pts, err := runSeeds(opts, func(seed int64) (point, error) {
+				ds, err := makeDataset("synthetic", opts.Seed, 0)
+				if err != nil {
+					return point{}, err
+				}
+				cfg, err := simConfig(ds, method, seed, opts)
+				if err != nil {
+					return point{}, err
+				}
+				cfg.Observation = dataset.ObservationModel{DropoutRate: rate}
+				run, err := simulation.Run(ds, cfg)
+				if err != nil {
+					return point{}, err
+				}
+				return point{err: run.OverallError, cost: run.TotalCost}, nil
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			for _, pt := range pts {
+				errMean += pt.err
+				costMean += pt.cost
+			}
+			n := float64(len(pts))
+			return errMean / n, costMean / n, nil
+		}
+
+		e, _, err := runOne(simulation.MethodETA2)
+		if err != nil {
+			return DropoutResult{}, fmt.Errorf("experiments: dropout rate=%.2f eta2: %w", rate, err)
+		}
+		res.ETA2Error = append(res.ETA2Error, e)
+
+		e, c, err := runOne(simulation.MethodETA2MC)
+		if err != nil {
+			return DropoutResult{}, fmt.Errorf("experiments: dropout rate=%.2f eta2-mc: %w", rate, err)
+		}
+		res.MCError = append(res.MCError, e)
+		res.MCCost = append(res.MCCost, c)
+	}
+	return res, nil
+}
+
+// Render prints error and cost vs dropout rate.
+func (r DropoutResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Extension: resilience to non-responsive users (synthetic)\n")
+	b.WriteString(cell(20, "dropout rate"))
+	for _, rate := range r.Rates {
+		fmt.Fprintf(&b, "%8.0f%%", 100*rate)
+	}
+	b.WriteString("\n")
+	b.WriteString(cell(20, "ETA2 error"))
+	for _, e := range r.ETA2Error {
+		fmt.Fprintf(&b, "%9.4f", e)
+	}
+	b.WriteString("\n")
+	b.WriteString(cell(20, "ETA2-mc error"))
+	for _, e := range r.MCError {
+		fmt.Fprintf(&b, "%9.4f", e)
+	}
+	b.WriteString("\n")
+	b.WriteString(cell(20, "ETA2-mc cost"))
+	for _, c := range r.MCCost {
+		fmt.Fprintf(&b, "%9.0f", c)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

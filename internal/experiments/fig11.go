@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"eta2/internal/simulation"
+)
+
+// Fig11Result holds the expertise-estimation accuracy study of Figure 11.
+type Fig11Result struct {
+	Taus  []float64
+	Error []float64
+}
+
+// Fig11 reproduces Figure 11: the error of ETA²'s user-expertise estimates
+// on the synthetic dataset (the only one whose true expertise is known), as
+// the average processing capability varies. The error is the mean absolute
+// difference between estimated and generator expertise over the (user,
+// domain) pairs with observed evidence.
+func Fig11(opts Options) (Fig11Result, error) {
+	opts.applyDefaults()
+	res := Fig11Result{Taus: Fig6Taus}
+	for _, tau := range Fig6Taus {
+		mean, err := averageRuns(opts, func(seed int64) (float64, error) {
+			ds, err := makeDataset("synthetic", opts.Seed, tau)
+			if err != nil {
+				return 0, err
+			}
+			cfg, err := simConfig(ds, simulation.MethodETA2, seed, opts)
+			if err != nil {
+				return 0, err
+			}
+			run, err := simulation.Run(ds, cfg)
+			if err != nil {
+				return 0, err
+			}
+			return run.ExpertiseError, nil
+		})
+		if err != nil {
+			return Fig11Result{}, fmt.Errorf("experiments: fig11 τ=%g: %w", tau, err)
+		}
+		res.Error = append(res.Error, mean)
+	}
+	return res, nil
+}
+
+// Render prints expertise error vs τ.
+func (r Fig11Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 11 (synthetic): expertise estimation error vs processing capability\n")
+	b.WriteString(cell(16, "tau"))
+	for _, t := range r.Taus {
+		fmt.Fprintf(&b, "%8.0f", t)
+	}
+	b.WriteString("\n")
+	b.WriteString(cell(16, "expertise err"))
+	for _, e := range r.Error {
+		fmt.Fprintf(&b, "%8.4f", e)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"eta2/internal/simulation"
+	"eta2/internal/stats"
+)
+
+// Fig12Result holds the MLE convergence study of Figure 12: the CDF of the
+// number of fixed-point iterations until the truth estimates converge.
+type Fig12Result struct {
+	Datasets []string
+	// Iterations are the CDF evaluation points.
+	Iterations []float64
+	// CDF[d][i] is dataset d's fraction of estimation processes converging
+	// within Iterations[i] iterations.
+	CDF [][]float64
+}
+
+// Fig12 reproduces Figure 12: across all three datasets, the cumulative
+// distribution of the iterations the expertise-aware MLE needs to converge.
+func Fig12(opts Options) (Fig12Result, error) {
+	opts.applyDefaults()
+	res := Fig12Result{
+		Datasets:   DatasetNames,
+		Iterations: []float64{1, 2, 3, 5, 10, 20, 30, 40, 60},
+	}
+	for _, name := range DatasetNames {
+		perRun, err := runSeeds(opts, func(seed int64) ([]float64, error) {
+			ds, err := makeDataset(name, opts.Seed, 0)
+			if err != nil {
+				return nil, err
+			}
+			cfg, err := simConfig(ds, simulation.MethodETA2, seed, opts)
+			if err != nil {
+				return nil, err
+			}
+			run, err := simulation.Run(ds, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig12 %s: %w", name, err)
+			}
+			out := make([]float64, 0, len(run.MLEIterations))
+			for _, it := range run.MLEIterations {
+				out = append(out, float64(it))
+			}
+			return out, nil
+		})
+		if err != nil {
+			return Fig12Result{}, err
+		}
+		var iters []float64
+		for _, r := range perRun {
+			iters = append(iters, r...)
+		}
+		res.CDF = append(res.CDF, stats.ECDF(iters, res.Iterations))
+	}
+	return res, nil
+}
+
+// Render prints the convergence CDF, one row per dataset.
+func (r Fig12Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 12: CDF of MLE iterations to convergence\n")
+	b.WriteString(cell(14, "iterations"))
+	for _, it := range r.Iterations {
+		fmt.Fprintf(&b, "%8.0f", it)
+	}
+	b.WriteString("\n")
+	for d, name := range r.Datasets {
+		b.WriteString(cell(14, "%s", name))
+		for _, v := range r.CDF[d] {
+			fmt.Fprintf(&b, "%8.2f", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"eta2/internal/simulation"
+)
+
+// Fig4Point is one (α, γ) grid point of the parameter study.
+type Fig4Point struct {
+	Alpha float64
+	Gamma float64
+	Error float64
+}
+
+// Fig4Result holds the estimation-error surface of Figure 4 for one
+// dataset. For the synthetic dataset (pre-known domains) γ is unused and a
+// single γ=0 column is produced, matching Fig. 4(c) being a 2-D curve.
+type Fig4Result struct {
+	Dataset string
+	Points  []Fig4Point
+	// Best is the grid point with the lowest error.
+	Best Fig4Point
+}
+
+// Fig4Alphas and Fig4Gammas are the grids swept (the paper sweeps
+// α, γ ∈ [0, 1]).
+var (
+	Fig4Alphas = []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	Fig4Gammas = []float64{0.3, 0.4, 0.5, 0.6, 0.7}
+)
+
+// Fig4 reproduces Figure 4 for one dataset: the estimation error of ETA²
+// under different (α, γ) settings.
+func Fig4(name string, opts Options) (Fig4Result, error) {
+	opts.applyDefaults()
+	ds0, err := makeDataset(name, opts.Seed, 0)
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	gammas := Fig4Gammas
+	if ds0.DomainsKnown {
+		gammas = []float64{0}
+	}
+
+	res := Fig4Result{Dataset: name, Best: Fig4Point{Error: -1}}
+	for _, alpha := range Fig4Alphas {
+		for _, gamma := range gammas {
+			errMean, err := averageRuns(opts, func(seed int64) (float64, error) {
+				ds, err := makeDataset(name, opts.Seed, 0)
+				if err != nil {
+					return 0, err
+				}
+				cfg, err := simConfig(ds, simulation.MethodETA2, seed, opts)
+				if err != nil {
+					return 0, err
+				}
+				cfg.Alpha = alpha
+				cfg.Gamma = gamma
+				run, err := simulation.Run(ds, cfg)
+				if err != nil {
+					return 0, err
+				}
+				return run.OverallError, nil
+			})
+			if err != nil {
+				return Fig4Result{}, fmt.Errorf("experiments: fig4 %s α=%.1f γ=%.1f: %w", name, alpha, gamma, err)
+			}
+			p := Fig4Point{Alpha: alpha, Gamma: gamma, Error: errMean}
+			res.Points = append(res.Points, p)
+			if res.Best.Error < 0 || p.Error < res.Best.Error {
+				res.Best = p
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints the error surface as an α×γ grid.
+func (r Fig4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 (%s): estimation error vs (alpha, gamma)\n", r.Dataset)
+	gammas := uniqueGammas(r.Points)
+	b.WriteString(cell(8, "a\\g"))
+	for _, g := range gammas {
+		fmt.Fprintf(&b, "%8.2f", g)
+	}
+	b.WriteString("\n")
+	for _, a := range uniqueAlphas(r.Points) {
+		fmt.Fprintf(&b, "%-8.2f", a)
+		for _, g := range gammas {
+			fmt.Fprintf(&b, "%8.4f", lookupFig4(r.Points, a, g))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "best: alpha=%.2f gamma=%.2f error=%.4f\n", r.Best.Alpha, r.Best.Gamma, r.Best.Error)
+	return b.String()
+}
+
+func uniqueAlphas(ps []Fig4Point) []float64 {
+	var out []float64
+	seen := map[float64]bool{}
+	for _, p := range ps {
+		if !seen[p.Alpha] {
+			seen[p.Alpha] = true
+			out = append(out, p.Alpha)
+		}
+	}
+	return out
+}
+
+func uniqueGammas(ps []Fig4Point) []float64 {
+	var out []float64
+	seen := map[float64]bool{}
+	for _, p := range ps {
+		if !seen[p.Gamma] {
+			seen[p.Gamma] = true
+			out = append(out, p.Gamma)
+		}
+	}
+	return out
+}
+
+func lookupFig4(ps []Fig4Point, a, g float64) float64 {
+	for _, p := range ps {
+		if p.Alpha == a && p.Gamma == g {
+			return p.Error
+		}
+	}
+	return 0
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"eta2/internal/simulation"
+	"eta2/internal/stats"
+)
+
+// Fig5Methods are the approaches compared in Figures 5 and 6, in the
+// paper's legend order.
+var Fig5Methods = []simulation.Method{
+	simulation.MethodETA2,
+	simulation.MethodHubsAuthorities,
+	simulation.MethodAverageLog,
+	simulation.MethodTruthFinder,
+	simulation.MethodBaseline,
+}
+
+// Fig5Result holds the per-day estimation error of every method for one
+// dataset.
+type Fig5Result struct {
+	Dataset string
+	Methods []simulation.Method
+	// Error[m][d] is method m's mean estimation error on day d.
+	Error [][]float64
+}
+
+// Fig5 reproduces Figure 5 for one dataset: estimation error per day for
+// ETA² and the four comparison approaches.
+func Fig5(name string, opts Options) (Fig5Result, error) {
+	opts.applyDefaults()
+	res := Fig5Result{Dataset: name, Methods: Fig5Methods}
+	for _, method := range Fig5Methods {
+		runs, err := runSeeds(opts, func(seed int64) ([]float64, error) {
+			ds, err := makeDataset(name, opts.Seed, 0)
+			if err != nil {
+				return nil, err
+			}
+			cfg, err := simConfig(ds, method, seed, opts)
+			if err != nil {
+				return nil, err
+			}
+			run, err := simulation.Run(ds, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig5 %s %v: %w", name, method, err)
+			}
+			perDay := make([]float64, 0, len(run.Days))
+			for _, m := range run.Days {
+				perDay = append(perDay, m.Error)
+			}
+			return perDay, nil
+		})
+		if err != nil {
+			return Fig5Result{}, err
+		}
+		series := make([]float64, opts.Days)
+		for d := range series {
+			var vals []float64
+			for _, perDay := range runs {
+				if d < len(perDay) {
+					vals = append(vals, perDay[d])
+				}
+			}
+			series[d] = stats.Mean(vals)
+		}
+		res.Error = append(res.Error, series)
+	}
+	return res, nil
+}
+
+// Render prints one row per method with its per-day error series.
+func (r Fig5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 (%s): estimation error per day\n", r.Dataset)
+	b.WriteString(cell(24, "method"))
+	for d := range r.Error[0] {
+		fmt.Fprintf(&b, "    day%d", d)
+	}
+	b.WriteString("\n")
+	for i, m := range r.Methods {
+		b.WriteString(cell(24, "%v", m))
+		for _, e := range r.Error[i] {
+			fmt.Fprintf(&b, "%8.4f", e)
+		}
+		b.WriteString("\n")
+	}
+	x := make([]float64, len(r.Error[0]))
+	for d := range x {
+		x[d] = float64(d)
+	}
+	chart := newLineChart("", "day", x)
+	for i, m := range r.Methods {
+		chart.add(fmt.Sprint(m), r.Error[i])
+	}
+	b.WriteString(chart.render(48, 10))
+	return b.String()
+}

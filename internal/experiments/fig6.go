@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"eta2/internal/simulation"
+)
+
+// Fig6Taus is the processing-capability sweep of Figures 6, 9, 10 and 11.
+var Fig6Taus = []float64{4, 8, 12, 16, 20}
+
+// Fig6Result holds estimation error vs average processing capability for
+// every method on one dataset.
+type Fig6Result struct {
+	Dataset string
+	Taus    []float64
+	Methods []simulation.Method
+	// Error[m][t] is method m's overall error at capability Taus[t].
+	Error [][]float64
+}
+
+// Fig6 reproduces Figure 6 for one dataset: estimation error as the average
+// processing capability τ varies.
+func Fig6(name string, opts Options) (Fig6Result, error) {
+	opts.applyDefaults()
+	res := Fig6Result{Dataset: name, Taus: Fig6Taus, Methods: Fig5Methods}
+	for _, method := range Fig5Methods {
+		series := make([]float64, len(Fig6Taus))
+		for ti, tau := range Fig6Taus {
+			mean, err := averageRuns(opts, func(seed int64) (float64, error) {
+				ds, err := makeDataset(name, opts.Seed, tau)
+				if err != nil {
+					return 0, err
+				}
+				cfg, err := simConfig(ds, method, seed, opts)
+				if err != nil {
+					return 0, err
+				}
+				run, err := simulation.Run(ds, cfg)
+				if err != nil {
+					return 0, err
+				}
+				return run.OverallError, nil
+			})
+			if err != nil {
+				return Fig6Result{}, fmt.Errorf("experiments: fig6 %s %v τ=%g: %w", name, method, tau, err)
+			}
+			series[ti] = mean
+		}
+		res.Error = append(res.Error, series)
+	}
+	return res, nil
+}
+
+// Render prints one row per method with its error at each τ.
+func (r Fig6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6 (%s): estimation error vs processing capability\n", r.Dataset)
+	b.WriteString(cell(24, "method \\ tau"))
+	for _, t := range r.Taus {
+		fmt.Fprintf(&b, "%8.0f", t)
+	}
+	b.WriteString("\n")
+	for i, m := range r.Methods {
+		b.WriteString(cell(24, "%v", m))
+		for _, e := range r.Error[i] {
+			fmt.Fprintf(&b, "%8.4f", e)
+		}
+		b.WriteString("\n")
+	}
+	chart := newLineChart("", "tau", r.Taus)
+	for i, m := range r.Methods {
+		chart.add(fmt.Sprint(m), r.Error[i])
+	}
+	b.WriteString(chart.render(48, 10))
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"eta2/internal/simulation"
+	"eta2/internal/stats"
+)
+
+// Fig7Bucket is one expertise bucket of the Figure 7 boxplot.
+type Fig7Bucket struct {
+	// Lo and Hi delimit the (estimated) expertise range of the bucket.
+	Lo, Hi float64
+	// Box is the five-number summary of the normalized observation errors
+	// made by users whose expertise falls in the bucket.
+	Box stats.BoxPlot
+}
+
+// Fig7Result holds the observation-error-vs-expertise boxplots for one
+// dataset.
+type Fig7Result struct {
+	Dataset string
+	Buckets []Fig7Bucket
+}
+
+// Fig7 reproduces Figure 7 for one dataset: how user expertise (as
+// estimated by ETA²) relates to the error of the data the user reports.
+// Observation errors |x_ij − μ_j| / σ_j (generator truth and base) are
+// grouped by the observer's estimated expertise in the task's domain.
+func Fig7(name string, opts Options) (Fig7Result, error) {
+	opts.applyDefaults()
+	edges := []float64{0, 0.5, 1, 1.5, 2, 2.5, 3}
+	samples := make([][]float64, len(edges)) // last bucket is open-ended
+
+	for r := 0; r < opts.Runs; r++ {
+		seed := opts.Seed + int64(r)
+		ds, err := makeDataset(name, opts.Seed, 0)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		cfg, err := simConfig(ds, simulation.MethodETA2, seed, opts)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		cfg.KeepObservations = true
+		run, err := simulation.Run(ds, cfg)
+		if err != nil {
+			return Fig7Result{}, fmt.Errorf("experiments: fig7 %s: %w", name, err)
+		}
+		for _, o := range run.Observations {
+			t := ds.Tasks[int(o.Task)]
+			if t.Base <= 0 {
+				continue
+			}
+			obsErr := math.Abs(o.Value-t.Truth) / t.Base
+			exp := run.EstimatedExpertiseOf(o.User, o.Task)
+			b := bucketIndex(edges, exp)
+			samples[b] = append(samples[b], obsErr)
+		}
+	}
+
+	res := Fig7Result{Dataset: name}
+	for i := range samples {
+		if len(samples[i]) == 0 {
+			continue
+		}
+		hi := math.Inf(1)
+		if i+1 < len(edges) {
+			hi = edges[i+1]
+		}
+		res.Buckets = append(res.Buckets, Fig7Bucket{
+			Lo:  edges[i],
+			Hi:  hi,
+			Box: stats.NewBoxPlot(samples[i]),
+		})
+	}
+	return res, nil
+}
+
+func bucketIndex(edges []float64, v float64) int {
+	for i := len(edges) - 1; i >= 0; i-- {
+		if v >= edges[i] {
+			return i
+		}
+	}
+	return 0
+}
+
+// Render prints one row per expertise bucket with its five-number summary.
+func (r Fig7Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 (%s): observation error vs estimated user expertise\n", r.Dataset)
+	fmt.Fprintf(&b, "%-14s%8s%8s%8s%8s%8s%8s\n", "expertise", "n", "min", "q1", "median", "q3", "max")
+	for _, bk := range r.Buckets {
+		label := fmt.Sprintf("[%.1f,%.1f)", bk.Lo, bk.Hi)
+		if math.IsInf(bk.Hi, 1) {
+			label = fmt.Sprintf("[%.1f,inf)", bk.Lo)
+		}
+		fmt.Fprintf(&b, "%-14s%8d%8.3f%8.3f%8.3f%8.3f%8.3f\n",
+			label, bk.Box.N, bk.Box.Min, bk.Box.Q1, bk.Box.Median, bk.Box.Q3, bk.Box.Max)
+	}
+	return b.String()
+}

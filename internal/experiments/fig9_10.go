@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"eta2/internal/simulation"
+	"eta2/internal/stats"
+)
+
+// Fig9Budgets are the per-iteration cost caps c° tested for ETA²-mc.
+var Fig9Budgets = []float64{40, 80, 160}
+
+// Fig9And10Result holds estimation error (Figure 9) and task-allocation
+// cost (Figure 10) for ETA² and ETA²-mc across processing capabilities.
+type Fig9And10Result struct {
+	Dataset string
+	Taus    []float64
+	// Series labels each row: "ETA2" or "ETA2-mc c°=…".
+	Series []string
+	// Error[s][t] and Cost[s][t] are series s's values at Taus[t].
+	Error [][]float64
+	Cost  [][]float64
+	// EpsBar is the quality requirement ε̄ shown for reference in Fig. 9.
+	EpsBar float64
+}
+
+// Fig9And10 reproduces Figures 9 and 10 for one dataset: ETA² vs ETA²-mc
+// (at several per-iteration budgets) in estimation error and allocation
+// cost, sweeping the average processing capability.
+func Fig9And10(name string, opts Options) (Fig9And10Result, error) {
+	opts.applyDefaults()
+	res := Fig9And10Result{Dataset: name, Taus: Fig6Taus, EpsBar: 0.5}
+
+	type variant struct {
+		label  string
+		method simulation.Method
+		budget float64
+	}
+	variants := []variant{{label: "ETA2", method: simulation.MethodETA2}}
+	for _, c0 := range Fig9Budgets {
+		variants = append(variants, variant{
+			label:  fmt.Sprintf("ETA2-mc c0=%.0f", c0),
+			method: simulation.MethodETA2MC,
+			budget: c0,
+		})
+	}
+
+	for _, v := range variants {
+		errSeries := make([]float64, len(res.Taus))
+		costSeries := make([]float64, len(res.Taus))
+		for ti, tau := range res.Taus {
+			type point struct{ err, cost float64 }
+			pts, err := runSeeds(opts, func(seed int64) (point, error) {
+				ds, err := makeDataset(name, opts.Seed, tau)
+				if err != nil {
+					return point{}, err
+				}
+				cfg, err := simConfig(ds, v.method, seed, opts)
+				if err != nil {
+					return point{}, err
+				}
+				cfg.IterBudget = v.budget
+				cfg.EpsBar = res.EpsBar
+				run, err := simulation.Run(ds, cfg)
+				if err != nil {
+					return point{}, fmt.Errorf("experiments: fig9/10 %s %s τ=%g: %w", name, v.label, tau, err)
+				}
+				return point{err: run.OverallError, cost: run.TotalCost}, nil
+			})
+			if err != nil {
+				return Fig9And10Result{}, err
+			}
+			var errs, costs []float64
+			for _, pt := range pts {
+				errs = append(errs, pt.err)
+				costs = append(costs, pt.cost)
+			}
+			errSeries[ti] = stats.Mean(errs)
+			costSeries[ti] = stats.Mean(costs)
+		}
+		res.Series = append(res.Series, v.label)
+		res.Error = append(res.Error, errSeries)
+		res.Cost = append(res.Cost, costSeries)
+	}
+	return res, nil
+}
+
+// Render prints the error table (Fig. 9) followed by the cost table
+// (Fig. 10).
+func (r Fig9And10Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9 (%s): estimation error, ETA2 vs ETA2-mc (quality bound=%.2f)\n", r.Dataset, r.EpsBar)
+	b.WriteString(cell(20, "series \\ tau"))
+	for _, t := range r.Taus {
+		fmt.Fprintf(&b, "%9.0f", t)
+	}
+	b.WriteString("\n")
+	for i, s := range r.Series {
+		b.WriteString(cell(20, "%s", s))
+		for _, e := range r.Error[i] {
+			fmt.Fprintf(&b, "%9.4f", e)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "Figure 10 (%s): task allocation cost\n", r.Dataset)
+	b.WriteString(cell(20, "series \\ tau"))
+	for _, t := range r.Taus {
+		fmt.Fprintf(&b, "%9.0f", t)
+	}
+	b.WriteString("\n")
+	for i, s := range r.Series {
+		b.WriteString(cell(20, "%s", s))
+		for _, c := range r.Cost[i] {
+			fmt.Fprintf(&b, "%9.0f", c)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

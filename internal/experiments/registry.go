@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Runner is a named, self-contained experiment that renders its report as
+// text.
+type Runner struct {
+	// ID is the registry key ("fig5", "table1", "ablation-decay", …).
+	ID string
+	// Title summarizes what the experiment reproduces.
+	Title string
+	// Run executes the experiment.
+	Run func(Options) (string, error)
+}
+
+// Registry returns every experiment, in the paper's order, followed by the
+// design-choice ablations.
+func Registry() []Runner {
+	return []Runner{
+		{
+			ID:    "fig2",
+			Title: "Figure 2: observation-error distribution vs standard normal",
+			Run: func(o Options) (string, error) {
+				r, err := Fig2(o)
+				if err != nil {
+					return "", err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "table1",
+			Title: "Table 1: chi-square normality non-rejection rates",
+			Run: func(o Options) (string, error) {
+				r, err := Table1(o)
+				if err != nil {
+					return "", err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "fig4",
+			Title: "Figure 4: estimation error vs (alpha, gamma), all datasets",
+			Run: func(o Options) (string, error) {
+				return renderPerDataset(DatasetNames, func(name string) (renderer, error) {
+					r, err := Fig4(name, o)
+					return r, err
+				})
+			},
+		},
+		{
+			ID:    "fig5",
+			Title: "Figure 5: estimation error per day, ETA2 vs baselines",
+			Run: func(o Options) (string, error) {
+				return renderPerDataset(DatasetNames, func(name string) (renderer, error) {
+					r, err := Fig5(name, o)
+					return r, err
+				})
+			},
+		},
+		{
+			ID:    "fig6",
+			Title: "Figure 6: estimation error vs processing capability",
+			Run: func(o Options) (string, error) {
+				return renderPerDataset(DatasetNames, func(name string) (renderer, error) {
+					r, err := Fig6(name, o)
+					return r, err
+				})
+			},
+		},
+		{
+			ID:    "fig7",
+			Title: "Figure 7: observation error vs user expertise (boxplots)",
+			Run: func(o Options) (string, error) {
+				return renderPerDataset([]string{"survey", "sfv"}, func(name string) (renderer, error) {
+					r, err := Fig7(name, o)
+					return r, err
+				})
+			},
+		},
+		{
+			ID:    "fig8",
+			Title: "Figure 8: robustness to non-normal observations",
+			Run: func(o Options) (string, error) {
+				r, err := Fig8(o)
+				if err != nil {
+					return "", err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "fig9",
+			Title: "Figures 9 & 10: ETA2 vs ETA2-mc, error and cost",
+			Run: func(o Options) (string, error) {
+				return renderPerDataset(DatasetNames, func(name string) (renderer, error) {
+					r, err := Fig9And10(name, o)
+					return r, err
+				})
+			},
+		},
+		{
+			ID:    "fig11",
+			Title: "Figure 11: expertise estimation error vs capability",
+			Run: func(o Options) (string, error) {
+				r, err := Fig11(o)
+				if err != nil {
+					return "", err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "fig12",
+			Title: "Figure 12: CDF of MLE convergence iterations",
+			Run: func(o Options) (string, error) {
+				r, err := Fig12(o)
+				if err != nil {
+					return "", err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "table2",
+			Title: "Table 2: users per task under max-quality allocation",
+			Run: func(o Options) (string, error) {
+				return renderPerDataset([]string{"synthetic"}, func(name string) (renderer, error) {
+					r, err := Table2(name, o)
+					return r, err
+				})
+			},
+		},
+		{
+			ID:    "ablation-secondpass",
+			Title: "Ablation: greedy second pass under heavy-tailed task sizes",
+			Run: func(o Options) (string, error) {
+				r, err := AblationSecondPass(o)
+				if err != nil {
+					return "", err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "ablation-expertise",
+			Title: "Ablation: per-domain expertise vs global reliability",
+			Run: func(o Options) (string, error) {
+				r, err := AblationExpertiseAware(o)
+				if err != nil {
+					return "", err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "ablation-pairword",
+			Title: "Ablation: pair-word embeddings vs bag-of-words clustering",
+			Run: func(o Options) (string, error) {
+				r, err := AblationPairWord(o)
+				if err != nil {
+					return "", err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "ext-adversarial",
+			Title: "Extension: robustness to colluding users",
+			Run: func(o Options) (string, error) {
+				r, err := Adversarial(o)
+				if err != nil {
+					return "", err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "ext-dropout",
+			Title: "Extension: resilience to non-responsive users",
+			Run: func(o Options) (string, error) {
+				r, err := Dropout(o)
+				if err != nil {
+					return "", err
+				}
+				return r.Render(), nil
+			},
+		},
+		{
+			ID:    "ablation-decay",
+			Title: "Ablation: decay factor under expertise drift",
+			Run: func(o Options) (string, error) {
+				r, err := AblationDecay(o)
+				if err != nil {
+					return "", err
+				}
+				return r.Render(), nil
+			},
+		},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Runner, bool) {
+	for _, r := range Registry() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+type renderer interface{ Render() string }
+
+// renderPerDataset runs a per-dataset experiment for each name and joins
+// the reports.
+func renderPerDataset(names []string, fn func(name string) (renderer, error)) (string, error) {
+	var b strings.Builder
+	for _, name := range names {
+		r, err := fn(name)
+		if err != nil {
+			return "", fmt.Errorf("dataset %s: %w", name, err)
+		}
+		b.WriteString(r.Render())
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import "fmt"
+
+// RunTyped executes an experiment by ID and returns its structured result
+// (the same typed structs the Render methods print), for machine-readable
+// output such as eta2bench -format json. Per-dataset experiments return a
+// map from dataset name to result.
+func RunTyped(id string, opts Options) (interface{}, error) {
+	switch id {
+	case "fig2":
+		return Fig2(opts)
+	case "table1":
+		return Table1(opts)
+	case "fig4":
+		return perDatasetTyped(DatasetNames, func(name string) (interface{}, error) {
+			return Fig4(name, opts)
+		})
+	case "fig5":
+		return perDatasetTyped(DatasetNames, func(name string) (interface{}, error) {
+			return Fig5(name, opts)
+		})
+	case "fig6":
+		return perDatasetTyped(DatasetNames, func(name string) (interface{}, error) {
+			return Fig6(name, opts)
+		})
+	case "fig7":
+		return perDatasetTyped([]string{"survey", "sfv"}, func(name string) (interface{}, error) {
+			return Fig7(name, opts)
+		})
+	case "fig8":
+		return Fig8(opts)
+	case "fig9":
+		return perDatasetTyped(DatasetNames, func(name string) (interface{}, error) {
+			return Fig9And10(name, opts)
+		})
+	case "fig11":
+		return Fig11(opts)
+	case "fig12":
+		return Fig12(opts)
+	case "table2":
+		return Table2("synthetic", opts)
+	case "ablation-secondpass":
+		return AblationSecondPass(opts)
+	case "ablation-expertise":
+		return AblationExpertiseAware(opts)
+	case "ablation-pairword":
+		return AblationPairWord(opts)
+	case "ablation-decay":
+		return AblationDecay(opts)
+	case "ext-adversarial":
+		return Adversarial(opts)
+	case "ext-dropout":
+		return Dropout(opts)
+	default:
+		return nil, fmt.Errorf("experiments: no typed runner for %q", id)
+	}
+}
+
+func perDatasetTyped(names []string, fn func(name string) (interface{}, error)) (interface{}, error) {
+	out := make(map[string]interface{}, len(names))
+	for _, name := range names {
+		r, err := fn(name)
+		if err != nil {
+			return nil, fmt.Errorf("dataset %s: %w", name, err)
+		}
+		out[name] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,45 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"eta2"
+)
+
+// FuzzHandlerBodies throws arbitrary bytes at every POST endpoint: the
+// server must never panic and must always answer with a well-formed status.
+func FuzzHandlerBodies(f *testing.F) {
+	f.Add("/v1/users", `{"users":[{"id":1,"capacity":4}]}`)
+	f.Add("/v1/tasks", `{"tasks":[{"description":"x","proc_time":1,"domain_hint":1}]}`)
+	f.Add("/v1/observations", `{"observations":[{"task":0,"user":0,"value":1}]}`)
+	f.Add("/v1/users", `{`)
+	f.Add("/v1/tasks", `null`)
+	f.Add("/v1/observations", `[1,2,3]`)
+	f.Add("/v1/users", "\x00\xff")
+
+	srv, err := eta2.NewServer()
+	if err != nil {
+		f.Fatal(err)
+	}
+	handler := New(srv)
+
+	f.Fuzz(func(t *testing.T, path, body string) {
+		switch path {
+		case "/v1/users", "/v1/tasks", "/v1/observations":
+		default:
+			return
+		}
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code < 200 || rec.Code > 599 {
+			t.Fatalf("invalid status %d", rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content type %q", ct)
+		}
+	})
+}

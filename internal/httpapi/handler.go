@@ -1,0 +1,352 @@
+// Package httpapi exposes an eta2.Server as a JSON-over-HTTP crowdsourcing
+// service: the deployment shape the paper's system diagram implies, with
+// mobile clients submitting observations to a central server that clusters
+// tasks, allocates them, and publishes truth estimates.
+//
+// The API is versioned under /v1 and uses plain JSON request/response
+// bodies. All handlers are safe for concurrent use: the underlying
+// eta2.Server is guarded by a single mutex, which is ample for the request
+// rates a crowdsourcing control plane sees (allocation and truth analysis
+// are the expensive operations and run at time-step granularity).
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"eta2"
+)
+
+// Handler serves the ETA² HTTP API.
+type Handler struct {
+	mu     sync.Mutex
+	server *eta2.Server
+	mux    *http.ServeMux
+}
+
+var _ http.Handler = (*Handler)(nil)
+
+// New wraps an eta2.Server in the HTTP API.
+func New(server *eta2.Server) *Handler {
+	h := &Handler{server: server, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/v1/healthz", h.handleHealth)
+	h.mux.HandleFunc("/v1/users", h.handleUsers)
+	h.mux.HandleFunc("/v1/tasks", h.handleTasks)
+	h.mux.HandleFunc("/v1/allocate/max-quality", h.handleAllocateMaxQuality)
+	h.mux.HandleFunc("/v1/observations", h.handleObservations)
+	h.mux.HandleFunc("/v1/step/close", h.handleCloseStep)
+	h.mux.HandleFunc("/v1/truth", h.handleTruth)
+	h.mux.HandleFunc("/v1/expertise", h.handleExpertise)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// ---- wire types ----
+
+// UserJSON is the wire form of a user.
+type UserJSON struct {
+	ID       int     `json:"id"`
+	Capacity float64 `json:"capacity"`
+}
+
+// TaskSpecJSON is the wire form of a task specification.
+type TaskSpecJSON struct {
+	Description string  `json:"description"`
+	ProcTime    float64 `json:"proc_time"`
+	Cost        float64 `json:"cost,omitempty"`
+	DomainHint  int     `json:"domain_hint,omitempty"`
+}
+
+// PairJSON is the wire form of an allocation decision.
+type PairJSON struct {
+	User int `json:"user"`
+	Task int `json:"task"`
+}
+
+// ObservationJSON is the wire form of a reported value.
+type ObservationJSON struct {
+	Task  int     `json:"task"`
+	User  int     `json:"user"`
+	Value float64 `json:"value"`
+}
+
+// TruthJSON is the wire form of a truth estimate.
+type TruthJSON struct {
+	Task         int     `json:"task"`
+	Value        float64 `json:"value"`
+	Base         float64 `json:"base"`
+	Observations int     `json:"observations"`
+}
+
+// StepReportJSON is the wire form of a closed time step.
+type StepReportJSON struct {
+	Day           int         `json:"day"`
+	Estimates     []TruthJSON `json:"estimates"`
+	MLEIterations int         `json:"mle_iterations"`
+	Converged     bool        `json:"converged"`
+	NewDomains    []int       `json:"new_domains,omitempty"`
+	MergedDomains int         `json:"merged_domains,omitempty"`
+}
+
+// errorJSON is the error envelope every failure returns.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// ---- handlers ----
+
+func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	h.mu.Lock()
+	day := h.server.Day()
+	users := h.server.NumUsers()
+	h.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status": "ok",
+		"day":    day,
+		"users":  users,
+	})
+}
+
+func (h *Handler) handleUsers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var req struct {
+		Users []UserJSON `json:"users"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	users := make([]eta2.User, 0, len(req.Users))
+	for _, u := range req.Users {
+		users = append(users, eta2.User{ID: eta2.UserID(u.ID), Capacity: u.Capacity})
+	}
+	h.mu.Lock()
+	err := h.server.AddUsers(users...)
+	n := h.server.NumUsers()
+	h.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"total_users": n})
+}
+
+func (h *Handler) handleTasks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var req struct {
+		Tasks []TaskSpecJSON `json:"tasks"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	specs := make([]eta2.TaskSpec, 0, len(req.Tasks))
+	for _, t := range req.Tasks {
+		specs = append(specs, eta2.TaskSpec{
+			Description: t.Description,
+			ProcTime:    t.ProcTime,
+			Cost:        t.Cost,
+			DomainHint:  eta2.DomainID(t.DomainHint),
+		})
+	}
+	h.mu.Lock()
+	ids, err := h.server.CreateTasks(specs...)
+	h.mu.Unlock()
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, eta2.ErrNoEmbedder) {
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, err)
+		return
+	}
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	writeJSON(w, http.StatusOK, map[string][]int{"ids": out})
+}
+
+func (h *Handler) handleAllocateMaxQuality(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	h.mu.Lock()
+	alloc, err := h.server.AllocateMaxQuality()
+	h.mu.Unlock()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, eta2.ErrNothingToAllocate) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	pairs := make([]PairJSON, 0, alloc.Len())
+	for _, p := range alloc.Pairs {
+		pairs = append(pairs, PairJSON{User: int(p.User), Task: int(p.Task)})
+	}
+	writeJSON(w, http.StatusOK, map[string][]PairJSON{"pairs": pairs})
+}
+
+func (h *Handler) handleObservations(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var req struct {
+		Observations []ObservationJSON `json:"observations"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	obs := make([]eta2.Observation, 0, len(req.Observations))
+	for _, o := range req.Observations {
+		obs = append(obs, eta2.Observation{
+			Task:  eta2.TaskID(o.Task),
+			User:  eta2.UserID(o.User),
+			Value: o.Value,
+		})
+	}
+	h.mu.Lock()
+	err := h.server.SubmitObservations(obs...)
+	h.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": len(obs)})
+}
+
+func (h *Handler) handleCloseStep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	h.mu.Lock()
+	report, err := h.server.CloseTimeStep()
+	h.mu.Unlock()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, eta2.ErrNoObservations) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, stepReportJSON(report))
+}
+
+func (h *Handler) handleTruth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	id, err := strconv.Atoi(r.URL.Query().Get("task"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid task id: %w", err))
+		return
+	}
+	h.mu.Lock()
+	est, ok := h.server.Truth(eta2.TaskID(id))
+	h.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no estimate for task %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, TruthJSON{
+		Task:         int(est.Task),
+		Value:        est.Value,
+		Base:         est.Base,
+		Observations: est.Observations,
+	})
+}
+
+func (h *Handler) handleExpertise(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	user, err := strconv.Atoi(r.URL.Query().Get("user"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid user id: %w", err))
+		return
+	}
+	domain, err := strconv.Atoi(r.URL.Query().Get("domain"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid domain id: %w", err))
+		return
+	}
+	h.mu.Lock()
+	exp := h.server.ExpertiseInDomain(eta2.UserID(user), eta2.DomainID(domain))
+	h.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]float64{"expertise": exp})
+}
+
+// ---- helpers ----
+
+func stepReportJSON(report eta2.StepReport) StepReportJSON {
+	out := StepReportJSON{
+		Day:           report.Day,
+		MLEIterations: report.MLEIterations,
+		Converged:     report.Converged,
+		MergedDomains: report.MergedDomains,
+	}
+	for _, d := range report.NewDomains {
+		out.NewDomains = append(out.NewDomains, int(d))
+	}
+	for _, est := range report.Estimates {
+		out.Estimates = append(out.Estimates, TruthJSON{
+			Task:         int(est.Task),
+			Value:        est.Value,
+			Base:         est.Base,
+			Observations: est.Observations,
+		})
+	}
+	return out
+}
+
+// decode parses the JSON request body, replying 400 on failure.
+func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding of our own wire types cannot fail; ignore the error after
+	// headers are sent (nothing useful can be done).
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+func methodNotAllowed(w http.ResponseWriter, allowed string) {
+	w.Header().Set("Allow", allowed)
+	writeError(w, http.StatusMethodNotAllowed, errors.New("method not allowed"))
+}

@@ -1,0 +1,231 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"eta2"
+)
+
+func newTestServer(t *testing.T) (*Client, *httptest.Server) {
+	t.Helper()
+	srv, err := eta2.NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(srv))
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, ts.Client()), ts
+}
+
+func TestHealth(t *testing.T) {
+	client, _ := newTestServer(t)
+	if err := client.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullCrowdsourcingFlow(t *testing.T) {
+	client, _ := newTestServer(t)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(1))
+
+	users := make([]UserJSON, 6)
+	for i := range users {
+		users[i] = UserJSON{ID: i, Capacity: 8}
+	}
+	if err := client.AddUsers(ctx, users); err != nil {
+		t.Fatal(err)
+	}
+
+	const dom = 1
+	truths := map[int]float64{}
+	for day := 0; day < 3; day++ {
+		var specs []TaskSpecJSON
+		for j := 0; j < 8; j++ {
+			specs = append(specs, TaskSpecJSON{
+				Description: "sensor reading",
+				ProcTime:    1,
+				DomainHint:  dom,
+			})
+		}
+		ids, err := client.CreateTasks(ctx, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != 8 {
+			t.Fatalf("ids = %v", ids)
+		}
+		for _, id := range ids {
+			truths[id] = 10 + float64(id)
+		}
+
+		pairs, err := client.AllocateMaxQuality(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs) == 0 {
+			t.Fatal("empty allocation")
+		}
+		var obs []ObservationJSON
+		for _, p := range pairs {
+			sd := 0.2
+			if p.User > 0 {
+				sd = 3
+			}
+			obs = append(obs, ObservationJSON{
+				Task:  p.Task,
+				User:  p.User,
+				Value: truths[p.Task] + rng.NormFloat64()*sd,
+			})
+		}
+		if err := client.SubmitObservations(ctx, obs); err != nil {
+			t.Fatal(err)
+		}
+
+		report, err := client.CloseStep(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Day != day {
+			t.Errorf("day = %d, want %d", report.Day, day)
+		}
+		if len(report.Estimates) != 8 {
+			t.Errorf("estimates = %d", len(report.Estimates))
+		}
+	}
+
+	// Truth lookup for a day-1 task.
+	est, err := client.Truth(ctx, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Task != 9 || est.Observations == 0 {
+		t.Errorf("truth = %+v", est)
+	}
+
+	// Expertise lookup: user 0 (expert) must outrank user 1.
+	e0, err := client.Expertise(ctx, 0, dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := client.Expertise(ctx, 1, dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e0 <= e1 {
+		t.Errorf("expert expertise %.2f not above noise user %.2f", e0, e1)
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	client, ts := newTestServer(t)
+	ctx := context.Background()
+
+	// Allocation with nothing pending → 409.
+	_, err := client.AllocateMaxQuality(ctx)
+	wantStatus(t, err, http.StatusConflict)
+
+	// Close with no observations → 409.
+	_, err = client.CloseStep(ctx)
+	wantStatus(t, err, http.StatusConflict)
+
+	// Truth for unknown task → 404.
+	_, err = client.Truth(ctx, 99)
+	wantStatus(t, err, http.StatusNotFound)
+
+	// Invalid user → 400.
+	err = client.AddUsers(ctx, []UserJSON{{ID: -1, Capacity: 1}})
+	wantStatus(t, err, http.StatusBadRequest)
+
+	// Described task without embedder → 422.
+	_, err = client.CreateTasks(ctx, []TaskSpecJSON{{Description: "what is the noise", ProcTime: 1}})
+	wantStatus(t, err, http.StatusUnprocessableEntity)
+
+	// Observation for unknown task → 400.
+	err = client.SubmitObservations(ctx, []ObservationJSON{{Task: 42, User: 0, Value: 1}})
+	wantStatus(t, err, http.StatusBadRequest)
+
+	// Malformed body → 400.
+	resp, httpErr := ts.Client().Post(ts.URL+"/v1/users", "application/json", strings.NewReader("{not json"))
+	if httpErr != nil {
+		t.Fatal(httpErr)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d", resp.StatusCode)
+	}
+
+	// Wrong method → 405 with Allow header.
+	resp2, httpErr := ts.Client().Get(ts.URL + "/v1/users")
+	if httpErr != nil {
+		t.Fatal(httpErr)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("wrong method: status %d", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Allow") != http.MethodPost {
+		t.Errorf("Allow = %q", resp2.Header.Get("Allow"))
+	}
+
+	// Bad query parameters → 400.
+	_, err = client.Truth(ctx, -1) // parsed fine, but unknown → 404
+	wantStatus(t, err, http.StatusNotFound)
+	resp3, httpErr := ts.Client().Get(ts.URL + "/v1/truth?task=abc")
+	if httpErr != nil {
+		t.Fatal(httpErr)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad task param: status %d", resp3.StatusCode)
+	}
+}
+
+func wantStatus(t *testing.T, err error, status int) {
+	t.Helper()
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want APIError %d, got %v", status, err)
+	}
+	if apiErr.StatusCode != status {
+		t.Errorf("status = %d, want %d (%s)", apiErr.StatusCode, status, apiErr.Message)
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	client, _ := newTestServer(t)
+	ctx := context.Background()
+	if err := client.AddUsers(ctx, []UserJSON{{ID: 0, Capacity: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.CreateTasks(ctx, []TaskSpecJSON{{Description: "t", ProcTime: 1, DomainHint: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Hammer the observations endpoint from many goroutines: the mutex
+	// must keep the server consistent.
+	const workers = 16
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			errs <- client.SubmitObservations(ctx, []ObservationJSON{{Task: 0, User: 0, Value: float64(w)}})
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := client.CloseStep(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Estimates[0].Observations != workers {
+		t.Errorf("observations = %d, want %d", report.Estimates[0].Observations, workers)
+	}
+}

@@ -1,0 +1,72 @@
+package semantic
+
+import (
+	"testing"
+	"unicode"
+
+	"eta2/internal/embedding"
+)
+
+func FuzzTokenize(f *testing.F) {
+	f.Add("What is the noise level around the municipal building?")
+	f.Add("")
+	f.Add("!!!???")
+	f.Add("日本語 mixed WITH ascii-text_and 123 numbers")
+	f.Add("a\x00b\xff\xfe")
+	f.Fuzz(func(t *testing.T, s string) {
+		tokens := Tokenize(s)
+		for _, tok := range tokens {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("token %q contains non-alphanumeric rune %q", tok, r)
+				}
+				if unicode.IsUpper(r) {
+					t.Fatalf("token %q not lowercased", tok)
+				}
+			}
+		}
+	})
+}
+
+func FuzzExtractPair(f *testing.F) {
+	f.Add("What is the noise level around the municipal building?")
+	f.Add("How many students have attended the seminar today?")
+	f.Add("at of in for")
+	f.Add("single")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		pair, err := ExtractPair(s)
+		if err != nil {
+			return // ErrNoContent is the only failure and always legal
+		}
+		if len(pair.Query) == 0 || len(pair.Target) == 0 {
+			t.Fatalf("successful extraction with empty side: %+v", pair)
+		}
+		for _, w := range append(append([]string{}, pair.Query...), pair.Target...) {
+			if IsStopword(w) || IsPreposition(w) {
+				t.Fatalf("function word %q leaked into the pair", w)
+			}
+		}
+	})
+}
+
+func FuzzVectorize(f *testing.F) {
+	f.Add("What is the noise level around the municipal building?")
+	f.Add("zz qq xx")
+	f.Fuzz(func(t *testing.T, s string) {
+		vzr := NewVectorizer(embedding.NewHashEmbedder(8, 1))
+		tv, err := vzr.Vectorize(s)
+		if err != nil {
+			return
+		}
+		if len(tv.Query) != 8 || len(tv.Target) != 8 {
+			t.Fatalf("bad vector dims %d/%d", len(tv.Query), len(tv.Target))
+		}
+		if d := Distance(tv, tv); d != 0 {
+			t.Fatalf("self distance %g", d)
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package semantic
+
+import "errors"
+
+// PairWord is the extracted (Query, Target) pair of a task description.
+// Query is the term describing the requirement of the task ("noise level");
+// Target is the term carrying the desired information ("municipal
+// building"). Both are slices of content tokens.
+type PairWord struct {
+	Query  []string
+	Target []string
+}
+
+// ErrNoContent is returned when a description contains no content words at
+// all, so no pair can be extracted.
+var ErrNoContent = errors.New("semantic: description has no content words")
+
+// ExtractPair identifies the Query and Target terms of a task description
+// using the structure of crowdsourcing questions:
+//
+//   - Content words before the first preposition-separated content chunk
+//     form the Query ("What is the [noise level] around the [municipal
+//     building]?").
+//   - Content words after the last preposition form the Target.
+//   - If the description has no preposition ("How many [students] have
+//     attended the [seminar] today?"), the content words are split in the
+//     middle: the first half is the Query, the second half the Target.
+//   - If only one content word exists, it serves as both Query and Target.
+//
+// This mirrors the paper's manually identified examples while remaining a
+// deterministic heuristic: both of the paper's Sec. 3.2 examples extract
+// exactly as listed there.
+func ExtractPair(description string) (PairWord, error) {
+	tokens := Tokenize(description)
+
+	// Walk tokens, recording content words and the position (in content
+	// coordinates) of the last preposition that has content on both sides.
+	var content []string
+	splitAt := -1 // content index where Target begins
+	for _, tok := range tokens {
+		if IsPreposition(tok) {
+			if len(content) > 0 {
+				splitAt = len(content)
+			}
+			continue
+		}
+		if IsStopword(tok) {
+			continue
+		}
+		content = append(content, tok)
+	}
+	if len(content) == 0 {
+		return PairWord{}, ErrNoContent
+	}
+	if len(content) == 1 {
+		return PairWord{Query: content, Target: content}, nil
+	}
+	if splitAt <= 0 || splitAt >= len(content) {
+		// No usable preposition: split content words in the middle.
+		splitAt = (len(content) + 1) / 2
+	}
+	return PairWord{Query: content[:splitAt], Target: content[splitAt:]}, nil
+}

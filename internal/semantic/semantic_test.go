@@ -1,0 +1,170 @@
+package semantic
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"eta2/internal/embedding"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"What is the noise level?", []string{"what", "is", "the", "noise", "level"}},
+		{"", nil},
+		{"!!!", nil},
+		{"WiFi-Speed at 5GHz", []string{"wifi", "speed", "at", "5ghz"}},
+		{"a,b;c", []string{"a", "b", "c"}},
+	}
+	for _, tt := range tests {
+		if got := Tokenize(tt.in); !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestExtractPairPaperExamples(t *testing.T) {
+	// The two manually identified examples of Sec. 3.2 must extract
+	// exactly as listed in the paper.
+	p, err := ExtractPair("What is the noise level around the municipal building?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Query, []string{"noise", "level"}) ||
+		!reflect.DeepEqual(p.Target, []string{"municipal", "building"}) {
+		t.Errorf("task 1: Query=%v Target=%v", p.Query, p.Target)
+	}
+
+	p, err = ExtractPair("How many students have attended the seminar today?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Query, []string{"students"}) ||
+		!reflect.DeepEqual(p.Target, []string{"seminar"}) {
+		t.Errorf("task 2: Query=%v Target=%v", p.Query, p.Target)
+	}
+}
+
+func TestExtractPairEdgeCases(t *testing.T) {
+	// Single content word serves as both Query and Target.
+	p, err := ExtractPair("What is the temperature?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Query, []string{"temperature"}) ||
+		!reflect.DeepEqual(p.Target, []string{"temperature"}) {
+		t.Errorf("single word: %+v", p)
+	}
+
+	// No content words at all.
+	if _, err := ExtractPair("what is the"); !errors.Is(err, ErrNoContent) {
+		t.Errorf("got %v, want ErrNoContent", err)
+	}
+	if _, err := ExtractPair(""); !errors.Is(err, ErrNoContent) {
+		t.Errorf("empty: got %v, want ErrNoContent", err)
+	}
+
+	// Preposition at the very start must not produce an empty Query.
+	p, err = ExtractPair("At the stadium, how many fans gathered tonight?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Query) == 0 || len(p.Target) == 0 {
+		t.Errorf("leading preposition: %+v", p)
+	}
+}
+
+func TestExtractPairAlwaysNonEmptyProperty(t *testing.T) {
+	// Any description with at least one content word yields non-empty
+	// Query and Target.
+	f := func(words []string) bool {
+		desc := ""
+		for _, w := range words {
+			desc += w + " "
+		}
+		p, err := ExtractPair(desc)
+		if err != nil {
+			return errors.Is(err, ErrNoContent)
+		}
+		return len(p.Query) > 0 && len(p.Target) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStopwordAndPreposition(t *testing.T) {
+	if !IsStopword("the") || IsStopword("noise") {
+		t.Error("stopword classification wrong")
+	}
+	if !IsPreposition("around") || IsPreposition("noise") {
+		t.Error("preposition classification wrong")
+	}
+}
+
+func TestVectorizeAndDistance(t *testing.T) {
+	h := embedding.NewHashEmbedder(16, 1)
+	vzr := NewVectorizer(h)
+
+	a, err := vzr.Vectorize("What is the noise level around the municipal building?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := vzr.Vectorize("What is the noise level around the municipal building?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Distance(a, b) != 0 {
+		t.Error("identical descriptions should be at distance 0")
+	}
+
+	c, err := vzr.Vectorize("How many students have attended the seminar today?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Distance(a, c) <= 0 {
+		t.Error("different descriptions should be at positive distance")
+	}
+	// Symmetry.
+	if math.Abs(Distance(a, c)-Distance(c, a)) > 1e-12 {
+		t.Error("distance not symmetric")
+	}
+}
+
+func TestVectorizeEmptyDescription(t *testing.T) {
+	vzr := NewVectorizer(embedding.NewHashEmbedder(8, 1))
+	if _, err := vzr.Vectorize(""); !errors.Is(err, ErrEmptyDescription) {
+		t.Errorf("got %v, want ErrEmptyDescription", err)
+	}
+}
+
+func TestVectorizeOOVFallback(t *testing.T) {
+	// A trained model that knows nothing: every phrase falls back to the
+	// hash embedder, and distances stay well-defined.
+	m, err := embedding.Train([][]string{{"alpha", "beta"}, {"alpha", "beta"}}, embedding.TrainConfig{Dim: 8, Epochs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vzr := NewVectorizer(m)
+	tv, err := vzr.Vectorize("What is the noise level around the municipal building?")
+	if err != nil {
+		t.Fatalf("OOV fallback failed: %v", err)
+	}
+	if len(tv.Query) != 8 || len(tv.Target) != 8 {
+		t.Errorf("fallback vectors have wrong dims: %d/%d", len(tv.Query), len(tv.Target))
+	}
+}
+
+func TestEq2DistanceFormula(t *testing.T) {
+	a := TaskVector{Query: embedding.Vector{1, 0}, Target: embedding.Vector{0, 0}}
+	b := TaskVector{Query: embedding.Vector{0, 0}, Target: embedding.Vector{0, 2}}
+	// ½(‖ΔQ‖² + ‖ΔT‖²) = ½(1 + 4) = 2.5.
+	if got := Distance(a, b); got != 2.5 {
+		t.Errorf("Distance = %g, want 2.5", got)
+	}
+}

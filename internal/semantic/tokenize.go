@@ -1,0 +1,75 @@
+// Package semantic implements ETA²'s "pair-word" semantic analysis
+// (Sec. 3.2 of the paper): it extracts a Query term and a Target term from
+// each short task description, embeds both with a word-embedding model, and
+// measures the distance between two tasks as the mean of squared Euclidean
+// distances between their Query vectors and their Target vectors (Eq. 2).
+package semantic
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lowercases s and splits it into alphanumeric tokens, dropping
+// punctuation. "What is the noise level?" → [what is the noise level].
+func Tokenize(s string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(s) {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// stopwords are function words excluded from Query/Target terms. The
+// interrogative scaffolding of task descriptions ("what is the … of the …")
+// is entirely stopwords, so stripping them leaves the content terms.
+var stopwords = map[string]struct{}{
+	"a": {}, "an": {}, "the": {}, "is": {}, "are": {}, "was": {}, "were": {},
+	"be": {}, "been": {}, "being": {}, "am": {}, "do": {}, "does": {},
+	"did": {}, "have": {}, "has": {}, "had": {}, "what": {}, "which": {},
+	"who": {}, "whom": {}, "whose": {}, "when": {}, "where": {}, "why": {},
+	"how": {}, "many": {}, "much": {}, "there": {}, "here": {}, "this": {},
+	"that": {}, "these": {}, "those": {}, "it": {}, "its": {}, "they": {},
+	"them": {}, "their": {}, "to": {}, "and": {}, "or": {}, "but": {},
+	"not": {}, "no": {}, "so": {}, "if": {}, "then": {}, "than": {},
+	"as": {}, "because": {}, "while": {}, "can": {}, "could": {},
+	"will": {}, "would": {}, "shall": {}, "should": {}, "may": {},
+	"might": {}, "must": {}, "please": {}, "tell": {}, "me": {}, "us": {},
+	"you": {}, "your": {}, "currently": {}, "today": {}, "now": {},
+	"right": {}, "estimated": {}, "current": {}, "average": {},
+	"latest": {}, "attended": {}, "open": {}, "available": {},
+}
+
+// prepositions separate the Query term from the Target term in a task
+// description ("noise level AROUND the municipal building").
+var prepositions = map[string]struct{}{
+	"at": {}, "in": {}, "on": {}, "of": {}, "for": {}, "near": {},
+	"around": {}, "by": {}, "from": {}, "inside": {}, "outside": {},
+	"within": {}, "along": {}, "across": {}, "behind": {}, "beside": {},
+	"during": {}, "between": {}, "through": {}, "toward": {}, "towards": {},
+	"about": {}, "per": {}, "via": {},
+}
+
+// IsStopword reports whether the (lowercase) token is a stopword.
+func IsStopword(tok string) bool {
+	_, ok := stopwords[tok]
+	return ok
+}
+
+// IsPreposition reports whether the (lowercase) token is a preposition.
+func IsPreposition(tok string) bool {
+	_, ok := prepositions[tok]
+	return ok
+}

@@ -1,0 +1,372 @@
+package simulation
+
+import (
+	"fmt"
+	"math"
+
+	"eta2/internal/allocation"
+	"eta2/internal/baselines"
+	"eta2/internal/cluster"
+	"eta2/internal/core"
+	"eta2/internal/dataset"
+	"eta2/internal/semantic"
+	"eta2/internal/stats"
+	"eta2/internal/truth"
+)
+
+// Run simulates cfg.Days time steps of the crowdsourcing server over the
+// dataset and returns the collected metrics. Tasks are distributed evenly
+// across days in a seed-determined random order; day 0 is the warm-up
+// period with random allocation (Fig. 1 of the paper).
+func Run(ds *dataset.Dataset, cfg Config) (RunResult, error) {
+	cfg.applyDefaults()
+	if err := ds.Validate(); err != nil {
+		return RunResult{}, fmt.Errorf("simulation: %w", err)
+	}
+	if !ds.DomainsKnown && cfg.Embedder == nil {
+		return RunResult{}, ErrNeedEmbedder
+	}
+
+	rng := stats.NewRNG(cfg.Seed)
+	days := partitionTasks(ds.Tasks, cfg.Days, rng)
+
+	switch cfg.Method {
+	case MethodETA2, MethodETA2MC:
+		return runETA2(ds, cfg, days, rng)
+	case MethodHubsAuthorities:
+		return runBaseline(ds, cfg, days, rng, &baselines.HubsAuthorities{})
+	case MethodAverageLog:
+		return runBaseline(ds, cfg, days, rng, &baselines.AverageLog{})
+	case MethodTruthFinder:
+		return runBaseline(ds, cfg, days, rng, &baselines.TruthFinder{})
+	case MethodBaseline:
+		return runBaseline(ds, cfg, days, rng, baselines.Mean{})
+	default:
+		return RunResult{}, fmt.Errorf("simulation: unknown method %v", cfg.Method)
+	}
+}
+
+// partitionTasks splits the tasks evenly across days in random order and
+// stamps each task's Day field.
+func partitionTasks(tasks []core.Task, days int, rng *stats.RNG) [][]core.Task {
+	order := rng.Perm(len(tasks))
+	out := make([][]core.Task, days)
+	for i, idx := range order {
+		d := i * days / len(order)
+		t := tasks[idx]
+		t.Day = d
+		out[d] = append(out[d], t)
+	}
+	return out
+}
+
+// eta2State bundles the persistent server state of an ETA² simulation.
+type eta2State struct {
+	ds       *dataset.Dataset
+	cfg      Config
+	rng      *stats.RNG
+	store    *truth.Store
+	domainOf map[core.TaskID]core.DomainID
+
+	// Clustering state (textual datasets only).
+	clusterer  *cluster.Engine
+	vectorizer *semantic.Vectorizer
+	vectors    []semantic.TaskVector
+	itemToTask []core.TaskID
+}
+
+// runETA2 simulates ETA² (max-quality) or ETA²-mc (min-cost).
+func runETA2(ds *dataset.Dataset, cfg Config, days [][]core.Task, rng *stats.RNG) (RunResult, error) {
+	st := &eta2State{
+		ds:       ds,
+		cfg:      cfg,
+		rng:      rng,
+		store:    truth.NewStore(cfg.Alpha),
+		domainOf: make(map[core.TaskID]core.DomainID, len(ds.Tasks)),
+	}
+	if ds.DomainsKnown {
+		for _, t := range ds.Tasks {
+			st.domainOf[t.ID] = t.Domain
+		}
+	} else {
+		st.vectorizer = semantic.NewVectorizer(cfg.Embedder)
+		eng, err := cluster.New(cfg.Gamma, func(a, b int) float64 {
+			return semantic.Distance(st.vectors[a], st.vectors[b])
+		})
+		if err != nil {
+			return RunResult{}, fmt.Errorf("simulation: %w", err)
+		}
+		st.clusterer = eng
+	}
+
+	res := RunResult{
+		Method:                cfg.Method,
+		UsersPerTask:          make(map[core.TaskID]int),
+		AvgAllocatedExpertise: make(map[core.TaskID]float64),
+		ExpertiseError:        math.NaN(),
+	}
+	domainFn := func(id core.TaskID) core.DomainID { return st.domainOf[id] }
+
+	for day, tasks := range days {
+		if len(tasks) == 0 {
+			res.Days = append(res.Days, DayMetrics{Day: day})
+			continue
+		}
+		if err := st.identifyDomains(tasks); err != nil {
+			return RunResult{}, err
+		}
+
+		// Allocate.
+		var pairs []core.Pair
+		var dayObs []core.Observation
+		var dayCost float64
+		switch {
+		case day == 0:
+			alloc := baselines.Random(ds.Users, tasks, rng)
+			pairs = alloc.Pairs
+			dayObs = ds.ObservePairs(pairs, cfg.Observation, day, rng)
+			dayCost = alloc.Cost(st.costOf)
+		case cfg.Method == MethodETA2:
+			mq, err := allocation.MaxQuality(st.allocationInput(tasks), allocation.MaxQualityOptions{})
+			if err != nil {
+				return RunResult{}, fmt.Errorf("simulation: day %d: %w", day, err)
+			}
+			pairs = mq.Allocation.Pairs
+			recordAllocation(&res, st, pairs)
+			dayObs = ds.ObservePairs(pairs, cfg.Observation, day, rng)
+			dayCost = mq.Allocation.Cost(st.costOf)
+		default: // MethodETA2MC
+			var err error
+			pairs, dayObs, dayCost, err = st.runMinCostDay(tasks, day, domainFn)
+			if err != nil {
+				return RunResult{}, fmt.Errorf("simulation: day %d: %w", day, err)
+			}
+			recordAllocation(&res, st, pairs)
+		}
+
+		// Estimate truth and update expertise.
+		table := core.NewObservationTable(dayObs)
+		var mu map[core.TaskID]float64
+		var iterations int
+		if table.Len() > 0 {
+			if day == 0 {
+				est, err := truth.Estimate(table, domainFn, nil, cfg.Truth)
+				if err != nil {
+					return RunResult{}, fmt.Errorf("simulation: warm-up estimate: %w", err)
+				}
+				st.store.Commit(truth.Contributions(table, domainFn, est.Mu, est.Sigma, cfg.Truth))
+				mu, iterations = est.Mu, est.Iterations
+			} else {
+				upd, err := truth.UpdateStep(st.store, table, domainFn, cfg.Truth)
+				if err != nil {
+					return RunResult{}, fmt.Errorf("simulation: day %d update: %w", day, err)
+				}
+				mu, iterations = upd.Mu, upd.Iterations
+			}
+			res.MLEIterations = append(res.MLEIterations, iterations)
+		}
+
+		if cfg.KeepObservations {
+			res.Observations = append(res.Observations, dayObs...)
+		}
+		res.TotalCost += dayCost
+		res.Days = append(res.Days, DayMetrics{
+			Day:      day,
+			NumTasks: len(tasks),
+			Error:    meanDayError(tasks, mu),
+			Cost:     dayCost,
+			Pairs:    len(pairs),
+		})
+		res.overallErrs = append(res.overallErrs, taskErrors(tasks, mu)...)
+	}
+
+	res.OverallError = stats.Mean(res.overallErrs)
+	res.EstimatedExpertiseOf = func(u core.UserID, t core.TaskID) float64 {
+		return st.store.Expertise(u, st.domainOf[t])
+	}
+	if ds.DomainsKnown {
+		res.ExpertiseError = expertiseError(st.store, ds)
+	}
+	return res, nil
+}
+
+// identifyDomains assigns expertise domains to the day's tasks: directly
+// for pre-known datasets, by dynamic hierarchical clustering otherwise.
+// Cluster merges are propagated into the expertise store (Sec. 4.2).
+func (st *eta2State) identifyDomains(tasks []core.Task) error {
+	if st.ds.DomainsKnown {
+		return nil
+	}
+	for _, t := range tasks {
+		tv, err := st.vectorizer.Vectorize(t.Description)
+		if err != nil {
+			return fmt.Errorf("simulation: vectorize task %d: %w", t.ID, err)
+		}
+		st.vectors = append(st.vectors, tv)
+		st.itemToTask = append(st.itemToTask, t.ID)
+	}
+	up, err := st.clusterer.AddItems(len(tasks))
+	if err != nil {
+		return fmt.Errorf("simulation: clustering: %w", err)
+	}
+	for _, m := range up.Merges {
+		st.store.MergeDomains(m.Into, m.From)
+	}
+	for item, dom := range up.Assigned {
+		st.domainOf[st.itemToTask[item]] = dom
+	}
+	return nil
+}
+
+// allocationInput builds the allocation problem for the day's tasks with
+// expertise read from the store.
+func (st *eta2State) allocationInput(tasks []core.Task) allocation.Input {
+	return allocation.Input{
+		Users: st.ds.Users,
+		Tasks: tasks,
+		Expertise: func(u core.UserID, t core.TaskID) float64 {
+			return st.store.Expertise(u, st.domainOf[t])
+		},
+		Epsilon: st.cfg.Epsilon,
+	}
+}
+
+func (st *eta2State) costOf(id core.TaskID) float64 { return st.ds.Tasks[int(id)].Cost }
+
+// runMinCostDay executes Algorithm 2 for one day: iterative allocation with
+// per-iteration budget, probabilistic quality evaluation against the
+// confidence interval, and observation collection along the way.
+func (st *eta2State) runMinCostDay(tasks []core.Task, day int, domainFn func(core.TaskID) core.DomainID) ([]core.Pair, []core.Observation, float64, error) {
+	var dayObs []core.Observation
+	table := core.NewObservationTable(nil)
+	allocatedUsers := make(map[core.TaskID][]core.UserID)
+
+	env := allocation.EnvironmentFunc(func(newPairs []core.Pair) (allocation.IterationOutcome, error) {
+		obs := st.ds.ObservePairs(newPairs, st.cfg.Observation, day, st.rng)
+		dayObs = append(dayObs, obs...)
+		table.AddAll(obs)
+		// Count only users whose observations actually arrived: with
+		// dropout, an allocated-but-silent user contributes no Fisher
+		// information and must not count toward the confidence interval.
+		for _, o := range obs {
+			allocatedUsers[o.Task] = append(allocatedUsers[o.Task], o.User)
+		}
+		tmp := st.store.Clone()
+		upd, err := truth.UpdateStep(tmp, table, domainFn, st.cfg.Truth)
+		if err != nil {
+			return allocation.IterationOutcome{}, err
+		}
+		exp := tmp.Snapshot()
+		sums := make(map[core.TaskID]float64, len(allocatedUsers))
+		for tid, us := range allocatedUsers {
+			sums[tid] = truth.SumSquaredExpertise(us, domainFn(tid), exp)
+		}
+		return allocation.IterationOutcome{Sigma: upd.Sigma, SumSquaredExpertise: sums}, nil
+	})
+
+	mc, err := allocation.MinCost(st.allocationInput(tasks), allocation.MinCostConfig{
+		EpsBar:     st.cfg.EpsBar,
+		Alpha:      st.cfg.ConfAlpha,
+		IterBudget: st.cfg.IterBudget,
+	}, env)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return mc.Allocation.Pairs, dayObs, mc.Cost, nil
+}
+
+// recordAllocation accumulates Table 2 statistics: users per task and the
+// mean estimated expertise of the allocated users at allocation time.
+func recordAllocation(res *RunResult, st *eta2State, pairs []core.Pair) {
+	sums := make(map[core.TaskID]float64)
+	counts := make(map[core.TaskID]int)
+	for _, p := range pairs {
+		sums[p.Task] += st.store.Expertise(p.User, st.domainOf[p.Task])
+		counts[p.Task]++
+	}
+	for tid, n := range counts {
+		res.UsersPerTask[tid] += n
+		res.AvgAllocatedExpertise[tid] = sums[tid] / float64(n)
+	}
+}
+
+// expertiseError computes the mean absolute error between the estimated and
+// generator expertise of a domains-known dataset (Fig. 11), over the
+// (user, domain) pairs the server actually has evidence for — pairs never
+// observed stay at the prior and say nothing about estimation quality.
+// Pairs never observed stay at the prior and are skipped. Note the
+// identifiability caveat documented in DESIGN.md: the model's likelihood is
+// invariant to jointly scaling a domain's expertise and its tasks' base
+// numbers, so absolute expertise is anchored only by the u = 1 prior; the
+// error reported here is dominated by that scale ambiguity, not by noise.
+func expertiseError(store *truth.Store, ds *dataset.Dataset) float64 {
+	var errs []float64
+	for u := range ds.Users {
+		for d := 0; d < ds.NumDomains; d++ {
+			uid, did := core.UserID(u), core.DomainID(d+1)
+			if !store.Seen(uid, did) {
+				continue
+			}
+			errs = append(errs, math.Abs(store.Expertise(uid, did)-ds.TrueExpertise[u][d]))
+		}
+	}
+	if len(errs) == 0 {
+		return math.NaN()
+	}
+	return stats.Mean(errs)
+}
+
+// runBaseline simulates one of the comparison approaches: random allocation
+// on day 0 (and always for the mean baseline), reliability-greedy
+// afterwards; truth re-estimated each day over all data collected so far.
+func runBaseline(ds *dataset.Dataset, cfg Config, days [][]core.Task, rng *stats.RNG, method baselines.Method) (RunResult, error) {
+	res := RunResult{
+		Method:                cfg.Method,
+		UsersPerTask:          make(map[core.TaskID]int),
+		AvgAllocatedExpertise: make(map[core.TaskID]float64),
+		ExpertiseError:        math.NaN(),
+	}
+	cumTable := core.NewObservationTable(nil)
+	var reliability map[core.UserID]float64
+
+	for day, tasks := range days {
+		if len(tasks) == 0 {
+			res.Days = append(res.Days, DayMetrics{Day: day})
+			continue
+		}
+		var alloc *core.Allocation
+		if day == 0 || cfg.Method == MethodBaseline || len(reliability) == 0 {
+			alloc = baselines.Random(ds.Users, tasks, rng)
+		} else {
+			alloc = baselines.ReliabilityGreedy(ds.Users, tasks, reliability)
+		}
+		for _, p := range alloc.Pairs {
+			res.UsersPerTask[p.Task]++
+		}
+		obs := ds.ObservePairs(alloc.Pairs, cfg.Observation, day, rng)
+		cumTable.AddAll(obs)
+		if cfg.KeepObservations {
+			res.Observations = append(res.Observations, obs...)
+		}
+
+		est, err := method.Estimate(cumTable)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("simulation: %s day %d: %w", method.Name(), day, err)
+		}
+		reliability = est.Reliability
+		res.MLEIterations = append(res.MLEIterations, est.Iterations)
+
+		cost := alloc.Cost(func(id core.TaskID) float64 { return ds.Tasks[int(id)].Cost })
+		res.TotalCost += cost
+		res.Days = append(res.Days, DayMetrics{
+			Day:      day,
+			NumTasks: len(tasks),
+			Error:    meanDayError(tasks, est.Truth),
+			Cost:     cost,
+			Pairs:    len(alloc.Pairs),
+		})
+		res.overallErrs = append(res.overallErrs, taskErrors(tasks, est.Truth)...)
+	}
+	res.OverallError = stats.Mean(res.overallErrs)
+	return res, nil
+}

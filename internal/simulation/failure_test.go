@@ -1,0 +1,166 @@
+package simulation
+
+import (
+	"math"
+	"testing"
+
+	"eta2/internal/core"
+	"eta2/internal/dataset"
+)
+
+// Failure-injection tests: the simulation (and the algorithms under it)
+// must survive hostile and degenerate conditions without panicking, and
+// degrade in the direction the design predicts.
+
+func TestRunUnderHeavyDropout(t *testing.T) {
+	ds := dataset.Synthetic(dataset.SyntheticConfig{Seed: 1, NumUsers: 30, NumTasks: 120, NumDomains: 4})
+	for _, rate := range []float64{0.5, 0.9} {
+		res, err := Run(ds, Config{
+			Method:      MethodETA2,
+			Seed:        3,
+			Observation: dataset.ObservationModel{DropoutRate: rate},
+		})
+		if err != nil {
+			t.Fatalf("dropout %.0f%%: %v", 100*rate, err)
+		}
+		if math.IsNaN(res.OverallError) {
+			t.Errorf("dropout %.0f%%: NaN error", 100*rate)
+		}
+	}
+}
+
+func TestRunWithTotalDropout(t *testing.T) {
+	// 100% dropout: no observations ever arrive. The run must complete
+	// with empty estimates rather than crash.
+	ds := dataset.Synthetic(dataset.SyntheticConfig{Seed: 2, NumUsers: 10, NumTasks: 30, NumDomains: 2})
+	res, err := Run(ds, Config{
+		Method:      MethodETA2,
+		Seed:        1,
+		Observation: dataset.ObservationModel{DropoutRate: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MLEIterations) != 0 {
+		t.Errorf("MLE ran %d times with no data", len(res.MLEIterations))
+	}
+}
+
+func TestRunWithAdversarialMajority(t *testing.T) {
+	// Even with 60% colluders the pipeline must finish and produce finite
+	// errors (accuracy is not guaranteed once adversaries outnumber honest
+	// corroboration — that is the documented breaking point).
+	ds := dataset.Synthetic(dataset.SyntheticConfig{Seed: 3, NumUsers: 30, NumTasks: 120, NumDomains: 4})
+	adversaries := make(map[core.UserID]struct{})
+	for i := 0; i < 18; i++ {
+		adversaries[core.UserID(i)] = struct{}{}
+	}
+	res, err := Run(ds, Config{
+		Method:      MethodETA2,
+		Seed:        4,
+		Observation: dataset.ObservationModel{Adversaries: adversaries},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.OverallError) || math.IsInf(res.OverallError, 0) {
+		t.Errorf("non-finite error under adversarial majority: %g", res.OverallError)
+	}
+}
+
+func TestRunAdversarialMinorityContained(t *testing.T) {
+	// A 20% colluding minority must not wreck ETA²: error stays within 2×
+	// of the clean run.
+	ds := dataset.Synthetic(dataset.SyntheticConfig{Seed: 4})
+	clean, err := Run(ds, Config{Method: MethodETA2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adversaries := make(map[core.UserID]struct{})
+	for i := 0; i < 20; i++ {
+		adversaries[core.UserID(i)] = struct{}{}
+	}
+	dirty, err := Run(ds, Config{
+		Method:      MethodETA2,
+		Seed:        5,
+		Observation: dataset.ObservationModel{Adversaries: adversaries},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty.OverallError > 2*clean.OverallError {
+		t.Errorf("20%% colluders blew up the error: %.3f vs clean %.3f", dirty.OverallError, clean.OverallError)
+	}
+}
+
+func TestRunWithStarvedCapacity(t *testing.T) {
+	// Capacity so low most tasks go unserved: must not panic or divide by
+	// zero anywhere.
+	cfg := dataset.SyntheticConfig{Seed: 5, NumUsers: 5, NumTasks: 200, NumDomains: 4, AvgCapacity: 4.5}
+	ds := dataset.Synthetic(cfg)
+	// Clamp capacities down to nearly nothing.
+	for i := range ds.Users {
+		ds.Users[i].Capacity = 1
+	}
+	for _, m := range AllMethods {
+		res, err := Run(ds, Config{Method: m, Seed: 6, Days: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if math.IsInf(res.OverallError, 0) {
+			t.Errorf("%v: infinite error", m)
+		}
+	}
+}
+
+func TestRunSingleUser(t *testing.T) {
+	ds := dataset.Synthetic(dataset.SyntheticConfig{Seed: 6, NumUsers: 1, NumTasks: 20, NumDomains: 2})
+	res, err := Run(ds, Config{Method: MethodETA2, Seed: 7, Days: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Days) != 2 {
+		t.Errorf("%d day records", len(res.Days))
+	}
+}
+
+func TestRunSingleTaskPerDay(t *testing.T) {
+	ds := dataset.Synthetic(dataset.SyntheticConfig{Seed: 7, NumUsers: 10, NumTasks: 3, NumDomains: 1})
+	if _, err := Run(ds, Config{Method: MethodETA2, Seed: 8, Days: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMoreDaysThanTasks(t *testing.T) {
+	// Some days end up with zero tasks; the loop must skip them cleanly.
+	ds := dataset.Synthetic(dataset.SyntheticConfig{Seed: 8, NumUsers: 8, NumTasks: 4, NumDomains: 2})
+	res, err := Run(ds, Config{Method: MethodETA2, Seed: 9, Days: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Days) != 8 {
+		t.Errorf("%d day records, want 8", len(res.Days))
+	}
+}
+
+func TestMinCostUnderDropout(t *testing.T) {
+	// The min-cost loop must terminate under dropout (silent users consume
+	// budget but yield no information) and spend more than the clean run.
+	ds := dataset.Synthetic(dataset.SyntheticConfig{Seed: 9, AvgCapacity: 16})
+	clean, err := Run(ds, Config{Method: MethodETA2MC, Seed: 10, IterBudget: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := Run(ds, Config{
+		Method:      MethodETA2MC,
+		Seed:        10,
+		IterBudget:  60,
+		Observation: dataset.ObservationModel{DropoutRate: 0.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.TotalCost <= clean.TotalCost {
+		t.Errorf("dropout did not increase min-cost spend: %.0f vs %.0f", lossy.TotalCost, clean.TotalCost)
+	}
+}

@@ -1,0 +1,108 @@
+package simulation
+
+import (
+	"math"
+
+	"eta2/internal/core"
+	"eta2/internal/stats"
+)
+
+// DayMetrics summarizes one simulated time step.
+type DayMetrics struct {
+	// Day is the time-step index (0 = warm-up).
+	Day int
+	// NumTasks is the number of tasks created this day.
+	NumTasks int
+	// Error is the mean normalized estimation error |μ̂_j − μ_j| / σ_j
+	// over the day's tasks (σ_j is the generator base number).
+	Error float64
+	// Cost is the recruiting cost spent on the day's allocation.
+	Cost float64
+	// Pairs is the number of (user, task) pairs allocated.
+	Pairs int
+}
+
+// RunResult aggregates everything a simulation run produced.
+type RunResult struct {
+	// Method is the simulated approach.
+	Method Method
+	// Days holds per-day metrics in order.
+	Days []DayMetrics
+	// OverallError is the mean normalized estimation error over every task
+	// of the run (each evaluated with the estimate available at the end of
+	// its creation day).
+	OverallError float64
+	// TotalCost is the recruiting cost across all days.
+	TotalCost float64
+	// MLEIterations records the iteration count of every MLE invocation
+	// (Fig. 12's CDF is built from these).
+	MLEIterations []int
+	// UsersPerTask counts allocated users per task (Table 2).
+	UsersPerTask map[core.TaskID]int
+	// AvgAllocatedExpertise is, per task, the mean estimated expertise (in
+	// the task's domain, at allocation time) of the allocated users
+	// (Table 2).
+	AvgAllocatedExpertise map[core.TaskID]float64
+	// ExpertiseError is the mean absolute error between estimated and
+	// generator expertise over every (user, generator-domain) pair —
+	// meaningful only when the dataset's domains are pre-known (Fig. 11).
+	// NaN when unavailable.
+	ExpertiseError float64
+	// Observations retains all synthesized observations when
+	// Config.KeepObservations is set.
+	Observations []core.Observation
+	// EstimatedExpertiseOf returns the final estimated expertise of a user
+	// for a task (via the task's domain); nil for baseline methods.
+	EstimatedExpertiseOf func(core.UserID, core.TaskID) float64
+
+	// overallErrs accumulates every task's normalized error for
+	// OverallError.
+	overallErrs []float64
+}
+
+// normalizedError computes |μ̂ − μ| / σ for one task given the generator's
+// truth and base. Missing estimates count as the worst observed error the
+// caller decides; here we return NaN so callers can filter.
+func normalizedError(estimate float64, t core.Task) float64 {
+	if t.Base <= 0 {
+		return math.NaN()
+	}
+	return math.Abs(estimate-t.Truth) / t.Base
+}
+
+// meanDayError averages the normalized error over the day's tasks given an
+// estimate lookup. Tasks that received no estimate (no user had capacity
+// for them) are excluded, mirroring the paper's setup where capacities are
+// large enough that every task is covered; all methods are evaluated under
+// the same rule.
+func meanDayError(tasks []core.Task, mu map[core.TaskID]float64) float64 {
+	var errs []float64
+	for _, t := range tasks {
+		est, ok := mu[t.ID]
+		if !ok {
+			continue
+		}
+		e := normalizedError(est, t)
+		if !math.IsNaN(e) {
+			errs = append(errs, e)
+		}
+	}
+	return stats.Mean(errs)
+}
+
+// taskErrors returns the per-task normalized errors (skipping tasks with no
+// estimate), used to accumulate the run-level overall error.
+func taskErrors(tasks []core.Task, mu map[core.TaskID]float64) []float64 {
+	var errs []float64
+	for _, t := range tasks {
+		est, ok := mu[t.ID]
+		if !ok {
+			continue
+		}
+		e := normalizedError(est, t)
+		if !math.IsNaN(e) {
+			errs = append(errs, e)
+		}
+	}
+	return errs
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegularizedGammaPKnown(t *testing.T) {
+	tests := []struct {
+		a, x, want float64
+	}{
+		// P(1, x) = 1 − e^{−x}.
+		{1, 1, 1 - math.Exp(-1)},
+		{1, 2.5, 1 - math.Exp(-2.5)},
+		// P(0.5, x) = erf(√x).
+		{0.5, 1, math.Erf(1)},
+		{0.5, 4, math.Erf(2)},
+	}
+	for _, tt := range tests {
+		got, err := RegularizedGammaP(tt.a, tt.x)
+		if err != nil {
+			t.Fatalf("P(%g,%g): %v", tt.a, tt.x, err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("P(%g,%g) = %.15f, want %.15f", tt.a, tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestRegularizedGammaPEdges(t *testing.T) {
+	if got, err := RegularizedGammaP(3, 0); err != nil || got != 0 {
+		t.Errorf("P(3,0) = %g, %v; want 0, nil", got, err)
+	}
+	if _, err := RegularizedGammaP(0, 1); err == nil {
+		t.Error("P(0,1) should fail")
+	}
+	if _, err := RegularizedGammaP(1, -1); err == nil {
+		t.Error("P(1,-1) should fail")
+	}
+	// Saturation for large x.
+	got, err := RegularizedGammaP(2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("P(2,1000) = %g, want ≈1", got)
+	}
+}
+
+func TestChiSquareCDFKnown(t *testing.T) {
+	tests := []struct {
+		x    float64
+		k    int
+		want float64
+	}{
+		// k=2: CDF = 1 − e^{−x/2}.
+		{2, 2, 1 - math.Exp(-1)},
+		{4.605, 2, 1 - math.Exp(-2.3025)},
+		// k=1: CDF(x) = erf(√(x/2)); at x=3.841, p≈0.95.
+		{3.841458820694124, 1, 0.95},
+		// k=10 median ≈ 9.34.
+		{9.341818, 10, 0.5},
+	}
+	for _, tt := range tests {
+		got, err := ChiSquareCDF(tt.x, tt.k)
+		if err != nil {
+			t.Fatalf("ChiSquareCDF(%g,%d): %v", tt.x, tt.k, err)
+		}
+		if math.Abs(got-tt.want) > 1e-5 {
+			t.Errorf("ChiSquareCDF(%g,%d) = %.6f, want %.6f", tt.x, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestChiSquareCDFErrors(t *testing.T) {
+	if _, err := ChiSquareCDF(1, 0); err == nil {
+		t.Error("df=0 should fail")
+	}
+	if _, err := ChiSquareCDF(-1, 3); err == nil {
+		t.Error("negative statistic should fail")
+	}
+}
+
+func TestChiSquareCDFMonotone(t *testing.T) {
+	prev := -1.0
+	for x := 0.0; x < 30; x += 0.5 {
+		got, err := ChiSquareCDF(x, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev {
+			t.Fatalf("CDF not monotone at x=%g: %g < %g", x, got, prev)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestKSAcceptsMatchingDistribution(t *testing.T) {
+	rejected := 0
+	const trials = 200
+	for s := 0; s < trials; s++ {
+		sample := normalSample(100, 0, 1, int64(s))
+		res, err := KSTest(sample, func(x float64) float64 { return Phi(x) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reject(0.05) {
+			rejected++
+		}
+	}
+	// The Stephens-corrected asymptotic p-value should be roughly
+	// calibrated: rejections near 5%.
+	if rate := float64(rejected) / trials; rate > 0.12 {
+		t.Errorf("rejected %.0f%% of matching samples at alpha=0.05", 100*rate)
+	}
+}
+
+func TestKSRejectsWrongDistribution(t *testing.T) {
+	rng := NewRNG(3)
+	rejected := 0
+	const trials = 100
+	for s := 0; s < trials; s++ {
+		sample := make([]float64, 100)
+		for i := range sample {
+			// U(−1,1) vs N(0,1): KS distance ≈ 0.16 at |x| = 1, giving the
+			// test solid power at n = 100. (U(−2,2) nearly matches the
+			// normal's spread and is a genuinely hard alternative.)
+			sample[i] = rng.Uniform(-1, 1)
+		}
+		res, err := KSTest(sample, func(x float64) float64 { return Phi(x) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reject(0.05) {
+			rejected++
+		}
+	}
+	if rate := float64(rejected) / trials; rate < 0.8 {
+		t.Errorf("only rejected %.0f%% of uniform samples against N(0,1)", 100*rate)
+	}
+}
+
+func TestKSKnownStatistic(t *testing.T) {
+	// Sample {0.1,...,0.5} against U(0,1): with F(x)=x, at x=0.5 the gap
+	// F_n−F is 1.0−0.5 = 0.5.
+	sample := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.45, 0.35, 0.25}
+	res, err := KSTest(sample, func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic < 0.5-1e-12 {
+		t.Errorf("D = %g, want >= 0.5", res.Statistic)
+	}
+	if !res.Reject(0.05) {
+		t.Error("clearly shifted sample not rejected")
+	}
+}
+
+func TestKSTooFew(t *testing.T) {
+	if _, err := KSTest([]float64{1, 2}, Phi); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("got %v, want ErrTooFewSamples", err)
+	}
+}
+
+func TestKSNormality(t *testing.T) {
+	res, err := KSNormalityTest(normalSample(200, 7, 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.05) {
+		t.Errorf("normal sample rejected: %+v", res)
+	}
+	// Constant sample: degenerate non-rejection.
+	constant := make([]float64, 20)
+	res, err = KSNormalityTest(constant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue != 1 {
+		t.Errorf("constant sample p-value %g, want 1", res.PValue)
+	}
+	// Bimodal sample: rejected.
+	rng := NewRNG(9)
+	bimodal := make([]float64, 200)
+	for i := range bimodal {
+		if i%2 == 0 {
+			bimodal[i] = rng.Normal(-4, 0.5)
+		} else {
+			bimodal[i] = rng.Normal(4, 0.5)
+		}
+	}
+	res, err = KSNormalityTest(bimodal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject(0.05) {
+		t.Errorf("bimodal sample not rejected: %+v", res)
+	}
+}
+
+func TestKolmogorovQ(t *testing.T) {
+	// Known quantile: Q(1.3581) ≈ 0.05.
+	if got := kolmogorovQ(1.3581); math.Abs(got-0.05) > 0.002 {
+		t.Errorf("Q(1.3581) = %g, want ≈0.05", got)
+	}
+	if kolmogorovQ(0) != 1 {
+		t.Error("Q(0) should be 1")
+	}
+	if q := kolmogorovQ(10); q > 1e-80 {
+		t.Errorf("Q(10) = %g, want ≈0", q)
+	}
+	// Monotone decreasing.
+	prev := 1.0
+	for l := 0.1; l < 3; l += 0.1 {
+		q := kolmogorovQ(l)
+		if q > prev+1e-12 {
+			t.Fatalf("Q not monotone at λ=%g", l)
+		}
+		prev = q
+	}
+}

@@ -1,0 +1,48 @@
+package stats
+
+import "math/rand"
+
+// RNG wraps a seeded source of randomness used throughout the simulator.
+// Every stochastic component takes an explicit *RNG so experiments are
+// reproducible run-to-run: same seed, same trajectory.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child generator. The child's stream is a
+// deterministic function of the parent's state, so splitting N children in
+// a fixed order is reproducible.
+func (g *RNG) Split() *RNG {
+	return NewRNG(g.r.Int63())
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Uniform returns a uniform sample in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Normal returns a sample from N(mu, sigma²).
+func (g *RNG) Normal(mu, sigma float64) float64 {
+	return mu + sigma*g.r.NormFloat64()
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0, matching
+// math/rand semantics.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle permutes n elements using the provided swap function.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }

@@ -1,0 +1,265 @@
+package truth
+
+import (
+	"errors"
+	"math"
+
+	"eta2/internal/core"
+)
+
+// Config tunes the MLE fixed-point iteration.
+type Config struct {
+	// RelTol is the per-task relative change of the truth estimate below
+	// which the iteration is considered converged (the paper uses 5%).
+	RelTol float64
+	// AbsTol is an absolute change floor so truths near zero can converge.
+	AbsTol float64
+	// MaxIter caps the number of fixed-point iterations.
+	MaxIter int
+	// MinSigma floors the base-number estimate to keep residual
+	// normalization finite for (near-)degenerate tasks.
+	MinSigma float64
+	// MinObsForExpertise is the minimum number of observations a task needs
+	// before its residuals contribute to expertise estimates. A task with a
+	// single observation always has residual 0 against its own MLE truth,
+	// which would spuriously inflate the observer's expertise.
+	MinObsForExpertise int
+	// PriorStrength is the pseudo-count a of the shrinkage prior applied to
+	// the expertise update: û² = (n + a)/(Σres² + a), pulling estimates
+	// toward the paper's initialization u = 1. The raw Eq. 6 update
+	// (a = 0) is a degenerate MLE — the jointly estimated per-task σ̂ lets
+	// the best user of each domain absorb all weight, sending its û → ∞
+	// and everyone else's → 0 (the incidental-parameters problem). A small
+	// prior keeps the fixed point calibrated; see DESIGN.md. Default 2.
+	PriorStrength float64
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// evaluation: 5% convergence tolerance.
+func DefaultConfig() Config {
+	return Config{
+		RelTol:             0.05,
+		AbsTol:             1e-6,
+		MaxIter:            200,
+		MinSigma:           1e-6,
+		MinObsForExpertise: 2,
+		PriorStrength:      DefaultPriorStrength,
+	}
+}
+
+func (c *Config) applyDefaults() {
+	d := DefaultConfig()
+	if c.RelTol <= 0 {
+		c.RelTol = d.RelTol
+	}
+	if c.AbsTol <= 0 {
+		c.AbsTol = d.AbsTol
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = d.MaxIter
+	}
+	if c.MinSigma <= 0 {
+		c.MinSigma = d.MinSigma
+	}
+	if c.MinObsForExpertise <= 0 {
+		c.MinObsForExpertise = d.MinObsForExpertise
+	}
+	if c.PriorStrength <= 0 {
+		c.PriorStrength = d.PriorStrength
+	}
+}
+
+// Result is the outcome of a joint MLE estimation.
+type Result struct {
+	// Mu is the estimated truth μ̂_j per task.
+	Mu map[core.TaskID]float64
+	// Sigma is the estimated base number σ̂_j per task.
+	Sigma map[core.TaskID]float64
+	// Expertise is the estimated per-user per-domain expertise.
+	Expertise Expertise
+	// Iterations is the number of fixed-point iterations performed.
+	Iterations int
+	// Converged reports whether RelTol was met before MaxIter.
+	Converged bool
+}
+
+// ErrNoObservations is returned when estimation is attempted with no data.
+var ErrNoObservations = errors.New("truth: no observations to estimate from")
+
+// Estimate runs the joint MLE of Sec. 4.1 over all observations in obs:
+// starting from expertise init (nil ⇒ all ones), it alternates
+//
+//	μ_j  = Σ_i ω_ij·u_ij²·x_ij / Σ_i ω_ij·u_ij²          (Eq. 5)
+//	σ_j² = Σ_i ω_ij·u_ij²·(x_ij−μ_j)² / Σ_i ω_ij          (Eq. 5)
+//	u_ik = √( Σ_j I(d_j=k)·ω_ij / Σ_j I(d_j=k)·ω_ij·(x_ij−μ_j)²/σ_j² )  (Eq. 6)
+//
+// until the truth estimates all change less than RelTol, and returns the
+// final parameters. domainOf maps each task to its expertise domain; tasks
+// mapped to core.DomainNone share one implicit domain.
+func Estimate(obs *core.ObservationTable, domainOf func(core.TaskID) core.DomainID, init Expertise, cfg Config) (Result, error) {
+	cfg.applyDefaults()
+	if obs == nil || obs.Len() == 0 {
+		return Result{}, ErrNoObservations
+	}
+
+	tasks := obs.Tasks()
+	mu := make(map[core.TaskID]float64, len(tasks))
+	sigma := make(map[core.TaskID]float64, len(tasks))
+	exp := init.Clone()
+	if exp == nil {
+		exp = make(Expertise)
+	}
+
+	// Initialize truths with plain means so the first expertise update sees
+	// sensible residuals.
+	for _, tid := range tasks {
+		mu[tid] = mean(obs.Values(tid))
+		sigma[tid] = cfg.MinSigma
+	}
+
+	var iterations int
+	converged := false
+	for iterations = 1; iterations <= cfg.MaxIter; iterations++ {
+		maxChange := 0.0
+
+		// Truth and base-number update per task.
+		for _, tid := range tasks {
+			dom := domainOf(tid)
+			var wSum, wxSum float64
+			taskObs := obs.ForTask(tid)
+			for _, o := range taskObs {
+				u := exp.Get(o.User, dom)
+				w := u * u
+				wSum += w
+				wxSum += w * o.Value
+			}
+			if wSum == 0 {
+				continue
+			}
+			newMu := wxSum / wSum
+			change := math.Abs(newMu - mu[tid])
+			if rel := change / (math.Abs(mu[tid]) + cfg.AbsTol); rel > maxChange {
+				maxChange = rel
+			}
+			mu[tid] = newMu
+
+			var ssq float64
+			for _, o := range taskObs {
+				u := exp.Get(o.User, dom)
+				d := o.Value - newMu
+				ssq += u * u * d * d
+			}
+			s := math.Sqrt(ssq / float64(len(taskObs)))
+			if s < cfg.MinSigma {
+				s = cfg.MinSigma
+			}
+			sigma[tid] = s
+		}
+
+		// Expertise update per (user, domain).
+		updateExpertise(obs, domainOf, mu, sigma, exp, cfg)
+
+		if maxChange < cfg.RelTol && iterations > 1 {
+			converged = true
+			break
+		}
+	}
+	if iterations > cfg.MaxIter {
+		iterations = cfg.MaxIter
+	}
+
+	return Result{
+		Mu:         mu,
+		Sigma:      sigma,
+		Expertise:  exp,
+		Iterations: iterations,
+		Converged:  converged,
+	}, nil
+}
+
+// updateExpertise recomputes u_ik from the current residuals (Eq. 6),
+// overwriting exp in place.
+func updateExpertise(obs *core.ObservationTable, domainOf func(core.TaskID) core.DomainID,
+	mu, sigma map[core.TaskID]float64, exp Expertise, cfg Config) {
+
+	type key struct {
+		u core.UserID
+		d core.DomainID
+	}
+	counts := make(map[key]float64)
+	resid := make(map[key]float64)
+	for _, uid := range obs.Users() {
+		for _, o := range obs.ForUser(uid) {
+			if len(obs.ForTask(o.Task)) < cfg.MinObsForExpertise {
+				continue
+			}
+			dom := domainOf(o.Task)
+			k := key{u: uid, d: dom}
+			d := o.Value - mu[o.Task]
+			s := sigma[o.Task]
+			counts[k]++
+			resid[k] += d * d / (s * s)
+		}
+	}
+	a := cfg.PriorStrength
+	for k, n := range counts {
+		exp.Set(k.u, k.d, clamp(math.Sqrt((n+a)/(resid[k]+a)), MinExpertise, MaxExpertise))
+	}
+}
+
+// Contributions extracts the per-(user, domain) fresh-evidence terms of
+// Eq. 7–8 from a set of observations given the estimated truths: Count is
+// Σ I(d_j=k)·ω_ij and ResidualSq is Σ I(d_j=k)·ω_ij·(x_ij−μ_j)²/σ_j².
+// Tasks with fewer than cfg.MinObsForExpertise observations are skipped,
+// matching Estimate.
+func Contributions(obs *core.ObservationTable, domainOf func(core.TaskID) core.DomainID,
+	mu, sigma map[core.TaskID]float64, cfg Config) []Contribution {
+	cfg.applyDefaults()
+
+	type key struct {
+		u core.UserID
+		d core.DomainID
+	}
+	counts := make(map[key]float64)
+	resid := make(map[key]float64)
+	for _, uid := range obs.Users() {
+		for _, o := range obs.ForUser(uid) {
+			if len(obs.ForTask(o.Task)) < cfg.MinObsForExpertise {
+				continue
+			}
+			m, ok := mu[o.Task]
+			if !ok {
+				continue
+			}
+			s := sigma[o.Task]
+			if s < cfg.MinSigma {
+				s = cfg.MinSigma
+			}
+			k := key{u: uid, d: domainOf(o.Task)}
+			d := o.Value - m
+			counts[k]++
+			resid[k] += d * d / (s * s)
+		}
+	}
+	out := make([]Contribution, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, Contribution{
+			User:       k.u,
+			Domain:     k.d,
+			Count:      n,
+			ResidualSq: resid[k],
+		})
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

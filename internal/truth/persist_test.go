@@ -1,0 +1,71 @@
+package truth
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestStoreStateRoundTrip(t *testing.T) {
+	s := NewStore(0.7)
+	s.Commit([]Contribution{
+		{User: 3, Domain: 1, Count: 10, ResidualSq: 4},
+		{User: 1, Domain: 2, Count: 5, ResidualSq: 20},
+		{User: 3, Domain: 2, Count: 2, ResidualSq: 1},
+	})
+
+	st := s.State()
+	// Entries sorted by (user, domain).
+	if len(st.Entries) != 3 || st.Entries[0].User != 1 || st.Entries[1].Domain != 1 {
+		t.Fatalf("entries = %+v", st.Entries)
+	}
+
+	restored, err := RestoreStore(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range st.Entries {
+		if restored.Expertise(e.User, e.Domain) != s.Expertise(e.User, e.Domain) {
+			t.Errorf("expertise(%d,%d) differs after restore", e.User, e.Domain)
+		}
+		if restored.Evidence(e.User, e.Domain) != s.Evidence(e.User, e.Domain) {
+			t.Errorf("evidence(%d,%d) differs after restore", e.User, e.Domain)
+		}
+	}
+	if restored.Alpha() != s.Alpha() {
+		t.Error("alpha lost")
+	}
+}
+
+func TestStoreStateJSONStable(t *testing.T) {
+	s := NewStore(0.5)
+	s.Commit([]Contribution{
+		{User: 2, Domain: 1, Count: 3, ResidualSq: 1},
+		{User: 1, Domain: 1, Count: 3, ResidualSq: 2},
+	})
+	a, err := json.Marshal(s.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(s.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("snapshot JSON not stable")
+	}
+}
+
+func TestRestoreStoreRejectsInvalid(t *testing.T) {
+	cases := []StoreState{
+		{Alpha: -0.1, Prior: 0.5},
+		{Alpha: 1.5, Prior: 0.5},
+		{Alpha: 0.5, Prior: -1},
+		{Alpha: 0.5, Prior: 0.5, Entries: []StoreEntry{{User: 1, Domain: 1, N: -1, D: 1}}},
+		{Alpha: 0.5, Prior: 0.5, Entries: []StoreEntry{{User: 1, Domain: 1, N: 1, D: -1}}},
+	}
+	for i, st := range cases {
+		if _, err := RestoreStore(st); err == nil {
+			t.Errorf("case %d: invalid state accepted", i)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package truth
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"eta2/internal/core"
+	"eta2/internal/stats"
+)
+
+// synthWorld generates a small world with known parameters and returns the
+// observations plus ground truth.
+type synthWorld struct {
+	nUsers, nDomains, nTasks int
+	trueU                    [][]float64
+	mu, sigma                []float64
+	dom                      []int
+	obs                      []core.Observation
+}
+
+func newSynthWorld(seed int64, usersPerTask int) *synthWorld {
+	w := &synthWorld{nUsers: 40, nDomains: 4, nTasks: 300}
+	rng := stats.NewRNG(seed)
+	w.trueU = make([][]float64, w.nUsers)
+	for i := range w.trueU {
+		w.trueU[i] = make([]float64, w.nDomains)
+		for d := range w.trueU[i] {
+			w.trueU[i][d] = rng.Uniform(0.3, 3)
+		}
+	}
+	w.mu = make([]float64, w.nTasks)
+	w.sigma = make([]float64, w.nTasks)
+	w.dom = make([]int, w.nTasks)
+	for j := 0; j < w.nTasks; j++ {
+		w.mu[j] = rng.Uniform(0, 20)
+		w.sigma[j] = rng.Uniform(0.5, 5)
+		w.dom[j] = rng.Intn(w.nDomains)
+		for _, u := range rng.Perm(w.nUsers)[:usersPerTask] {
+			w.obs = append(w.obs, core.Observation{
+				Task:  core.TaskID(j),
+				User:  core.UserID(u),
+				Value: rng.Normal(w.mu[j], w.sigma[j]/w.trueU[u][w.dom[j]]),
+			})
+		}
+	}
+	return w
+}
+
+func (w *synthWorld) domainOf(id core.TaskID) core.DomainID {
+	return core.DomainID(w.dom[int(id)] + 1)
+}
+
+func (w *synthWorld) table() *core.ObservationTable {
+	return core.NewObservationTable(w.obs)
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := Estimate(nil, nil, nil, Config{}); !errors.Is(err, ErrNoObservations) {
+		t.Errorf("nil table: %v", err)
+	}
+	if _, err := Estimate(core.NewObservationTable(nil), nil, nil, Config{}); !errors.Is(err, ErrNoObservations) {
+		t.Errorf("empty table: %v", err)
+	}
+}
+
+func TestEstimateBeatsPlainMean(t *testing.T) {
+	w := newSynthWorld(1, 8)
+	res, err := Estimate(w.table(), w.domainOf, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("did not converge")
+	}
+
+	var mleErr, meanErr float64
+	tbl := w.table()
+	for j := 0; j < w.nTasks; j++ {
+		id := core.TaskID(j)
+		mleErr += math.Abs(res.Mu[id]-w.mu[j]) / w.sigma[j]
+		meanErr += math.Abs(stats.Mean(tbl.Values(id))-w.mu[j]) / w.sigma[j]
+	}
+	if mleErr >= meanErr {
+		t.Errorf("MLE error %.2f not below mean error %.2f", mleErr, meanErr)
+	}
+}
+
+func TestEstimateSigmaRecovered(t *testing.T) {
+	w := newSynthWorld(2, 12)
+	res, err := Estimate(w.table(), w.domainOf, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base numbers should correlate with the generator's: the mean ratio
+	// must be within a modest band (joint scale is anchored by the u=1
+	// prior, so expect rough but not exact agreement).
+	var ratios []float64
+	for j := 0; j < w.nTasks; j++ {
+		ratios = append(ratios, res.Sigma[core.TaskID(j)]/w.sigma[j])
+	}
+	m := stats.Mean(ratios)
+	if m < 0.5 || m > 2 {
+		t.Errorf("mean sigma ratio %.2f outside [0.5, 2]", m)
+	}
+}
+
+func TestEstimateExpertiseOrdering(t *testing.T) {
+	// Within a domain, the estimated expertise must rank users roughly
+	// like the true expertise: check rank correlation is clearly positive.
+	w := newSynthWorld(3, 10)
+	res, err := Estimate(w.table(), w.domainOf, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	concordant, discordant := 0, 0
+	for d := 0; d < w.nDomains; d++ {
+		for a := 0; a < w.nUsers; a++ {
+			for b := a + 1; b < w.nUsers; b++ {
+				ea := res.Expertise.Get(core.UserID(a), core.DomainID(d+1))
+				eb := res.Expertise.Get(core.UserID(b), core.DomainID(d+1))
+				if ea == eb {
+					continue
+				}
+				if (ea > eb) == (w.trueU[a][d] > w.trueU[b][d]) {
+					concordant++
+				} else {
+					discordant++
+				}
+			}
+		}
+	}
+	tau := float64(concordant-discordant) / float64(concordant+discordant)
+	if tau < 0.4 {
+		t.Errorf("expertise rank correlation %.2f too low", tau)
+	}
+}
+
+func TestEstimateHighExpertiseUserDominates(t *testing.T) {
+	// One expert (u=5) and three noise sources (u=0.3): the estimate must
+	// sit much closer to the expert's values than the mean does.
+	rng := stats.NewRNG(4)
+	var obs []core.Observation
+	const nTasks = 60
+	truths := make([]float64, nTasks)
+	expertVals := make([]float64, nTasks)
+	for j := 0; j < nTasks; j++ {
+		truths[j] = rng.Uniform(0, 10)
+		expertVals[j] = rng.Normal(truths[j], 1.0/5)
+		obs = append(obs, core.Observation{Task: core.TaskID(j), User: 0, Value: expertVals[j]})
+		for u := 1; u <= 3; u++ {
+			obs = append(obs, core.Observation{Task: core.TaskID(j), User: core.UserID(u), Value: rng.Normal(truths[j], 1.0/0.3)})
+		}
+	}
+	res, err := Estimate(core.NewObservationTable(obs), func(core.TaskID) core.DomainID { return 1 }, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := res.Expertise.Get(0, 1)
+	for u := 1; u <= 3; u++ {
+		if res.Expertise.Get(core.UserID(u), 1) >= e0 {
+			t.Fatalf("noise user %d ranked above the expert", u)
+		}
+	}
+	var mleErr float64
+	for j := 0; j < nTasks; j++ {
+		mleErr += math.Abs(res.Mu[core.TaskID(j)] - truths[j])
+	}
+	if mleErr/nTasks > 0.5 {
+		t.Errorf("mean error %.3f too large with a u=5 expert present", mleErr/nTasks)
+	}
+}
+
+func TestEstimateIterationsReported(t *testing.T) {
+	w := newSynthWorld(5, 6)
+	res, err := Estimate(w.table(), w.domainOf, nil, Config{MaxIter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 3 {
+		t.Errorf("Iterations = %d despite MaxIter 3", res.Iterations)
+	}
+	if res.Converged {
+		t.Error("3 iterations should not be enough to converge here")
+	}
+}
+
+func TestEstimateWithDomainNone(t *testing.T) {
+	// Tasks without domains share the implicit DomainNone: estimation
+	// still works (a single global reliability per user).
+	w := newSynthWorld(6, 8)
+	res, err := Estimate(w.table(), func(core.TaskID) core.DomainID { return core.DomainNone }, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mu) != w.nTasks {
+		t.Errorf("estimated %d truths, want %d", len(res.Mu), w.nTasks)
+	}
+}
+
+func TestSingleObservationTasksExcludedFromExpertise(t *testing.T) {
+	obs := []core.Observation{
+		{Task: 0, User: 0, Value: 3}, // single-obs task: residual 0 by construction
+		{Task: 1, User: 0, Value: 1},
+		{Task: 1, User: 1, Value: 2},
+		{Task: 2, User: 0, Value: 5},
+		{Task: 2, User: 1, Value: 6},
+	}
+	cfg := Config{}
+	res, err := Estimate(core.NewObservationTable(obs), func(core.TaskID) core.DomainID { return 1 }, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contribs := Contributions(core.NewObservationTable(obs), func(core.TaskID) core.DomainID { return 1 }, res.Mu, res.Sigma, cfg)
+	for _, c := range contribs {
+		if c.User == 0 && c.Count > 2 {
+			t.Errorf("user 0 has %g counted observations; the single-obs task should be excluded", c.Count)
+		}
+	}
+}
+
+func TestLogLikelihoodImprovesWithFit(t *testing.T) {
+	w := newSynthWorld(9, 8)
+	tbl := w.table()
+	res, err := Estimate(tbl, w.domainOf, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu0, sigma0, exp0 := UniformParams(tbl)
+	before := LogLikelihood(tbl, w.domainOf, mu0, sigma0, exp0)
+	after := LogLikelihood(tbl, w.domainOf, res.Mu, res.Sigma, res.Expertise)
+	if after <= before {
+		t.Errorf("fitted log-likelihood %.1f not above initial %.1f", after, before)
+	}
+	// True parameters should also beat the uniform initialization.
+	trueMu := make(map[core.TaskID]float64)
+	trueSigma := make(map[core.TaskID]float64)
+	trueExp := make(Expertise)
+	for j := 0; j < w.nTasks; j++ {
+		trueMu[core.TaskID(j)] = w.mu[j]
+		trueSigma[core.TaskID(j)] = w.sigma[j]
+	}
+	for u := 0; u < w.nUsers; u++ {
+		for d := 0; d < w.nDomains; d++ {
+			trueExp.Set(core.UserID(u), core.DomainID(d+1), w.trueU[u][d])
+		}
+	}
+	atTruth := LogLikelihood(tbl, w.domainOf, trueMu, trueSigma, trueExp)
+	if atTruth <= before {
+		t.Errorf("truth log-likelihood %.1f not above initial %.1f", atTruth, before)
+	}
+}
+
+func TestLogLikelihoodEdgeCases(t *testing.T) {
+	if LogLikelihood(nil, nil, nil, nil, nil) != 0 {
+		t.Error("nil table should give 0")
+	}
+	obs := core.NewObservationTable([]core.Observation{{Task: 0, User: 0, Value: 1}})
+	dom := func(core.TaskID) core.DomainID { return 1 }
+	// Missing mu: skipped.
+	if got := LogLikelihood(obs, dom, map[core.TaskID]float64{}, map[core.TaskID]float64{}, nil); got != 0 {
+		t.Errorf("missing params should give 0, got %g", got)
+	}
+	// Non-positive sigma: skipped.
+	if got := LogLikelihood(obs, dom, map[core.TaskID]float64{0: 1}, map[core.TaskID]float64{0: 0}, nil); got != 0 {
+		t.Errorf("zero sigma should give 0, got %g", got)
+	}
+}

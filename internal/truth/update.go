@@ -1,0 +1,121 @@
+package truth
+
+import (
+	"math"
+
+	"eta2/internal/core"
+)
+
+// UpdateResult is the outcome of one dynamic expertise/truth update step.
+type UpdateResult struct {
+	// Mu and Sigma are the estimates for the tasks covered by the new
+	// observations.
+	Mu    map[core.TaskID]float64
+	Sigma map[core.TaskID]float64
+	// Iterations is the number of outer fixed-point iterations performed.
+	Iterations int
+	// Converged reports whether the truth estimates stabilized within
+	// RelTol before MaxIter.
+	Converged bool
+}
+
+// UpdateStep performs the dynamic update of Sec. 4.2 for one time step:
+// given the persistent expertise Store and the observations collected for
+// the step's (new) tasks, it alternates
+//
+//  1. estimate μ_j, σ_j of the new tasks from the candidate expertise
+//     (Eq. 5),
+//  2. recompute the candidate expertise from the decayed accumulators plus
+//     the fresh residuals (Eq. 7–9),
+//
+// until the truth estimates converge, then commits the fresh evidence into
+// the store. The returned estimates cover exactly the tasks present in obs.
+func UpdateStep(store *Store, obs *core.ObservationTable, domainOf func(core.TaskID) core.DomainID, cfg Config) (UpdateResult, error) {
+	cfg.applyDefaults()
+	if obs == nil || obs.Len() == 0 {
+		return UpdateResult{}, ErrNoObservations
+	}
+
+	tasks := obs.Tasks()
+	mu := make(map[core.TaskID]float64, len(tasks))
+	sigma := make(map[core.TaskID]float64, len(tasks))
+	for _, tid := range tasks {
+		mu[tid] = mean(obs.Values(tid))
+		sigma[tid] = cfg.MinSigma
+	}
+
+	// Candidate expertise starts at the store's current values (the paper
+	// initializes the iteration with the time-T expertise).
+	candidate := store.Snapshot()
+
+	var contribs []Contribution
+	var iterations int
+	converged := false
+	for iterations = 1; iterations <= cfg.MaxIter; iterations++ {
+		maxChange := estimateTaskParams(obs, domainOf, candidate, mu, sigma, cfg)
+
+		// Recompute the candidate expertise from previewed accumulators.
+		contribs = Contributions(obs, domainOf, mu, sigma, cfg)
+		for _, c := range contribs {
+			candidate.Set(c.User, c.Domain,
+				store.PreviewExpertise(c.User, c.Domain, c.Count, c.ResidualSq))
+		}
+
+		if maxChange < cfg.RelTol && iterations > 1 {
+			converged = true
+			break
+		}
+	}
+	if iterations > cfg.MaxIter {
+		iterations = cfg.MaxIter
+	}
+
+	store.Commit(contribs)
+	return UpdateResult{
+		Mu:         mu,
+		Sigma:      sigma,
+		Iterations: iterations,
+		Converged:  converged,
+	}, nil
+}
+
+// estimateTaskParams applies the Eq. 5 truth and base-number updates for
+// every task in obs using the given expertise snapshot, writing into mu and
+// sigma. It returns the maximum relative truth change.
+func estimateTaskParams(obs *core.ObservationTable, domainOf func(core.TaskID) core.DomainID,
+	exp Expertise, mu, sigma map[core.TaskID]float64, cfg Config) float64 {
+
+	maxChange := 0.0
+	for _, tid := range obs.Tasks() {
+		dom := domainOf(tid)
+		taskObs := obs.ForTask(tid)
+		var wSum, wxSum float64
+		for _, o := range taskObs {
+			u := exp.Get(o.User, dom)
+			w := u * u
+			wSum += w
+			wxSum += w * o.Value
+		}
+		if wSum == 0 {
+			continue
+		}
+		newMu := wxSum / wSum
+		if rel := math.Abs(newMu-mu[tid]) / (math.Abs(mu[tid]) + cfg.AbsTol); rel > maxChange {
+			maxChange = rel
+		}
+		mu[tid] = newMu
+
+		var ssq float64
+		for _, o := range taskObs {
+			u := exp.Get(o.User, dom)
+			d := o.Value - newMu
+			ssq += u * u * d * d
+		}
+		s := math.Sqrt(ssq / float64(len(taskObs)))
+		if s < cfg.MinSigma {
+			s = cfg.MinSigma
+		}
+		sigma[tid] = s
+	}
+	return maxChange
+}

@@ -1,0 +1,169 @@
+package eta2
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"eta2/internal/cluster"
+	"eta2/internal/core"
+	"eta2/internal/embedding"
+	"eta2/internal/semantic"
+	"eta2/internal/truth"
+)
+
+// stateVersion guards against loading snapshots from incompatible builds.
+const stateVersion = 1
+
+// serverState is the JSON snapshot of a Server. The embedding model itself
+// is not serialized — only the task vectors derived from it — so a restored
+// server needs WithEmbedder again only to create NEW described tasks.
+type serverState struct {
+	Version int `json:"version"`
+
+	Alpha   float64 `json:"alpha"`
+	Gamma   float64 `json:"gamma"`
+	Epsilon float64 `json:"epsilon"`
+
+	Users     []core.User   `json:"users"`
+	UserOrder []core.UserID `json:"user_order"`
+
+	Tasks    []core.Task              `json:"tasks"`
+	DomainOf map[TaskID]DomainID      `json:"domain_of"`
+	Pending  []TaskID                 `json:"pending"`
+	Truths   map[TaskID]TruthEstimate `json:"truths"`
+	Day      int                      `json:"day"`
+
+	Observations []Observation `json:"observations,omitempty"`
+
+	Store truth.StoreState `json:"store"`
+
+	// Clustering state; empty when the server runs without an embedder.
+	Cluster    *cluster.EngineState `json:"cluster,omitempty"`
+	Vectors    []taskVectorState    `json:"vectors,omitempty"`
+	ItemToTask []TaskID             `json:"item_to_task,omitempty"`
+}
+
+type taskVectorState struct {
+	Query  []float64 `json:"q"`
+	Target []float64 `json:"t"`
+}
+
+// SaveState serializes the server's full state (tasks, domains, learned
+// expertise, clustering structure, pending observations) as JSON. The
+// embedding model is not included; see LoadServer.
+func (s *Server) SaveState(w io.Writer) error {
+	st := serverState{
+		Version:      stateVersion,
+		Alpha:        s.cfg.alpha,
+		Gamma:        s.cfg.gamma,
+		Epsilon:      s.cfg.epsilon,
+		UserOrder:    s.userOrder,
+		Tasks:        s.tasks,
+		DomainOf:     s.domainOf,
+		Pending:      s.pending,
+		Truths:       s.truths,
+		Day:          s.day,
+		Observations: s.observations,
+		Store:        s.store.State(),
+		ItemToTask:   s.itemToTask,
+	}
+	for _, id := range s.userOrder {
+		st.Users = append(st.Users, s.users[id])
+	}
+	if s.clusterer != nil {
+		cs := s.clusterer.State()
+		st.Cluster = &cs
+		for _, v := range s.vectors {
+			st.Vectors = append(st.Vectors, taskVectorState{Query: v.Query, Target: v.Target})
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(st); err != nil {
+		return fmt.Errorf("eta2: save state: %w", err)
+	}
+	return nil
+}
+
+// ErrBadState is returned when a snapshot cannot be restored.
+var ErrBadState = errors.New("eta2: invalid server state")
+
+// LoadServer restores a Server from a SaveState snapshot. Pass WithEmbedder
+// if the server should be able to create new described tasks after the
+// restore; the snapshot's own task vectors are reused either way, so
+// clustering state survives even across embedder retrains (new tasks are
+// then placed with the NEW embedder's geometry — retrain with the same
+// corpus and seed to keep distances consistent).
+func LoadServer(r io.Reader, opts ...Option) (*Server, error) {
+	var st serverState
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&st); err != nil {
+		return nil, fmt.Errorf("eta2: load state: %w", err)
+	}
+	if st.Version != stateVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d, want %d", ErrBadState, st.Version, stateVersion)
+	}
+
+	allOpts := append([]Option{
+		WithAlpha(st.Alpha),
+		WithGamma(st.Gamma),
+		WithEpsilon(st.Epsilon),
+	}, opts...)
+	s, err := NewServer(allOpts...)
+	if err != nil {
+		return nil, err
+	}
+
+	if len(st.Users) != len(st.UserOrder) {
+		return nil, fmt.Errorf("%w: %d users, %d order entries", ErrBadState, len(st.Users), len(st.UserOrder))
+	}
+	for _, u := range st.Users {
+		if err := s.AddUsers(u); err != nil {
+			return nil, err
+		}
+	}
+
+	s.tasks = st.Tasks
+	s.pending = st.Pending
+	s.day = st.Day
+	s.observations = st.Observations
+	if st.DomainOf != nil {
+		s.domainOf = st.DomainOf
+	}
+	if st.Truths != nil {
+		s.truths = st.Truths
+	}
+
+	store, err := truth.RestoreStore(st.Store)
+	if err != nil {
+		return nil, fmt.Errorf("eta2: %w", err)
+	}
+	s.store = store
+
+	if st.Cluster != nil {
+		if len(st.Vectors) != st.Cluster.NItems || len(st.ItemToTask) != st.Cluster.NItems {
+			return nil, fmt.Errorf("%w: %d vectors / %d item ids for %d clustered items",
+				ErrBadState, len(st.Vectors), len(st.ItemToTask), st.Cluster.NItems)
+		}
+		s.vectors = make([]semantic.TaskVector, len(st.Vectors))
+		for i, v := range st.Vectors {
+			s.vectors[i] = semantic.TaskVector{
+				Query:  embedding.Vector(v.Query),
+				Target: embedding.Vector(v.Target),
+			}
+		}
+		s.itemToTask = st.ItemToTask
+		eng, err := cluster.Restore(*st.Cluster, func(a, b int) float64 {
+			return semantic.Distance(s.vectors[a], s.vectors[b])
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eta2: %w", err)
+		}
+		s.clusterer = eng
+		if s.vectorizer == nil && s.cfg.embedder != nil {
+			s.vectorizer = semantic.NewVectorizer(s.cfg.embedder)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,187 @@
+package eta2
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// buildBusyServer runs a couple of time steps so every state component is
+// populated: users, hinted+described tasks, expertise, truths, clustering.
+func buildBusyServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer(WithEmbedder(rootTestEmbedder(t)), WithAlpha(0.7), WithGamma(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 6; u++ {
+		if err := s.AddUsers(User{ID: UserID(u), Capacity: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	descs := []string{
+		"What is the noise level around the train station?",
+		"What is the decibel reading at the concert hall?",
+		"What is the retail price at the local supermarket?",
+		"What is the gas price at the gas station?",
+		"What is the traffic speed on the main bridge?",
+		"What is the congestion level at the ring road?",
+	}
+	for day := 0; day < 2; day++ {
+		var specs []TaskSpec
+		for _, d := range descs {
+			specs = append(specs, TaskSpec{Description: d, ProcTime: 1})
+		}
+		if _, err := s.CreateTasks(specs...); err != nil {
+			t.Fatal(err)
+		}
+		alloc, err := s.AllocateMaxQuality()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range alloc.Pairs {
+			v := float64(p.Task%7)*3 + rng.NormFloat64()/(1+float64(p.User))
+			if err := s.SubmitObservations(Observation{Task: p.Task, User: p.User, Value: v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := s.CloseTimeStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := buildBusyServer(t)
+
+	var buf bytes.Buffer
+	if err := s.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := LoadServer(bytes.NewReader(buf.Bytes()), WithEmbedder(rootTestEmbedder(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scalar state.
+	if restored.Day() != s.Day() {
+		t.Errorf("day: %d vs %d", restored.Day(), s.Day())
+	}
+	if restored.NumUsers() != s.NumUsers() {
+		t.Errorf("users: %d vs %d", restored.NumUsers(), s.NumUsers())
+	}
+	if restored.NumDomains() != s.NumDomains() {
+		t.Errorf("domains: %d vs %d", restored.NumDomains(), s.NumDomains())
+	}
+
+	// Domains and expertise must match exactly for every task and user.
+	for id := TaskID(0); int(id) < 12; id++ {
+		if restored.Domain(id) != s.Domain(id) {
+			t.Errorf("task %d: domain %d vs %d", id, restored.Domain(id), s.Domain(id))
+		}
+		for u := UserID(0); u < 6; u++ {
+			a, b := restored.Expertise(u, id), s.Expertise(u, id)
+			if a != b {
+				t.Errorf("expertise(%d,%d): %g vs %g", u, id, a, b)
+			}
+		}
+		ea, okA := restored.Truth(id)
+		eb, okB := s.Truth(id)
+		if okA != okB || ea != eb {
+			t.Errorf("truth(%d): %+v/%v vs %+v/%v", id, ea, okA, eb, okB)
+		}
+	}
+
+	// Snapshots must be byte-stable.
+	var buf2 bytes.Buffer
+	if err := restored.SaveState(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("save → load → save is not byte-stable")
+	}
+}
+
+func TestRestoredServerKeepsWorking(t *testing.T) {
+	s := buildBusyServer(t)
+	var buf bytes.Buffer
+	if err := s.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadServer(&buf, WithEmbedder(rootTestEmbedder(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// New described tasks must cluster into the EXISTING noise domain.
+	noiseDomain := restored.Domain(0) // task 0 was a noise question
+	ids, err := restored.CreateTasks(TaskSpec{
+		Description: "What is the sound intensity near the construction site?",
+		ProcTime:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Domain(ids[0]); got != noiseDomain {
+		t.Errorf("new noise task landed in domain %d, want %d", got, noiseDomain)
+	}
+
+	// And a full step still runs.
+	alloc, err := restored.AllocateMaxQuality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for _, p := range alloc.Pairs {
+		if err := restored.SubmitObservations(Observation{Task: p.Task, User: p.User, Value: rng.NormFloat64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := restored.CloseTimeStep(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadServerWithoutEmbedder(t *testing.T) {
+	s := buildBusyServer(t)
+	var buf bytes.Buffer
+	if err := s.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadServer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Existing state is fully usable...
+	if restored.NumDomains() != s.NumDomains() {
+		t.Error("domains lost")
+	}
+	// ...but new described tasks need an embedder.
+	if _, err := restored.CreateTasks(TaskSpec{Description: "What is the noise level?", ProcTime: 1}); err == nil {
+		t.Error("described task accepted without embedder")
+	}
+	// Hinted tasks still work.
+	if _, err := restored.CreateTasks(TaskSpec{Description: "hinted", ProcTime: 1, DomainHint: 1}); err != nil {
+		t.Errorf("hinted task rejected: %v", err)
+	}
+}
+
+func TestLoadServerRejectsGarbage(t *testing.T) {
+	if _, err := LoadServer(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := LoadServer(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	// Inconsistent cluster state.
+	bad := `{"version":1,"alpha":0.5,"gamma":0.5,"epsilon":0.1,` +
+		`"store":{"alpha":0.5,"prior":0.5},` +
+		`"cluster":{"gamma":0.5,"n_items":2,"domains":[1],"members":[[0]],"dist_matrix":[[0]],"item_cluster":[0]}}`
+	if _, err := LoadServer(strings.NewReader(bad)); err == nil {
+		t.Error("inconsistent cluster state accepted")
+	}
+}

@@ -1,0 +1,467 @@
+package eta2
+
+import (
+	"errors"
+	"fmt"
+
+	"eta2/internal/allocation"
+	"eta2/internal/cluster"
+	"eta2/internal/core"
+	"eta2/internal/semantic"
+	"eta2/internal/truth"
+)
+
+// Server is the crowdsourcing server: it owns task/domain state, learned
+// user expertise, and the allocation and truth-analysis machinery. It is
+// not safe for concurrent use; wrap it in a mutex if multiple goroutines
+// drive one server.
+type Server struct {
+	cfg config
+
+	users     map[UserID]User
+	userOrder []UserID
+
+	tasks    []core.Task
+	domainOf map[TaskID]DomainID
+	// pending are tasks created since the last CloseTimeStep, awaiting
+	// allocation/observations.
+	pending []TaskID
+
+	store      *truth.Store
+	clusterer  *cluster.Engine
+	vectorizer *semantic.Vectorizer
+	vectors    []semantic.TaskVector
+	itemToTask []TaskID
+
+	observations []Observation
+	truths       map[TaskID]TruthEstimate
+	day          int
+
+	lastNewDomains []DomainID
+	lastMerges     int
+}
+
+type config struct {
+	alpha    float64
+	gamma    float64
+	epsilon  float64
+	truthCfg truth.Config
+	embedder Embedder
+}
+
+// Option customizes a Server.
+type Option func(*config) error
+
+// WithAlpha sets the expertise decay factor α ∈ [0, 1] (default 0.5).
+func WithAlpha(alpha float64) Option {
+	return func(c *config) error {
+		if alpha < 0 || alpha > 1 {
+			return fmt.Errorf("eta2: alpha %g outside [0, 1]", alpha)
+		}
+		c.alpha = alpha
+		return nil
+	}
+}
+
+// WithGamma sets the clustering termination parameter γ ∈ [0, 1]
+// (default 0.5).
+func WithGamma(gamma float64) Option {
+	return func(c *config) error {
+		if gamma < 0 || gamma > 1 {
+			return fmt.Errorf("eta2: gamma %g outside [0, 1]", gamma)
+		}
+		c.gamma = gamma
+		return nil
+	}
+}
+
+// WithEpsilon sets the accuracy threshold ε of the allocation objective
+// (default 0.1).
+func WithEpsilon(eps float64) Option {
+	return func(c *config) error {
+		if eps <= 0 {
+			return fmt.Errorf("eta2: epsilon must be positive, got %g", eps)
+		}
+		c.epsilon = eps
+		return nil
+	}
+}
+
+// WithEmbedder supplies the word-embedding model used for semantic task
+// clustering. Required if tasks are created with descriptions rather than
+// domain hints.
+func WithEmbedder(e Embedder) Option {
+	return func(c *config) error {
+		if e == nil {
+			return errors.New("eta2: nil embedder")
+		}
+		c.embedder = e
+		return nil
+	}
+}
+
+// WithTruthConfig overrides the MLE tuning knobs.
+func WithTruthConfig(tc truth.Config) Option {
+	return func(c *config) error {
+		c.truthCfg = tc
+		return nil
+	}
+}
+
+// NewServer creates a Server.
+func NewServer(opts ...Option) (*Server, error) {
+	cfg := config{alpha: 0.5, gamma: 0.5, epsilon: allocation.DefaultEpsilon}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{
+		cfg:      cfg,
+		users:    make(map[UserID]User),
+		domainOf: make(map[TaskID]DomainID),
+		store:    truth.NewStore(cfg.alpha),
+		truths:   make(map[TaskID]TruthEstimate),
+	}
+	if cfg.embedder != nil {
+		s.vectorizer = semantic.NewVectorizer(cfg.embedder)
+		eng, err := cluster.New(cfg.gamma, func(a, b int) float64 {
+			return semantic.Distance(s.vectors[a], s.vectors[b])
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eta2: %w", err)
+		}
+		s.clusterer = eng
+	}
+	return s, nil
+}
+
+// AddUsers registers users with the server. Re-adding an existing ID
+// updates its capacity.
+func (s *Server) AddUsers(users ...User) error {
+	for _, u := range users {
+		if err := u.Validate(); err != nil {
+			return fmt.Errorf("eta2: %w", err)
+		}
+		if _, ok := s.users[u.ID]; !ok {
+			s.userOrder = append(s.userOrder, u.ID)
+		}
+		s.users[u.ID] = u
+	}
+	return nil
+}
+
+// NumUsers returns the number of registered users.
+func (s *Server) NumUsers() int { return len(s.users) }
+
+// ErrNoEmbedder is returned when a described task is created on a server
+// built without WithEmbedder.
+var ErrNoEmbedder = errors.New("eta2: described tasks require WithEmbedder; set DomainHint otherwise")
+
+// CreateTasks registers new tasks and identifies their expertise domains:
+// hinted tasks adopt their hint, described tasks are vectorized with the
+// pair-word method and clustered dynamically. It returns the assigned task
+// IDs, in spec order.
+func (s *Server) CreateTasks(specs ...TaskSpec) ([]TaskID, error) {
+	ids := make([]TaskID, 0, len(specs))
+	var clusterItems []TaskID
+	for _, spec := range specs {
+		t := core.Task{
+			ID:          TaskID(len(s.tasks)),
+			Description: spec.Description,
+			Domain:      spec.DomainHint,
+			ProcTime:    spec.ProcTime,
+			Cost:        spec.Cost,
+			Day:         s.day,
+		}
+		if t.Cost == 0 {
+			t.Cost = 1
+		}
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("eta2: %w", err)
+		}
+		if spec.DomainHint == DomainNone {
+			if s.clusterer == nil || s.vectorizer == nil {
+				return nil, ErrNoEmbedder
+			}
+			tv, err := s.vectorizer.Vectorize(spec.Description)
+			if err != nil {
+				return nil, fmt.Errorf("eta2: %w", err)
+			}
+			s.vectors = append(s.vectors, tv)
+			s.itemToTask = append(s.itemToTask, t.ID)
+			clusterItems = append(clusterItems, t.ID)
+		} else {
+			s.domainOf[t.ID] = spec.DomainHint
+		}
+		s.tasks = append(s.tasks, t)
+		s.pending = append(s.pending, t.ID)
+		ids = append(ids, t.ID)
+	}
+
+	s.lastNewDomains = nil
+	s.lastMerges = 0
+	if len(clusterItems) > 0 {
+		up, err := s.clusterer.AddItems(len(clusterItems))
+		if err != nil {
+			return nil, fmt.Errorf("eta2: clustering: %w", err)
+		}
+		for _, m := range up.Merges {
+			s.store.MergeDomains(m.Into, m.From)
+		}
+		for item, dom := range up.Assigned {
+			s.domainOf[s.itemToTask[item]] = dom
+		}
+		s.lastNewDomains = up.NewDomains
+		s.lastMerges = len(up.Merges)
+	}
+	return ids, nil
+}
+
+// Domain returns the expertise domain assigned to a task.
+func (s *Server) Domain(id TaskID) DomainID { return s.domainOf[id] }
+
+// NumDomains returns the number of discovered domains (clustered servers
+// only; hinted domains are counted by their distinct hints).
+func (s *Server) NumDomains() int {
+	seen := make(map[DomainID]struct{})
+	for _, d := range s.domainOf {
+		seen[d] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Expertise returns the learned expertise of user u for task t (via the
+// task's domain). Unobserved pairs return DefaultExpertise.
+func (s *Server) Expertise(u UserID, t TaskID) float64 {
+	return s.store.Expertise(u, s.domainOf[t])
+}
+
+// ExpertiseInDomain returns the learned expertise of user u in a domain.
+func (s *Server) ExpertiseInDomain(u UserID, d DomainID) float64 {
+	return s.store.Expertise(u, d)
+}
+
+// pendingTasks materializes the pending task structs.
+func (s *Server) pendingTasks() []core.Task {
+	out := make([]core.Task, 0, len(s.pending))
+	for _, id := range s.pending {
+		out = append(out, s.tasks[int(id)])
+	}
+	return out
+}
+
+func (s *Server) allocationInput(tasks []core.Task) allocation.Input {
+	users := make([]User, 0, len(s.userOrder))
+	for _, id := range s.userOrder {
+		users = append(users, s.users[id])
+	}
+	return allocation.Input{
+		Users: users,
+		Tasks: tasks,
+		Expertise: func(u UserID, t TaskID) float64 {
+			return s.store.Expertise(u, s.domainOf[t])
+		},
+		Epsilon: s.cfg.epsilon,
+	}
+}
+
+// ErrNothingToAllocate is returned when allocation is requested with no
+// pending tasks or no users.
+var ErrNothingToAllocate = errors.New("eta2: no pending tasks or no users to allocate")
+
+// AllocateMaxQuality solves the max-quality allocation problem for the
+// pending tasks: maximize the probability that each task receives accurate
+// data, subject to user capacities (Sec. 5.1 of the paper).
+func (s *Server) AllocateMaxQuality() (*Allocation, error) {
+	tasks := s.pendingTasks()
+	if len(tasks) == 0 || len(s.users) == 0 {
+		return nil, ErrNothingToAllocate
+	}
+	res, err := allocation.MaxQuality(s.allocationInput(tasks), allocation.MaxQualityOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("eta2: %w", err)
+	}
+	return res.Allocation, nil
+}
+
+// AllocateMaxQualityBudgeted solves the max-quality problem for the pending
+// tasks under an additional total recruiting budget Σ s_ij·c_j ≤ budget —
+// the allocation for a server with a fixed per-step payroll.
+func (s *Server) AllocateMaxQualityBudgeted(budget float64) (*Allocation, error) {
+	tasks := s.pendingTasks()
+	if len(tasks) == 0 || len(s.users) == 0 {
+		return nil, ErrNothingToAllocate
+	}
+	res, err := allocation.MaxQualityBudgeted(s.allocationInput(tasks), budget, allocation.MaxQualityOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("eta2: %w", err)
+	}
+	return res.Allocation, nil
+}
+
+// MinCostParams parameterizes AllocateMinCost.
+type MinCostParams struct {
+	// EpsBar is the maximum normalized estimation error ε̄ (default 0.5).
+	EpsBar float64
+	// ConfAlpha is 1 − confidence (default 0.05 for 95%).
+	ConfAlpha float64
+	// IterBudget is the per-iteration cost cap c° (default 60).
+	IterBudget float64
+}
+
+// Collector gathers observations for newly allocated pairs — in production
+// it pushes the tasks to the users' devices and waits for their data.
+type Collector func(pairs []Pair) ([]Observation, error)
+
+// MinCostOutcome reports the result of a min-cost allocation round.
+type MinCostOutcome struct {
+	Allocation *Allocation
+	Cost       float64
+	Iterations int
+	// Unsatisfied lists tasks whose quality requirement could not be met
+	// with the available user capacity.
+	Unsatisfied []TaskID
+}
+
+// AllocateMinCost solves the min-cost allocation problem for the pending
+// tasks (Sec. 5.2): iteratively recruit at most IterBudget worth of users,
+// collect their data via collect, and stop as soon as every task's
+// estimation error is within ε̄ base numbers with the requested confidence.
+// The collected observations are recorded on the server, so CloseTimeStep
+// afterwards finalizes the step without re-collecting.
+func (s *Server) AllocateMinCost(params MinCostParams, collect Collector) (MinCostOutcome, error) {
+	tasks := s.pendingTasks()
+	if len(tasks) == 0 || len(s.users) == 0 {
+		return MinCostOutcome{}, ErrNothingToAllocate
+	}
+	if collect == nil {
+		return MinCostOutcome{}, errors.New("eta2: nil collector")
+	}
+
+	table := core.NewObservationTable(nil)
+	allocated := make(map[TaskID][]UserID)
+	domainFn := func(id TaskID) DomainID { return s.domainOf[id] }
+
+	env := allocation.EnvironmentFunc(func(newPairs []Pair) (allocation.IterationOutcome, error) {
+		obs, err := collect(newPairs)
+		if err != nil {
+			return allocation.IterationOutcome{}, err
+		}
+		s.observations = append(s.observations, obs...)
+		table.AddAll(obs)
+		// Only users that actually responded contribute information to the
+		// confidence interval; allocated-but-silent users must not count.
+		for _, o := range obs {
+			allocated[o.Task] = append(allocated[o.Task], o.User)
+		}
+		tmp := s.store.Clone()
+		upd, err := truth.UpdateStep(tmp, table, domainFn, s.cfg.truthCfg)
+		if err != nil {
+			return allocation.IterationOutcome{}, err
+		}
+		exp := tmp.Snapshot()
+		sums := make(map[TaskID]float64, len(allocated))
+		for tid, us := range allocated {
+			sums[tid] = truth.SumSquaredExpertise(us, domainFn(tid), exp)
+		}
+		return allocation.IterationOutcome{Sigma: upd.Sigma, SumSquaredExpertise: sums}, nil
+	})
+
+	res, err := allocation.MinCost(s.allocationInput(tasks), allocation.MinCostConfig{
+		EpsBar:     params.EpsBar,
+		Alpha:      params.ConfAlpha,
+		IterBudget: params.IterBudget,
+	}, env)
+	if err != nil {
+		return MinCostOutcome{}, fmt.Errorf("eta2: %w", err)
+	}
+	return MinCostOutcome{
+		Allocation:  res.Allocation,
+		Cost:        res.Cost,
+		Iterations:  res.Iterations,
+		Unsatisfied: res.Unsatisfied,
+	}, nil
+}
+
+// SubmitObservations records data reported by users for this time step.
+func (s *Server) SubmitObservations(obs ...Observation) error {
+	for _, o := range obs {
+		if int(o.Task) < 0 || int(o.Task) >= len(s.tasks) {
+			return fmt.Errorf("eta2: observation for unknown task %d", o.Task)
+		}
+		if _, ok := s.users[o.User]; !ok {
+			return fmt.Errorf("eta2: observation from unknown user %d", o.User)
+		}
+		o.Day = s.day
+		s.observations = append(s.observations, o)
+	}
+	return nil
+}
+
+// ErrNoObservations is returned by CloseTimeStep when nothing was
+// submitted.
+var ErrNoObservations = errors.New("eta2: no observations submitted this time step")
+
+// CloseTimeStep runs expertise-aware truth analysis over the observations
+// submitted since the previous step, commits the expertise update, clears
+// the pending state, and advances the server's clock.
+func (s *Server) CloseTimeStep() (StepReport, error) {
+	if len(s.observations) == 0 {
+		return StepReport{}, ErrNoObservations
+	}
+	table := core.NewObservationTable(s.observations)
+	domainFn := func(id TaskID) DomainID { return s.domainOf[id] }
+
+	var mu, sigma map[TaskID]float64
+	var iters int
+	var converged bool
+	if s.day == 0 {
+		// Warm-up: joint MLE from scratch (Sec. 4.1).
+		res, err := truth.Estimate(table, domainFn, nil, s.cfg.truthCfg)
+		if err != nil {
+			return StepReport{}, fmt.Errorf("eta2: %w", err)
+		}
+		s.store.Commit(truth.Contributions(table, domainFn, res.Mu, res.Sigma, s.cfg.truthCfg))
+		mu, sigma, iters, converged = res.Mu, res.Sigma, res.Iterations, res.Converged
+	} else {
+		// Dynamic update with decayed expertise accumulators (Sec. 4.2).
+		res, err := truth.UpdateStep(s.store, table, domainFn, s.cfg.truthCfg)
+		if err != nil {
+			return StepReport{}, fmt.Errorf("eta2: %w", err)
+		}
+		mu, sigma, iters, converged = res.Mu, res.Sigma, res.Iterations, res.Converged
+	}
+
+	report := StepReport{
+		Day:           s.day,
+		MLEIterations: iters,
+		Converged:     converged,
+		NewDomains:    s.lastNewDomains,
+		MergedDomains: s.lastMerges,
+	}
+	for _, tid := range table.Tasks() {
+		est := TruthEstimate{
+			Task:         tid,
+			Value:        mu[tid],
+			Base:         sigma[tid],
+			Observations: len(table.ForTask(tid)),
+		}
+		s.truths[tid] = est
+		report.Estimates = append(report.Estimates, est)
+	}
+
+	s.observations = nil
+	s.pending = nil
+	s.day++
+	return report, nil
+}
+
+// Truth returns the latest truth estimate for a task.
+func (s *Server) Truth(id TaskID) (TruthEstimate, bool) {
+	est, ok := s.truths[id]
+	return est, ok
+}
+
+// Day returns the server's current time-step index.
+func (s *Server) Day() int { return s.day }

@@ -1,0 +1,377 @@
+package eta2
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"eta2/internal/embedding"
+)
+
+func TestNewServerOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Option
+	}{
+		{"alpha low", WithAlpha(-0.1)},
+		{"alpha high", WithAlpha(1.1)},
+		{"gamma low", WithGamma(-1)},
+		{"gamma high", WithGamma(2)},
+		{"epsilon zero", WithEpsilon(0)},
+		{"nil embedder", WithEmbedder(nil)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewServer(tc.opt); err == nil {
+				t.Error("invalid option accepted")
+			}
+		})
+	}
+	if _, err := NewServer(WithAlpha(0.3), WithGamma(0.6), WithEpsilon(0.2)); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+func TestAddUsersValidation(t *testing.T) {
+	s, _ := NewServer()
+	if err := s.AddUsers(User{ID: -1, Capacity: 1}); err == nil {
+		t.Error("invalid user accepted")
+	}
+	if err := s.AddUsers(User{ID: 0, Capacity: 1}, User{ID: 1, Capacity: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumUsers() != 2 {
+		t.Errorf("NumUsers = %d", s.NumUsers())
+	}
+	// Re-adding updates capacity, not count.
+	if err := s.AddUsers(User{ID: 0, Capacity: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumUsers() != 2 {
+		t.Errorf("NumUsers after update = %d", s.NumUsers())
+	}
+}
+
+func TestCreateTasksValidation(t *testing.T) {
+	s, _ := NewServer()
+	if _, err := s.CreateTasks(TaskSpec{Description: "x", ProcTime: 0, DomainHint: 1}); err == nil {
+		t.Error("zero proc time accepted")
+	}
+	// Described task without embedder.
+	if _, err := s.CreateTasks(TaskSpec{Description: "what is the noise level", ProcTime: 1}); !errors.Is(err, ErrNoEmbedder) {
+		t.Errorf("got %v, want ErrNoEmbedder", err)
+	}
+	ids, err := s.CreateTasks(
+		TaskSpec{Description: "a", ProcTime: 1, DomainHint: 1},
+		TaskSpec{Description: "b", ProcTime: 1, DomainHint: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Errorf("ids = %v", ids)
+	}
+	if s.Domain(0) != 1 || s.Domain(1) != 2 {
+		t.Error("domain hints not applied")
+	}
+	if s.NumDomains() != 2 {
+		t.Errorf("NumDomains = %d", s.NumDomains())
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	s, _ := NewServer()
+	if _, err := s.AllocateMaxQuality(); !errors.Is(err, ErrNothingToAllocate) {
+		t.Errorf("no tasks/users: %v", err)
+	}
+	if _, err := s.AllocateMinCost(MinCostParams{}, nil); !errors.Is(err, ErrNothingToAllocate) {
+		t.Errorf("min-cost no tasks: %v", err)
+	}
+	_ = s.AddUsers(User{ID: 0, Capacity: 4})
+	_, _ = s.CreateTasks(TaskSpec{Description: "x", ProcTime: 1, DomainHint: 1})
+	if _, err := s.AllocateMinCost(MinCostParams{}, nil); err == nil {
+		t.Error("nil collector accepted")
+	}
+}
+
+func TestSubmitObservationsValidation(t *testing.T) {
+	s, _ := NewServer()
+	_ = s.AddUsers(User{ID: 0, Capacity: 4})
+	_, _ = s.CreateTasks(TaskSpec{Description: "x", ProcTime: 1, DomainHint: 1})
+	if err := s.SubmitObservations(Observation{Task: 5, User: 0, Value: 1}); err == nil {
+		t.Error("unknown task accepted")
+	}
+	if err := s.SubmitObservations(Observation{Task: 0, User: 9, Value: 1}); err == nil {
+		t.Error("unknown user accepted")
+	}
+	if err := s.SubmitObservations(Observation{Task: 0, User: 0, Value: 1}); err != nil {
+		t.Errorf("valid observation rejected: %v", err)
+	}
+}
+
+func TestCloseTimeStepEmpty(t *testing.T) {
+	s, _ := NewServer()
+	if _, err := s.CloseTimeStep(); !errors.Is(err, ErrNoObservations) {
+		t.Errorf("got %v, want ErrNoObservations", err)
+	}
+}
+
+func TestServerLifecycleLearnsExpert(t *testing.T) {
+	s, err := NewServer(WithAlpha(0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Note: at least three observers per task are needed for expertise to
+	// be identifiable — with exactly two, the per-task MLE of σ forces
+	// both standardized residuals to 1 and no signal remains.
+	if err := s.AddUsers(
+		User{ID: 0, Capacity: 10},
+		User{ID: 1, Capacity: 10},
+		User{ID: 2, Capacity: 10},
+		User{ID: 3, Capacity: 10},
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	const dom = DomainID(1)
+	truth := func(task TaskID) float64 { return 10 + float64(task%5) }
+	submitted := make(map[TaskID][]float64)
+
+	for day := 0; day < 3; day++ {
+		ids, err := s.CreateTasks(
+			TaskSpec{Description: "t1", ProcTime: 1, DomainHint: dom},
+			TaskSpec{Description: "t2", ProcTime: 1, DomainHint: dom},
+			TaskSpec{Description: "t3", ProcTime: 1, DomainHint: dom},
+			TaskSpec{Description: "t4", ProcTime: 1, DomainHint: dom},
+			TaskSpec{Description: "t5", ProcTime: 1, DomainHint: dom},
+			TaskSpec{Description: "t6", ProcTime: 1, DomainHint: dom},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alloc, err := s.AllocateMaxQuality()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alloc.Len() == 0 {
+			t.Fatal("empty allocation")
+		}
+		for _, p := range alloc.Pairs {
+			sd := 0.3 // user 0: expert
+			if p.User != 0 {
+				sd = 5 // everyone else: noise
+			}
+			v := truth(p.Task) + rng.NormFloat64()*sd
+			submitted[p.Task] = append(submitted[p.Task], v)
+			if err := s.SubmitObservations(Observation{Task: p.Task, User: p.User, Value: v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		report, err := s.CloseTimeStep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Day != day {
+			t.Errorf("report day %d, want %d", report.Day, day)
+		}
+		if len(report.Estimates) != len(ids) {
+			t.Errorf("day %d: %d estimates for %d tasks", day, len(report.Estimates), len(ids))
+		}
+	}
+
+	if s.Day() != 3 {
+		t.Errorf("Day = %d, want 3", s.Day())
+	}
+	if e0, e1 := s.ExpertiseInDomain(0, dom), s.ExpertiseInDomain(1, dom); e0 <= e1 {
+		t.Errorf("expert (%.2f) not ranked above noise user (%.2f)", e0, e1)
+	}
+	// Final-day estimates must be retrievable and, in aggregate, closer to
+	// the truth than the plain mean of the same observations — the
+	// expertise weighting has to pay off.
+	var mleErr, meanErr float64
+	for id := TaskID(12); id < 18; id++ {
+		est, ok := s.Truth(id)
+		if !ok {
+			t.Fatalf("no estimate for task %d", id)
+		}
+		mleErr += math.Abs(est.Value - truth(id))
+		var sum float64
+		for _, v := range submitted[id] {
+			sum += v
+		}
+		meanErr += math.Abs(sum/float64(len(submitted[id])) - truth(id))
+	}
+	if mleErr >= meanErr {
+		t.Errorf("expertise-weighted error %.2f not below plain-mean error %.2f", mleErr, meanErr)
+	}
+	if _, ok := s.Truth(999); ok {
+		t.Error("estimate for unknown task")
+	}
+}
+
+func TestServerMinCostLifecycle(t *testing.T) {
+	s, err := NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := make([]User, 12)
+	for i := range users {
+		users[i] = User{ID: UserID(i), Capacity: 6}
+	}
+	if err := s.AddUsers(users...); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(2))
+	// Warm-up day with max-quality so expertise exists.
+	warmIDs, _ := s.CreateTasks(
+		TaskSpec{Description: "w1", ProcTime: 1, DomainHint: 1},
+		TaskSpec{Description: "w2", ProcTime: 1, DomainHint: 1},
+	)
+	alloc, err := s.AllocateMaxQuality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range alloc.Pairs {
+		_ = s.SubmitObservations(Observation{Task: p.Task, User: p.User, Value: 5 + rng.NormFloat64()})
+	}
+	if _, err := s.CloseTimeStep(); err != nil {
+		t.Fatal(err)
+	}
+	_ = warmIDs
+
+	ids, err := s.CreateTasks(
+		TaskSpec{Description: "m1", ProcTime: 1, Cost: 1, DomainHint: 1},
+		TaskSpec{Description: "m2", ProcTime: 1, Cost: 1, DomainHint: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collected := 0
+	out, err := s.AllocateMinCost(MinCostParams{EpsBar: 0.5, ConfAlpha: 0.05, IterBudget: 4},
+		func(pairs []Pair) ([]Observation, error) {
+			obs := make([]Observation, 0, len(pairs))
+			for _, p := range pairs {
+				collected++
+				obs = append(obs, Observation{Task: p.Task, User: p.User, Value: 7 + rng.NormFloat64()*0.5})
+			}
+			return obs, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Allocation.Len() == 0 || collected != out.Allocation.Len() {
+		t.Errorf("allocated %d, collected %d", out.Allocation.Len(), collected)
+	}
+	if out.Cost <= 0 {
+		t.Errorf("cost = %g", out.Cost)
+	}
+
+	// CloseTimeStep finalizes using the observations collected inside the
+	// min-cost loop — no re-submission needed.
+	report, err := s.CloseTimeStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, est := range report.Estimates {
+		for _, id := range ids {
+			if est.Task == id {
+				found++
+			}
+		}
+	}
+	if found != len(ids) {
+		t.Errorf("estimates cover %d of %d min-cost tasks", found, len(ids))
+	}
+}
+
+var (
+	rootEmbOnce sync.Once
+	rootEmb     Embedder
+	rootEmbErr  error
+)
+
+func rootTestEmbedder(t *testing.T) Embedder {
+	t.Helper()
+	rootEmbOnce.Do(func() {
+		corpus := embedding.GenerateCorpus(embedding.BuiltinDomains, embedding.CorpusConfig{
+			Seed:               1,
+			SentencesPerDomain: 120,
+		})
+		rootEmb, rootEmbErr = embedding.Train(corpus, embedding.TrainConfig{Dim: 24, Epochs: 3, Seed: 2})
+	})
+	if rootEmbErr != nil {
+		t.Fatal(rootEmbErr)
+	}
+	return rootEmb
+}
+
+func TestServerSemanticClustering(t *testing.T) {
+	s, err := NewServer(WithEmbedder(rootTestEmbedder(t)), WithGamma(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := s.CreateTasks(
+		TaskSpec{Description: "What is the noise level around the train station?", ProcTime: 1},
+		TaskSpec{Description: "What is the decibel reading at the construction site?", ProcTime: 1},
+		TaskSpec{Description: "What is the retail price at the local supermarket?", ProcTime: 1},
+		TaskSpec{Description: "What is the grocery price at the farmers market?", ProcTime: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Domain(ids[0]) != s.Domain(ids[1]) {
+		t.Error("two noise tasks in different domains")
+	}
+	if s.Domain(ids[2]) != s.Domain(ids[3]) {
+		t.Error("two price tasks in different domains")
+	}
+	if s.Domain(ids[0]) == s.Domain(ids[2]) {
+		t.Error("noise and price tasks share a domain")
+	}
+}
+
+func TestTrainEmbedderAndBuiltinCorpus(t *testing.T) {
+	corpus := BuiltinCorpus(1)
+	if len(corpus) == 0 {
+		t.Fatal("empty builtin corpus")
+	}
+	emb, err := TrainEmbedder(corpus[:200], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.Dim() <= 0 {
+		t.Error("bad embedder dimensionality")
+	}
+}
+
+func TestAllocateMaxQualityBudgeted(t *testing.T) {
+	s, _ := NewServer()
+	if _, err := s.AllocateMaxQualityBudgeted(10); !errors.Is(err, ErrNothingToAllocate) {
+		t.Errorf("empty server: %v", err)
+	}
+	for u := 0; u < 5; u++ {
+		_ = s.AddUsers(User{ID: UserID(u), Capacity: 10})
+	}
+	var specs []TaskSpec
+	for j := 0; j < 10; j++ {
+		specs = append(specs, TaskSpec{Description: "t", ProcTime: 1, Cost: 1, DomainHint: 1})
+	}
+	if _, err := s.CreateTasks(specs...); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := s.AllocateMaxQualityBudgeted(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Len() == 0 || alloc.Len() > 12 {
+		t.Errorf("allocated %d pairs under budget 12", alloc.Len())
+	}
+	if _, err := s.AllocateMaxQualityBudgeted(-1); err == nil {
+		t.Error("negative budget accepted")
+	}
+}

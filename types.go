@@ -1,0 +1,130 @@
+// Package eta2 is a Go implementation of ETA² — Expertise-aware Truth
+// Analysis and Task Allocation for mobile crowdsourcing (Zhang, Wu, Huang,
+// Ji, Cao; ICDCS 2017).
+//
+// A crowdsourcing server using this package runs a repeating loop:
+//
+//  1. Create tasks from natural-language descriptions (CreateTasks). The
+//     server clusters them into expertise domains with pair-word semantic
+//     analysis and dynamic hierarchical clustering.
+//  2. Allocate tasks to users (AllocateMaxQuality or AllocateMinCost),
+//     matching tasks to the users with the highest learned expertise in
+//     their domain, subject to per-user processing capacities — and, for
+//     min-cost, subject to a probabilistic data-quality requirement at
+//     minimum recruiting cost.
+//  3. Submit the users' observations (SubmitObservations) and close the
+//     time step (CloseTimeStep): the server estimates each task's truth by
+//     expertise-aware maximum-likelihood estimation and updates every
+//     user's per-domain expertise with exponential decay.
+//
+// The internal packages expose the substrates individually (embedding
+// training, clustering, MLE truth analysis, allocation solvers, baselines,
+// dataset generators, the evaluation harness); this package is the
+// production-facing façade.
+package eta2
+
+import (
+	"io"
+
+	"eta2/internal/core"
+	"eta2/internal/embedding"
+	"eta2/internal/truth"
+)
+
+// Re-exported identifier types. Aliases keep values interchangeable with
+// the internal packages.
+type (
+	// TaskID identifies a task.
+	TaskID = core.TaskID
+	// UserID identifies a user.
+	UserID = core.UserID
+	// DomainID identifies a learned expertise domain.
+	DomainID = core.DomainID
+	// User is a recruitable user with a per-time-step processing capacity
+	// in hours.
+	User = core.User
+	// Observation is one reported value.
+	Observation = core.Observation
+	// Pair is one (user, task) allocation decision.
+	Pair = core.Pair
+	// Allocation is a set of allocation decisions.
+	Allocation = core.Allocation
+	// Embedder supplies word vectors for semantic task analysis.
+	Embedder = embedding.Embedder
+)
+
+// DomainNone marks a task whose expertise domain is not yet known.
+const DomainNone = core.DomainNone
+
+// TaskSpec describes a task being created at the server.
+type TaskSpec struct {
+	// Description is the natural-language task description ("What is the
+	// noise level around the municipal building?"). Required unless
+	// DomainHint is set.
+	Description string
+	// ProcTime is the processing time t_j in hours a user needs to
+	// complete the task. Must be positive.
+	ProcTime float64
+	// Cost is the recruiting cost c_j paid per user allocated to the task
+	// (only used by min-cost allocation). Defaults to 1.
+	Cost float64
+	// DomainHint pre-assigns an expertise domain, bypassing semantic
+	// clustering for this task (useful when domains are known a priori,
+	// as in the paper's synthetic evaluation).
+	DomainHint DomainID
+}
+
+// TruthEstimate is the server's estimate for one task after a time step.
+type TruthEstimate struct {
+	Task TaskID
+	// Value is the estimated truth μ̂_j.
+	Value float64
+	// Base is the estimated base number σ̂_j (the task's value scale).
+	Base float64
+	// Observations is the number of data points backing the estimate.
+	Observations int
+}
+
+// StepReport summarizes a closed time step.
+type StepReport struct {
+	// Day is the index of the closed time step.
+	Day int
+	// Estimates holds the truth estimates for the tasks that received
+	// observations this step.
+	Estimates []TruthEstimate
+	// MLEIterations is the number of fixed-point iterations the truth
+	// analysis needed.
+	MLEIterations int
+	// Converged reports whether the estimates met the convergence
+	// tolerance.
+	Converged bool
+	// NewDomains and MergedDomains report clustering activity of the step.
+	NewDomains    []DomainID
+	MergedDomains int
+}
+
+// EmbeddingModel is a trained skip-gram model. Beyond the Embedder
+// interface it supports Save/Load (train once, reload at startup) and
+// nearest-neighbor queries.
+type EmbeddingModel = embedding.Model
+
+// TrainEmbedder trains a skip-gram embedding model on the provided
+// tokenized corpus. For quick starts, BuiltinCorpus generates a topical
+// synthetic corpus covering common mobile-sensing domains.
+func TrainEmbedder(corpus [][]string, seed int64) (*EmbeddingModel, error) {
+	return embedding.Train(corpus, embedding.TrainConfig{Seed: seed})
+}
+
+// LoadEmbedder restores a model previously written with
+// (*EmbeddingModel).Save.
+func LoadEmbedder(r io.Reader) (*EmbeddingModel, error) {
+	return embedding.Load(r)
+}
+
+// BuiltinCorpus generates the builtin synthetic multi-domain corpus.
+func BuiltinCorpus(seed int64) [][]string {
+	return embedding.GenerateCorpus(embedding.BuiltinDomains, embedding.CorpusConfig{Seed: seed})
+}
+
+// DefaultExpertise is the prior expertise assumed before any evidence.
+const DefaultExpertise = truth.DefaultExpertise
