@@ -15,6 +15,7 @@ package eta2
 // than the eta2bench reports recorded in EXPERIMENTS.md.
 
 import (
+	"runtime"
 	"testing"
 
 	"eta2/internal/allocation"
@@ -78,6 +79,23 @@ func BenchmarkSkipGramTraining(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := embedding.Train(corpus, embedding.TrainConfig{Dim: 32, Epochs: 2, Seed: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSkipGramTrainingParallel shards each epoch across one worker
+// per CPU (see embedding.TrainConfig.Workers; the default stays
+// single-threaded because sharding changes the SGD trajectory).
+func BenchmarkSkipGramTrainingParallel(b *testing.B) {
+	corpus := embedding.GenerateCorpus(embedding.BuiltinDomains, embedding.CorpusConfig{
+		Seed:               1,
+		SentencesPerDomain: 100,
+	})
+	cfg := embedding.TrainConfig{Dim: 32, Epochs: 2, Seed: 2, Workers: runtime.GOMAXPROCS(0)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := embedding.Train(corpus, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -165,6 +183,44 @@ func benchObservations(seed int64, nUsers, nTasks, perTask int) (*core.Observati
 
 func BenchmarkMLEEstimate1000Tasks(b *testing.B) {
 	table, domainOf := benchObservations(1, 100, 1000, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := truth.Estimate(table, domainOf, nil, truth.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMLEEstimateSequential pins Parallelism to 1 (the exact
+// goroutine-free path) so the dense-index speedup can be read separately
+// from the worker-pool speedup.
+func BenchmarkMLEEstimateSequential(b *testing.B) {
+	table, domainOf := benchObservations(1, 100, 1000, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := truth.Estimate(table, domainOf, nil, truth.Config{Parallelism: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMLEEstimateParallel makes the worker pool explicit (one worker
+// per CPU, which is also the default when Parallelism is zero).
+func BenchmarkMLEEstimateParallel(b *testing.B) {
+	table, domainOf := benchObservations(1, 100, 1000, 6)
+	cfg := truth.Config{Parallelism: runtime.GOMAXPROCS(0)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := truth.Estimate(table, domainOf, nil, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMLEEstimate10kTasks is the production-scale data point: 10k
+// tasks, 60k observations per estimation call.
+func BenchmarkMLEEstimate10kTasks(b *testing.B) {
+	table, domainOf := benchObservations(1, 200, 10000, 6)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := truth.Estimate(table, domainOf, nil, truth.Config{}); err != nil {

@@ -54,15 +54,21 @@ func (h *pairHeap) Pop() interface{} {
 // recomputed efficiency still beats the next heap top is globally maximal.
 func runGreedy(in Input, state *State, opts greedyOptions) ([]core.Pair, float64) {
 	// Precompute p_ij once per pair: expertise does not change during one
-	// allocation round.
+	// allocation round. The O(users×tasks) Φ evaluations dominate setup
+	// cost, so rows fan out across the worker pool — each row is written by
+	// exactly one worker, keeping the matrix identical for any worker count.
 	pij := make([][]float64, len(in.Users))
-	for ui, u := range in.Users {
-		row := make([]float64, len(in.Tasks))
-		for ti, t := range in.Tasks {
-			row[ti] = AccuracyProb(in.Epsilon, in.Expertise(u.ID, t.ID))
+	flat := make([]float64, len(in.Users)*len(in.Tasks))
+	core.ParallelFor(len(in.Users), core.Workers(in.Parallelism), func(lo, hi, _ int) {
+		for ui := lo; ui < hi; ui++ {
+			row := flat[ui*len(in.Tasks) : (ui+1)*len(in.Tasks)]
+			uid := in.Users[ui].ID
+			for ti, t := range in.Tasks {
+				row[ti] = AccuracyProb(in.Epsilon, in.Expertise(uid, t.ID))
+			}
+			pij[ui] = row
 		}
-		pij[ui] = row
-	}
+	})
 
 	efficiency := func(ui, ti int) float64 {
 		u, t := in.Users[ui], in.Tasks[ti]

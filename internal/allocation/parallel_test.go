@@ -1,0 +1,64 @@
+package allocation
+
+import (
+	"testing"
+
+	"eta2/internal/core"
+	"eta2/internal/stats"
+)
+
+// parallelInput builds a deterministic allocation problem with heterogeneous
+// expertise, capacities and task sizes.
+func parallelInput(parallelism int) Input {
+	rng := stats.NewRNG(31)
+	const nUsers, nTasks = 40, 120
+	users := make([]core.User, nUsers)
+	for i := range users {
+		users[i] = core.User{ID: core.UserID(i), Capacity: rng.Uniform(2, 8)}
+	}
+	tasks := make([]core.Task, nTasks)
+	for j := range tasks {
+		tasks[j] = core.Task{ID: core.TaskID(j), ProcTime: rng.Uniform(0.5, 3), Cost: 1}
+	}
+	exp := make([][]float64, nUsers)
+	for i := range exp {
+		exp[i] = make([]float64, nTasks)
+		for j := range exp[i] {
+			exp[i][j] = rng.Uniform(0.2, 4)
+		}
+	}
+	return Input{
+		Users:       users,
+		Tasks:       tasks,
+		Expertise:   func(u core.UserID, t core.TaskID) float64 { return exp[int(u)][int(t)] },
+		Parallelism: parallelism,
+	}
+}
+
+// TestMaxQualityParallelMatchesSequential pins the determinism contract of
+// the parallel p_ij precompute: the resulting allocation and objective must
+// be identical for every worker count.
+func TestMaxQualityParallelMatchesSequential(t *testing.T) {
+	seq, err := MaxQuality(parallelInput(1), MaxQualityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 9} {
+		par, err := MaxQuality(parallelInput(workers), MaxQualityOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Objective != seq.Objective || par.UsedSecondPass != seq.UsedSecondPass {
+			t.Fatalf("Parallelism=%d: objective %v/%v, want %v/%v",
+				workers, par.Objective, par.UsedSecondPass, seq.Objective, seq.UsedSecondPass)
+		}
+		if len(par.Allocation.Pairs) != len(seq.Allocation.Pairs) {
+			t.Fatalf("Parallelism=%d: %d pairs, want %d", workers, len(par.Allocation.Pairs), len(seq.Allocation.Pairs))
+		}
+		for i, p := range seq.Allocation.Pairs {
+			if par.Allocation.Pairs[i] != p {
+				t.Fatalf("Parallelism=%d: pair %d = %+v, want %+v", workers, i, par.Allocation.Pairs[i], p)
+			}
+		}
+	}
+}

@@ -30,6 +30,13 @@ type Input struct {
 	// Epsilon is the accuracy threshold ε of Eq. 11: an observation is
 	// "accurate" when its normalized error is below ε. The paper uses 0.1.
 	Epsilon float64
+	// Parallelism is the number of workers the O(users×tasks) p_ij
+	// precompute fans out over. Zero means one worker per available CPU;
+	// 1 runs sequentially. When it exceeds 1, Expertise must be safe for
+	// concurrent calls (pure functions and read-only lookups are; the
+	// server's expertise store qualifies). Results are identical for every
+	// value: each user row is computed by exactly one worker.
+	Parallelism int
 }
 
 // DefaultEpsilon is the paper's accuracy threshold ε.

@@ -8,6 +8,12 @@ type ObservationTable struct {
 	byTask map[TaskID][]Observation
 	byUser map[UserID][]Observation
 	n      int
+
+	// Cached sorted ID lists: Tasks()/Users() are called inside
+	// per-iteration loops of the MLE, so they are computed once and
+	// invalidated whenever an observation for a new task/user arrives.
+	taskIDs []TaskID
+	userIDs []UserID
 }
 
 // NewObservationTable builds an index over obs. The input slice is not
@@ -29,8 +35,18 @@ func (t *ObservationTable) Add(o Observation) {
 		t.byTask = make(map[TaskID][]Observation)
 		t.byUser = make(map[UserID][]Observation)
 	}
-	t.byTask[o.Task] = append(t.byTask[o.Task], o)
-	t.byUser[o.User] = append(t.byUser[o.User], o)
+	if bucket, ok := t.byTask[o.Task]; ok {
+		t.byTask[o.Task] = append(bucket, o)
+	} else {
+		t.byTask[o.Task] = []Observation{o}
+		t.taskIDs = nil
+	}
+	if bucket, ok := t.byUser[o.User]; ok {
+		t.byUser[o.User] = append(bucket, o)
+	} else {
+		t.byUser[o.User] = []Observation{o}
+		t.userIDs = nil
+	}
 	t.n++
 }
 
@@ -63,23 +79,31 @@ func (t *ObservationTable) ForUser(id UserID) []Observation {
 func (t *ObservationTable) Len() int { return t.n }
 
 // Tasks returns the task IDs that have at least one observation, sorted.
+// The slice is cached between calls and owned by the table: callers must
+// not mutate it.
 func (t *ObservationTable) Tasks() []TaskID {
-	out := make([]TaskID, 0, len(t.byTask))
-	for id := range t.byTask {
-		out = append(out, id)
+	if t.taskIDs == nil {
+		t.taskIDs = make([]TaskID, 0, len(t.byTask))
+		for id := range t.byTask {
+			t.taskIDs = append(t.taskIDs, id)
+		}
+		sort.Slice(t.taskIDs, func(i, j int) bool { return t.taskIDs[i] < t.taskIDs[j] })
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return t.taskIDs
 }
 
 // Users returns the user IDs that have at least one observation, sorted.
+// The slice is cached between calls and owned by the table: callers must
+// not mutate it.
 func (t *ObservationTable) Users() []UserID {
-	out := make([]UserID, 0, len(t.byUser))
-	for id := range t.byUser {
-		out = append(out, id)
+	if t.userIDs == nil {
+		t.userIDs = make([]UserID, 0, len(t.byUser))
+		for id := range t.byUser {
+			t.userIDs = append(t.userIDs, id)
+		}
+		sort.Slice(t.userIDs, func(i, j int) bool { return t.userIDs[i] < t.userIDs[j] })
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return t.userIDs
 }
 
 // Values returns just the observed values for a task, in insertion order.

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a parallelism knob: values <= 0 mean "one worker per
+// available CPU" (runtime.GOMAXPROCS), anything else is taken as given.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ParallelFor splits [0, n) into one contiguous chunk per worker and runs
+// fn(lo, hi, worker) concurrently on each. With workers <= 1 (or n small
+// enough that chunking is pointless) fn runs inline on the caller's
+// goroutine — the exact sequential path, no goroutines spawned.
+//
+// Determinism contract: chunks partition [0, n) and never overlap, so as
+// long as fn(i) writes only to outputs owned by index i (or to per-worker
+// slots merged by the caller in worker order), results are bit-identical
+// for every worker count, including 1.
+func ParallelFor(n, workers int, fn func(lo, hi, worker int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n, 0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := n / workers
+	rem := n % workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + chunk
+		if w < rem {
+			hi++
+		}
+		go func(lo, hi, w int) {
+			defer wg.Done()
+			fn(lo, hi, w)
+		}(lo, hi, w)
+		lo = hi
+	}
+	wg.Wait()
+}

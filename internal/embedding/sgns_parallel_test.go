@@ -1,0 +1,88 @@
+package embedding
+
+import "testing"
+
+// TestTrainShardedDeterministic pins the seed-stability of sharded
+// training: for a fixed (Seed, Workers) pair, two runs must produce
+// bit-identical embeddings.
+func TestTrainShardedDeterministic(t *testing.T) {
+	cfg := TrainConfig{Dim: 8, Epochs: 2, Seed: 7, Workers: 4}
+	m1, err := Train(tinyCorpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(tinyCorpus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, word := range []string{"cat", "car", "road", "fur"} {
+		v1, ok1 := m1.Vector(word)
+		v2, ok2 := m2.Vector(word)
+		if !ok1 || !ok2 {
+			t.Fatalf("word %q missing from a trained model", word)
+		}
+		for i := range v1 {
+			if v1[i] != v2[i] {
+				t.Fatalf("same seed+workers produced different embeddings for %q", word)
+			}
+		}
+	}
+}
+
+// TestTrainShardedLearnsTopics checks that the per-epoch replica merge does
+// not destroy embedding quality: same-topic words must still land closer
+// than cross-topic words.
+func TestTrainShardedLearnsTopics(t *testing.T) {
+	m, err := Train(tinyCorpus(), TrainConfig{Dim: 16, Epochs: 3, Seed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := m.Similarity("cat", "dog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := m.Similarity("cat", "road")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same <= cross {
+		t.Errorf("same-topic similarity %.3f not above cross-topic %.3f", same, cross)
+	}
+}
+
+// TestTrainShardedMoreWorkersThanSentences clamps the worker count instead
+// of spawning idle goroutines or panicking on tiny corpora.
+func TestTrainShardedMoreWorkersThanSentences(t *testing.T) {
+	corpus := [][]string{
+		{"a", "b", "a", "b"},
+		{"c", "d", "c", "d"},
+	}
+	m, err := Train(corpus, TrainConfig{Dim: 4, Epochs: 2, Seed: 3, Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.VocabSize() != 4 {
+		t.Errorf("VocabSize = %d, want 4", m.VocabSize())
+	}
+}
+
+// TestTrainWorkersOneMatchesDefault guards the legacy path: Workers 0 and
+// Workers 1 must both take the exact single-threaded code path and produce
+// the embeddings previous releases produced.
+func TestTrainWorkersOneMatchesDefault(t *testing.T) {
+	m0, err := Train(tinyCorpus(), TrainConfig{Dim: 8, Epochs: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Train(tinyCorpus(), TrainConfig{Dim: 8, Epochs: 2, Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := m0.Vector("cat")
+	v1, _ := m1.Vector("cat")
+	for i := range v0 {
+		if v0[i] != v1[i] {
+			t.Fatal("Workers=1 deviated from the default sequential path")
+		}
+	}
+}

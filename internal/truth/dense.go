@@ -1,0 +1,243 @@
+package truth
+
+import (
+	"math"
+
+	"eta2/internal/core"
+)
+
+// estState is the dense working set of one estimation run: every per-task
+// and per-(user, domain) quantity lives in a flat []float64 addressed by the
+// small integer indices of a core.DenseIndex, and all buffers are allocated
+// once and reused across the fixed-point iterations. The per-task truth
+// update and the per-user expertise reduction both fan out over a
+// core.ParallelFor worker pool; each index is owned by exactly one worker
+// and per-worker partial results are merged in worker order, so results are
+// bit-identical for every worker count (including the sequential path).
+type estState struct {
+	idx *core.DenseIndex
+
+	nTasks, nUsers, nDoms int
+	workers               int
+
+	// Domain interning: dense task -> dense domain, dense domain -> ID.
+	taskDom []int32
+	domIDs  []core.DomainID
+
+	mu    []float64 // per dense task
+	sigma []float64 // per dense task
+
+	// Flat per-(user, domain) matrices, slot = user*nDoms + domain.
+	exp   []float64 // current expertise snapshot
+	count []float64 // static Eq. 6 counts (MinObsForExpertise applied)
+	resid []float64 // per-iteration squared normalized residual sums
+
+	maxes []float64 // per-worker max-relative-change scratch
+}
+
+// newEstState builds the dense working set for the observations of idx.
+// domainOf is called exactly once per task; expertise starts at expOf for
+// every (user, domain) pair present in the index.
+func newEstState(idx *core.DenseIndex, domainOf func(core.TaskID) core.DomainID,
+	expOf func(core.UserID, core.DomainID) float64, cfg Config) *estState {
+
+	st := &estState{
+		idx:     idx,
+		nTasks:  idx.NumTasks(),
+		nUsers:  idx.NumUsers(),
+		workers: core.Workers(cfg.Parallelism),
+	}
+
+	// Intern domains once: the MLE only ever compares domains for equality.
+	st.taskDom = make([]int32, st.nTasks)
+	domIdx := make(map[core.DomainID]int32)
+	for t := 0; t < st.nTasks; t++ {
+		d := domainOf(idx.TaskID(t))
+		di, ok := domIdx[d]
+		if !ok {
+			di = int32(len(st.domIDs))
+			domIdx[d] = di
+			st.domIDs = append(st.domIDs, d)
+		}
+		st.taskDom[t] = di
+	}
+	st.nDoms = len(st.domIDs)
+
+	st.mu = make([]float64, st.nTasks)
+	st.sigma = make([]float64, st.nTasks)
+	for t := 0; t < st.nTasks; t++ {
+		bucket := idx.TaskObs(t)
+		sum := 0.0
+		for _, o := range bucket {
+			sum += o.Value
+		}
+		st.mu[t] = sum / float64(len(bucket))
+		st.sigma[t] = cfg.MinSigma
+	}
+
+	slots := st.nUsers * st.nDoms
+	st.exp = make([]float64, slots)
+	st.count = make([]float64, slots)
+	st.resid = make([]float64, slots)
+	for u := 0; u < st.nUsers; u++ {
+		uid := idx.UserID(u)
+		base := u * st.nDoms
+		for d := 0; d < st.nDoms; d++ {
+			st.exp[base+d] = expOf(uid, st.domIDs[d])
+		}
+		// Static per-slot observation counts: tasks below the
+		// MinObsForExpertise floor never contribute to Eq. 6, and the floor
+		// only depends on bucket sizes, which are fixed for the whole run.
+		for _, e := range idx.UserObs(u) {
+			if idx.TaskLen(int(e.Task)) < cfg.MinObsForExpertise {
+				continue
+			}
+			st.count[base+int(st.taskDom[e.Task])]++
+		}
+	}
+
+	st.maxes = make([]float64, st.workers)
+	return st
+}
+
+// updateTaskParams applies the Eq. 5 truth and base-number updates for every
+// task, fanned out across the worker pool, and returns the maximum relative
+// truth change. Each task is owned by exactly one worker and the per-worker
+// maxima are merged after the barrier, so the result does not depend on the
+// worker count.
+func (st *estState) updateTaskParams(cfg Config) float64 {
+	nd := st.nDoms
+	for w := range st.maxes {
+		st.maxes[w] = 0
+	}
+	core.ParallelFor(st.nTasks, st.workers, func(lo, hi, w int) {
+		localMax := 0.0
+		for t := lo; t < hi; t++ {
+			dom := int(st.taskDom[t])
+			bucket := st.idx.TaskObs(t)
+			var wSum, wxSum float64
+			for _, o := range bucket {
+				u := st.exp[int(o.User)*nd+dom]
+				wgt := u * u
+				wSum += wgt
+				wxSum += wgt * o.Value
+			}
+			if wSum == 0 {
+				continue
+			}
+			newMu := wxSum / wSum
+			if rel := math.Abs(newMu-st.mu[t]) / (math.Abs(st.mu[t]) + cfg.AbsTol); rel > localMax {
+				localMax = rel
+			}
+			st.mu[t] = newMu
+
+			var ssq float64
+			for _, o := range bucket {
+				u := st.exp[int(o.User)*nd+dom]
+				d := o.Value - newMu
+				ssq += u * u * d * d
+			}
+			s := math.Sqrt(ssq / float64(len(bucket)))
+			if s < cfg.MinSigma {
+				s = cfg.MinSigma
+			}
+			st.sigma[t] = s
+		}
+		st.maxes[w] = localMax
+	})
+	m := 0.0
+	for _, v := range st.maxes {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// accumulateResiduals recomputes the per-(user, domain) squared normalized
+// residual sums from the current mu/sigma, fanned out across users. Each
+// worker owns a contiguous block of users and therefore a contiguous block
+// of resid rows — no two workers touch the same slot, and the within-slot
+// accumulation order is the user's bucket order regardless of the worker
+// count.
+func (st *estState) accumulateResiduals(cfg Config) {
+	nd := st.nDoms
+	core.ParallelFor(st.nUsers, st.workers, func(lo, hi, _ int) {
+		for u := lo; u < hi; u++ {
+			row := st.resid[u*nd : (u+1)*nd]
+			for i := range row {
+				row[i] = 0
+			}
+			for _, e := range st.idx.UserObs(u) {
+				t := int(e.Task)
+				if st.idx.TaskLen(t) < cfg.MinObsForExpertise {
+					continue
+				}
+				d := e.Value - st.mu[t]
+				s := st.sigma[t]
+				row[st.taskDom[t]] += d * d / (s * s)
+			}
+		}
+	})
+}
+
+// updateExpertise recomputes every populated expertise slot from the current
+// residuals (Eq. 6) with the shrinkage prior, overwriting st.exp in place.
+func (st *estState) updateExpertise(cfg Config) {
+	st.accumulateResiduals(cfg)
+	a := cfg.PriorStrength
+	core.ParallelFor(st.nUsers, st.workers, func(lo, hi, _ int) {
+		for slot := lo * st.nDoms; slot < hi*st.nDoms; slot++ {
+			n := st.count[slot]
+			if n <= 0 {
+				continue
+			}
+			st.exp[slot] = clamp(math.Sqrt((n+a)/(st.resid[slot]+a)), MinExpertise, MaxExpertise)
+		}
+	})
+}
+
+// contributions materializes the populated slots as Contribution values
+// (fresh Eq. 7–8 evidence) after refreshing the residuals. The returned
+// slots slice carries the flat slot index of each contribution so callers
+// can write previewed expertise straight back into st.exp. Order is
+// deterministic: users ascending, domains in interning order.
+func (st *estState) contributions(cfg Config) ([]Contribution, []int32) {
+	st.accumulateResiduals(cfg)
+	out := make([]Contribution, 0, st.nUsers)
+	slots := make([]int32, 0, st.nUsers)
+	for u := 0; u < st.nUsers; u++ {
+		base := u * st.nDoms
+		for d := 0; d < st.nDoms; d++ {
+			if st.count[base+d] <= 0 {
+				continue
+			}
+			out = append(out, Contribution{
+				User:       st.idx.UserID(u),
+				Domain:     st.domIDs[d],
+				Count:      st.count[base+d],
+				ResidualSq: st.resid[base+d],
+			})
+			slots = append(slots, int32(base+d))
+		}
+	}
+	return out, slots
+}
+
+// muMap exports the dense truth estimates as the public map form.
+func (st *estState) muMap() map[core.TaskID]float64 {
+	out := make(map[core.TaskID]float64, st.nTasks)
+	for t := 0; t < st.nTasks; t++ {
+		out[st.idx.TaskID(t)] = st.mu[t]
+	}
+	return out
+}
+
+// sigmaMap exports the dense base-number estimates as the public map form.
+func (st *estState) sigmaMap() map[core.TaskID]float64 {
+	out := make(map[core.TaskID]float64, st.nTasks)
+	for t := 0; t < st.nTasks; t++ {
+		out[st.idx.TaskID(t)] = st.sigma[t]
+	}
+	return out
+}

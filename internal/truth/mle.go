@@ -2,7 +2,6 @@ package truth
 
 import (
 	"errors"
-	"math"
 
 	"eta2/internal/core"
 )
@@ -32,6 +31,12 @@ type Config struct {
 	// and everyone else's → 0 (the incidental-parameters problem). A small
 	// prior keeps the fixed point calibrated; see DESIGN.md. Default 2.
 	PriorStrength float64
+	// Parallelism is the number of workers the per-task truth update and
+	// the per-(user, domain) expertise reduction fan out over. Zero means
+	// one worker per available CPU (runtime.GOMAXPROCS); 1 runs the exact
+	// sequential path with no goroutines. Results are bit-identical for
+	// every value — see the determinism contract in DESIGN.md.
+	Parallelism int
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -102,62 +107,17 @@ func Estimate(obs *core.ObservationTable, domainOf func(core.TaskID) core.Domain
 		return Result{}, ErrNoObservations
 	}
 
-	tasks := obs.Tasks()
-	mu := make(map[core.TaskID]float64, len(tasks))
-	sigma := make(map[core.TaskID]float64, len(tasks))
-	exp := init.Clone()
-	if exp == nil {
-		exp = make(Expertise)
-	}
-
-	// Initialize truths with plain means so the first expertise update sees
-	// sensible residuals.
-	for _, tid := range tasks {
-		mu[tid] = mean(obs.Values(tid))
-		sigma[tid] = cfg.MinSigma
-	}
+	// Dense re-index once: the O(#obs · #iterations) inner loops below then
+	// run on contiguous buckets and flat parameter slices (see dense.go).
+	st := newEstState(core.NewDenseIndex(obs), domainOf, init.Get, cfg)
 
 	var iterations int
 	converged := false
 	for iterations = 1; iterations <= cfg.MaxIter; iterations++ {
-		maxChange := 0.0
-
-		// Truth and base-number update per task.
-		for _, tid := range tasks {
-			dom := domainOf(tid)
-			var wSum, wxSum float64
-			taskObs := obs.ForTask(tid)
-			for _, o := range taskObs {
-				u := exp.Get(o.User, dom)
-				w := u * u
-				wSum += w
-				wxSum += w * o.Value
-			}
-			if wSum == 0 {
-				continue
-			}
-			newMu := wxSum / wSum
-			change := math.Abs(newMu - mu[tid])
-			if rel := change / (math.Abs(mu[tid]) + cfg.AbsTol); rel > maxChange {
-				maxChange = rel
-			}
-			mu[tid] = newMu
-
-			var ssq float64
-			for _, o := range taskObs {
-				u := exp.Get(o.User, dom)
-				d := o.Value - newMu
-				ssq += u * u * d * d
-			}
-			s := math.Sqrt(ssq / float64(len(taskObs)))
-			if s < cfg.MinSigma {
-				s = cfg.MinSigma
-			}
-			sigma[tid] = s
-		}
-
-		// Expertise update per (user, domain).
-		updateExpertise(obs, domainOf, mu, sigma, exp, cfg)
+		// Truth and base-number update per task (Eq. 5), then the expertise
+		// update per (user, domain) (Eq. 6).
+		maxChange := st.updateTaskParams(cfg)
+		st.updateExpertise(cfg)
 
 		if maxChange < cfg.RelTol && iterations > 1 {
 			converged = true
@@ -168,43 +128,26 @@ func Estimate(obs *core.ObservationTable, domainOf func(core.TaskID) core.Domain
 		iterations = cfg.MaxIter
 	}
 
+	exp := init.Clone()
+	if exp == nil {
+		exp = make(Expertise)
+	}
+	for u := 0; u < st.nUsers; u++ {
+		base := u * st.nDoms
+		for d := 0; d < st.nDoms; d++ {
+			if st.count[base+d] > 0 {
+				exp.Set(st.idx.UserID(u), st.domIDs[d], st.exp[base+d])
+			}
+		}
+	}
+
 	return Result{
-		Mu:         mu,
-		Sigma:      sigma,
+		Mu:         st.muMap(),
+		Sigma:      st.sigmaMap(),
 		Expertise:  exp,
 		Iterations: iterations,
 		Converged:  converged,
 	}, nil
-}
-
-// updateExpertise recomputes u_ik from the current residuals (Eq. 6),
-// overwriting exp in place.
-func updateExpertise(obs *core.ObservationTable, domainOf func(core.TaskID) core.DomainID,
-	mu, sigma map[core.TaskID]float64, exp Expertise, cfg Config) {
-
-	type key struct {
-		u core.UserID
-		d core.DomainID
-	}
-	counts := make(map[key]float64)
-	resid := make(map[key]float64)
-	for _, uid := range obs.Users() {
-		for _, o := range obs.ForUser(uid) {
-			if len(obs.ForTask(o.Task)) < cfg.MinObsForExpertise {
-				continue
-			}
-			dom := domainOf(o.Task)
-			k := key{u: uid, d: dom}
-			d := o.Value - mu[o.Task]
-			s := sigma[o.Task]
-			counts[k]++
-			resid[k] += d * d / (s * s)
-		}
-	}
-	a := cfg.PriorStrength
-	for k, n := range counts {
-		exp.Set(k.u, k.d, clamp(math.Sqrt((n+a)/(resid[k]+a)), MinExpertise, MaxExpertise))
-	}
 }
 
 // Contributions extracts the per-(user, domain) fresh-evidence terms of
@@ -215,40 +158,82 @@ func updateExpertise(obs *core.ObservationTable, domainOf func(core.TaskID) core
 func Contributions(obs *core.ObservationTable, domainOf func(core.TaskID) core.DomainID,
 	mu, sigma map[core.TaskID]float64, cfg Config) []Contribution {
 	cfg.applyDefaults()
+	if obs == nil || obs.Len() == 0 {
+		return nil
+	}
 
-	type key struct {
-		u core.UserID
-		d core.DomainID
-	}
-	counts := make(map[key]float64)
-	resid := make(map[key]float64)
-	for _, uid := range obs.Users() {
-		for _, o := range obs.ForUser(uid) {
-			if len(obs.ForTask(o.Task)) < cfg.MinObsForExpertise {
-				continue
-			}
-			m, ok := mu[o.Task]
-			if !ok {
-				continue
-			}
-			s := sigma[o.Task]
-			if s < cfg.MinSigma {
-				s = cfg.MinSigma
-			}
-			k := key{u: uid, d: domainOf(o.Task)}
-			d := o.Value - m
-			counts[k]++
-			resid[k] += d * d / (s * s)
+	idx := core.NewDenseIndex(obs)
+	nTasks := idx.NumTasks()
+
+	// Per-task lookups hoisted out of the per-observation loop: the dense
+	// index already knows every bucket size, and mu/sigma/domain are
+	// resolved once per task instead of once per observation.
+	taskMu := make([]float64, nTasks)
+	taskSigma := make([]float64, nTasks)
+	taskOK := make([]bool, nTasks)
+	taskDom := make([]int32, nTasks)
+	domIdx := make(map[core.DomainID]int32)
+	var domIDs []core.DomainID
+	for t := 0; t < nTasks; t++ {
+		d := domainOf(idx.TaskID(t))
+		di, ok := domIdx[d]
+		if !ok {
+			di = int32(len(domIDs))
+			domIdx[d] = di
+			domIDs = append(domIDs, d)
 		}
+		taskDom[t] = di
+		if idx.TaskLen(t) < cfg.MinObsForExpertise {
+			continue
+		}
+		m, ok := mu[idx.TaskID(t)]
+		if !ok {
+			continue
+		}
+		s := sigma[idx.TaskID(t)]
+		if s < cfg.MinSigma {
+			s = cfg.MinSigma
+		}
+		taskMu[t] = m
+		taskSigma[t] = s
+		taskOK[t] = true
 	}
-	out := make([]Contribution, 0, len(counts))
-	for k, n := range counts {
-		out = append(out, Contribution{
-			User:       k.u,
-			Domain:     k.d,
-			Count:      n,
-			ResidualSq: resid[k],
-		})
+
+	nDoms := len(domIDs)
+	nUsers := idx.NumUsers()
+	counts := make([]float64, nUsers*nDoms)
+	resid := make([]float64, nUsers*nDoms)
+	core.ParallelFor(nUsers, core.Workers(cfg.Parallelism), func(lo, hi, _ int) {
+		for u := lo; u < hi; u++ {
+			base := u * nDoms
+			for _, e := range idx.UserObs(u) {
+				t := int(e.Task)
+				if !taskOK[t] {
+					continue
+				}
+				d := e.Value - taskMu[t]
+				s := taskSigma[t]
+				slot := base + int(taskDom[t])
+				counts[slot]++
+				resid[slot] += d * d / (s * s)
+			}
+		}
+	})
+
+	out := make([]Contribution, 0, nUsers)
+	for u := 0; u < nUsers; u++ {
+		base := u * nDoms
+		for d := 0; d < nDoms; d++ {
+			if counts[base+d] == 0 {
+				continue
+			}
+			out = append(out, Contribution{
+				User:       idx.UserID(u),
+				Domain:     domIDs[d],
+				Count:      counts[base+d],
+				ResidualSq: resid[base+d],
+			})
+		}
 	}
 	return out
 }

@@ -1,8 +1,6 @@
 package truth
 
 import (
-	"math"
-
 	"eta2/internal/core"
 )
 
@@ -36,29 +34,22 @@ func UpdateStep(store *Store, obs *core.ObservationTable, domainOf func(core.Tas
 		return UpdateResult{}, ErrNoObservations
 	}
 
-	tasks := obs.Tasks()
-	mu := make(map[core.TaskID]float64, len(tasks))
-	sigma := make(map[core.TaskID]float64, len(tasks))
-	for _, tid := range tasks {
-		mu[tid] = mean(obs.Values(tid))
-		sigma[tid] = cfg.MinSigma
-	}
-
 	// Candidate expertise starts at the store's current values (the paper
-	// initializes the iteration with the time-T expertise).
-	candidate := store.Snapshot()
+	// initializes the iteration with the time-T expertise); the dense state
+	// holds it as a flat slice alongside the truth estimates (see dense.go).
+	st := newEstState(core.NewDenseIndex(obs), domainOf, store.Expertise, cfg)
 
 	var contribs []Contribution
 	var iterations int
 	converged := false
 	for iterations = 1; iterations <= cfg.MaxIter; iterations++ {
-		maxChange := estimateTaskParams(obs, domainOf, candidate, mu, sigma, cfg)
+		maxChange := st.updateTaskParams(cfg)
 
 		// Recompute the candidate expertise from previewed accumulators.
-		contribs = Contributions(obs, domainOf, mu, sigma, cfg)
-		for _, c := range contribs {
-			candidate.Set(c.User, c.Domain,
-				store.PreviewExpertise(c.User, c.Domain, c.Count, c.ResidualSq))
+		var slots []int32
+		contribs, slots = st.contributions(cfg)
+		for i, c := range contribs {
+			st.exp[slots[i]] = store.PreviewExpertise(c.User, c.Domain, c.Count, c.ResidualSq)
 		}
 
 		if maxChange < cfg.RelTol && iterations > 1 {
@@ -72,50 +63,9 @@ func UpdateStep(store *Store, obs *core.ObservationTable, domainOf func(core.Tas
 
 	store.Commit(contribs)
 	return UpdateResult{
-		Mu:         mu,
-		Sigma:      sigma,
+		Mu:         st.muMap(),
+		Sigma:      st.sigmaMap(),
 		Iterations: iterations,
 		Converged:  converged,
 	}, nil
-}
-
-// estimateTaskParams applies the Eq. 5 truth and base-number updates for
-// every task in obs using the given expertise snapshot, writing into mu and
-// sigma. It returns the maximum relative truth change.
-func estimateTaskParams(obs *core.ObservationTable, domainOf func(core.TaskID) core.DomainID,
-	exp Expertise, mu, sigma map[core.TaskID]float64, cfg Config) float64 {
-
-	maxChange := 0.0
-	for _, tid := range obs.Tasks() {
-		dom := domainOf(tid)
-		taskObs := obs.ForTask(tid)
-		var wSum, wxSum float64
-		for _, o := range taskObs {
-			u := exp.Get(o.User, dom)
-			w := u * u
-			wSum += w
-			wxSum += w * o.Value
-		}
-		if wSum == 0 {
-			continue
-		}
-		newMu := wxSum / wSum
-		if rel := math.Abs(newMu-mu[tid]) / (math.Abs(mu[tid]) + cfg.AbsTol); rel > maxChange {
-			maxChange = rel
-		}
-		mu[tid] = newMu
-
-		var ssq float64
-		for _, o := range taskObs {
-			u := exp.Get(o.User, dom)
-			d := o.Value - newMu
-			ssq += u * u * d * d
-		}
-		s := math.Sqrt(ssq / float64(len(taskObs)))
-		if s < cfg.MinSigma {
-			s = cfg.MinSigma
-		}
-		sigma[tid] = s
-	}
-	return maxChange
 }

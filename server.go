@@ -42,11 +42,12 @@ type Server struct {
 }
 
 type config struct {
-	alpha    float64
-	gamma    float64
-	epsilon  float64
-	truthCfg truth.Config
-	embedder Embedder
+	alpha       float64
+	gamma       float64
+	epsilon     float64
+	parallelism int
+	truthCfg    truth.Config
+	embedder    Embedder
 }
 
 // Option customizes a Server.
@@ -108,6 +109,23 @@ func WithTruthConfig(tc truth.Config) Option {
 	}
 }
 
+// WithParallelism sets the worker count for the server's hot loops: the
+// truth-analysis fixed-point iteration and the allocation p_ij precompute.
+// The default (0) uses one worker per available CPU; 1 runs the exact
+// sequential paths with no goroutines. Results are bit-identical for every
+// value — see the "Performance & concurrency model" section of DESIGN.md.
+// A Parallelism already set via WithTruthConfig takes precedence for the
+// truth module.
+func WithParallelism(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("eta2: parallelism must be >= 0, got %d", n)
+		}
+		c.parallelism = n
+		return nil
+	}
+}
+
 // NewServer creates a Server.
 func NewServer(opts ...Option) (*Server, error) {
 	cfg := config{alpha: 0.5, gamma: 0.5, epsilon: allocation.DefaultEpsilon}
@@ -115,6 +133,9 @@ func NewServer(opts ...Option) (*Server, error) {
 		if err := opt(&cfg); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.truthCfg.Parallelism == 0 {
+		cfg.truthCfg.Parallelism = cfg.parallelism
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -259,10 +280,13 @@ func (s *Server) allocationInput(tasks []core.Task) allocation.Input {
 	return allocation.Input{
 		Users: users,
 		Tasks: tasks,
+		// Safe under Parallelism > 1: the store is only read during an
+		// allocation round.
 		Expertise: func(u UserID, t TaskID) float64 {
 			return s.store.Expertise(u, s.domainOf[t])
 		},
-		Epsilon: s.cfg.epsilon,
+		Epsilon:     s.cfg.epsilon,
+		Parallelism: s.cfg.parallelism,
 	}
 }
 

@@ -375,3 +375,70 @@ func TestAllocateMaxQualityBudgeted(t *testing.T) {
 		t.Error("negative budget accepted")
 	}
 }
+
+// TestServerParallelismEquivalence drives two identical servers — one
+// pinned to the sequential path, one with an explicit worker pool — through
+// a full day (allocate, observe, close) and requires bit-identical truth
+// estimates and allocations out of both.
+func TestServerParallelismEquivalence(t *testing.T) {
+	run := func(parallelism int) (*Allocation, StepReport) {
+		s, err := NewServer(WithParallelism(parallelism))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < 12; u++ {
+			if err := s.AddUsers(User{ID: UserID(u), Capacity: 6}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		specs := make([]TaskSpec, 30)
+		for j := range specs {
+			specs[j] = TaskSpec{Description: "t", ProcTime: 1, DomainHint: DomainID(j%3 + 1)}
+		}
+		if _, err := s.CreateTasks(specs...); err != nil {
+			t.Fatal(err)
+		}
+		alloc, err := s.AllocateMaxQuality()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		for _, p := range alloc.Pairs {
+			err := s.SubmitObservations(Observation{
+				Task: p.Task, User: p.User,
+				Value: float64(int(p.Task)%7) + rng.NormFloat64(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		report, err := s.CloseTimeStep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return alloc, report
+	}
+
+	seqAlloc, seqReport := run(1)
+	parAlloc, parReport := run(4)
+	if len(seqAlloc.Pairs) != len(parAlloc.Pairs) {
+		t.Fatalf("allocations differ: %d vs %d pairs", len(seqAlloc.Pairs), len(parAlloc.Pairs))
+	}
+	for i := range seqAlloc.Pairs {
+		if seqAlloc.Pairs[i] != parAlloc.Pairs[i] {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+	if len(seqReport.Estimates) != len(parReport.Estimates) {
+		t.Fatalf("estimate counts differ")
+	}
+	for i, e := range seqReport.Estimates {
+		p := parReport.Estimates[i]
+		if e.Value != p.Value || e.Base != p.Base {
+			t.Fatalf("estimate for task %d differs: %v/%v vs %v/%v", e.Task, e.Value, e.Base, p.Value, p.Base)
+		}
+	}
+	if _, err := NewServer(WithParallelism(-1)); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+}
