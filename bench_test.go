@@ -15,6 +15,7 @@ package eta2
 // than the eta2bench reports recorded in EXPERIMENTS.md.
 
 import (
+	"bytes"
 	"runtime"
 	"testing"
 
@@ -28,6 +29,7 @@ import (
 	"eta2/internal/simulation"
 	"eta2/internal/stats"
 	"eta2/internal/truth"
+	"eta2/internal/wal"
 )
 
 // benchOpts keeps experiment benchmarks affordable.
@@ -302,6 +304,64 @@ func BenchmarkServerAPIRoundTrip(b *testing.B) {
 			}
 		}
 		if _, err := s.CloseTimeStep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Durability benchmarks (DESIGN.md Sec. 9) ---
+
+// BenchmarkWALAppend measures the raw journaling cost per record with
+// fsync disabled (the fsync-always cost is the device's sync latency, not
+// an interesting software number).
+func BenchmarkWALAppend(b *testing.B) {
+	l, err := wal.Open(b.TempDir(), wal.Options{Sync: wal.SyncNever, SegmentSize: 256 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := bytes.Repeat([]byte("x"), 256)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecovery10kEvents measures cold-start recovery (WAL scan +
+// replay, no snapshot) of a journal holding 10k observation batches.
+func BenchmarkRecovery10kEvents(b *testing.B) {
+	dir := b.TempDir()
+	pol := DurabilityPolicy{Fsync: FsyncNever, CompactAt: -1}
+	s, err := NewServer(WithDurability(dir, pol))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.AddUsers(User{ID: 0, Capacity: 1 << 30}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.CreateTasks(TaskSpec{DomainHint: 1, ProcTime: 1}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		if err := s.SubmitObservations(Observation{Task: 0, User: 0, Value: float64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Close only the log, not the server: Server.Close would compact the
+	// journal away and leave nothing to replay.
+	if err := s.journal.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewServer(WithDurability(dir, pol))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.journal.Close(); err != nil {
 			b.Fatal(err)
 		}
 	}

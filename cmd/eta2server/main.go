@@ -4,6 +4,13 @@
 //
 //	eta2server -addr :8080
 //	eta2server -addr :8080 -semantic     # train embeddings for described tasks
+//	eta2server -data-dir /var/lib/eta2   # durable: WAL + crash recovery
+//	eta2server -data-dir d -fsync interval
+//
+// With -data-dir, every mutation is journaled to a write-ahead log and
+// the full server state is recovered from the directory on the next
+// start; a final snapshot is written on SIGTERM/SIGINT. Without it, all
+// state lives in memory and dies with the process.
 //
 // Endpoints (JSON over HTTP, versioned under /v1):
 //
@@ -15,6 +22,8 @@
 //	GET  /v1/truth?task=ID         latest estimate for a task
 //	GET  /v1/expertise?user=&domain=
 //	GET  /v1/healthz
+//	GET  /v1/admin/durability      WAL segments/bytes, snapshot coverage
+//	POST /v1/admin/compact         force a snapshot+truncate cycle
 package main
 
 import (
@@ -42,11 +51,14 @@ func main() {
 
 func run() error {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		alpha     = flag.Float64("alpha", 0.5, "expertise decay factor")
-		gamma     = flag.Float64("gamma", 0.5, "clustering termination parameter")
-		semantic  = flag.Bool("semantic", false, "train skip-gram embeddings at startup so tasks can be created from descriptions")
-		modelPath = flag.String("model", "", "embedding model file: loaded if it exists, written after training otherwise (implies -semantic)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		alpha      = flag.Float64("alpha", 0.5, "expertise decay factor")
+		gamma      = flag.Float64("gamma", 0.5, "clustering termination parameter")
+		semantic   = flag.Bool("semantic", false, "train skip-gram embeddings at startup so tasks can be created from descriptions")
+		modelPath  = flag.String("model", "", "embedding model file: loaded if it exists, written after training otherwise (implies -semantic)")
+		dataDir    = flag.String("data-dir", "", "durable data directory (write-ahead log + snapshots); empty keeps all state in memory")
+		fsyncMode  = flag.String("fsync", "always", "WAL fsync policy with -data-dir: always | interval | never")
+		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "max time between WAL fsyncs with -fsync interval")
 	)
 	flag.Parse()
 
@@ -58,10 +70,23 @@ func run() error {
 		}
 		opts = append(opts, eta2.WithEmbedder(model))
 	}
+	if *dataDir != "" {
+		opts = append(opts, eta2.WithDurability(*dataDir, eta2.DurabilityPolicy{
+			Fsync:      eta2.FsyncPolicy(*fsyncMode),
+			FsyncEvery: *fsyncEvery,
+		}))
+	} else {
+		log.Println("warning: no -data-dir set; all state is in memory and lost on exit")
+	}
 
 	server, err := eta2.NewServer(opts...)
 	if err != nil {
 		return err
+	}
+	if *dataDir != "" {
+		st := server.DurabilityStats()
+		log.Printf("durable mode: dir=%s fsync=%s recovered through LSN %d (snapshot covers %d)",
+			*dataDir, *fsyncMode, st.LastLSN, st.SnapshotLSN)
 	}
 
 	httpServer := &http.Server{
@@ -76,7 +101,21 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	return serve(ctx, httpServer)
+	if err := serve(ctx, httpServer); err != nil {
+		return err
+	}
+	// HTTP is drained; write the final snapshot so the next start recovers
+	// without replay. No-op for in-memory servers.
+	if *dataDir != "" {
+		log.Println("writing final snapshot...")
+	}
+	if err := server.Close(); err != nil {
+		return fmt.Errorf("final snapshot: %w", err)
+	}
+	if *dataDir != "" {
+		log.Printf("state saved to %s", *dataDir)
+	}
+	return nil
 }
 
 // loadOrTrainModel loads the embedding model from path when present,

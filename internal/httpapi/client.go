@@ -105,6 +105,26 @@ func (c *Client) Health(ctx context.Context) error {
 	return c.get(ctx, "/v1/healthz", nil)
 }
 
+// Durability fetches the durable-mode state (WAL segments, bytes,
+// snapshot coverage).
+func (c *Client) Durability(ctx context.Context) (DurabilityJSON, error) {
+	var resp DurabilityJSON
+	if err := c.get(ctx, "/v1/admin/durability", &resp); err != nil {
+		return DurabilityJSON{}, err
+	}
+	return resp, nil
+}
+
+// Compact asks the server to snapshot its state and truncate the
+// write-ahead log, returning the post-compaction durability state.
+func (c *Client) Compact(ctx context.Context) (DurabilityJSON, error) {
+	var resp DurabilityJSON
+	if err := c.post(ctx, "/v1/admin/compact", struct{}{}, &resp); err != nil {
+		return DurabilityJSON{}, err
+	}
+	return resp, nil
+}
+
 func (c *Client) post(ctx context.Context, path string, body, out interface{}) error {
 	payload, err := json.Marshal(body)
 	if err != nil {

@@ -4,19 +4,26 @@
 // tasks, allocates them, and publishes truth estimates.
 //
 // The API is versioned under /v1 and uses plain JSON request/response
-// bodies. All handlers are safe for concurrent use: the underlying
-// eta2.Server is guarded by a single mutex, which is ample for the request
-// rates a crowdsourcing control plane sees (allocation and truth analysis
-// are the expensive operations and run at time-step granularity).
+// bodies (POSTs with any other Content-Type are rejected with 415). All
+// handlers are safe for concurrent use: the underlying eta2.Server is
+// guarded by a single mutex, which is ample for the request rates a
+// crowdsourcing control plane sees (allocation and truth analysis are the
+// expensive operations and run at time-step granularity).
+//
+// The /v1/admin endpoints expose the durable mode: GET
+// /v1/admin/durability reports WAL shape and snapshot coverage, POST
+// /v1/admin/compact forces a snapshot+truncate cycle.
 package httpapi
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"eta2"
 )
@@ -41,6 +48,8 @@ func New(server *eta2.Server) *Handler {
 	h.mux.HandleFunc("/v1/step/close", h.handleCloseStep)
 	h.mux.HandleFunc("/v1/truth", h.handleTruth)
 	h.mux.HandleFunc("/v1/expertise", h.handleExpertise)
+	h.mux.HandleFunc("/v1/admin/durability", h.handleDurability)
+	h.mux.HandleFunc("/v1/admin/compact", h.handleCompact)
 	return h
 }
 
@@ -94,6 +103,19 @@ type StepReportJSON struct {
 	Converged     bool        `json:"converged"`
 	NewDomains    []int       `json:"new_domains,omitempty"`
 	MergedDomains int         `json:"merged_domains,omitempty"`
+}
+
+// DurabilityJSON is the wire form of the durable-mode state.
+type DurabilityJSON struct {
+	Enabled     bool   `json:"enabled"`
+	Dir         string `json:"dir,omitempty"`
+	Segments    int    `json:"segments"`
+	WALBytes    int64  `json:"wal_bytes"`
+	LastLSN     uint64 `json:"last_lsn"`
+	SnapshotLSN uint64 `json:"snapshot_lsn"`
+	Compactions int    `json:"compactions"`
+	// LastCompaction is RFC 3339, empty if no compaction ran this process.
+	LastCompaction string `json:"last_compaction,omitempty"`
 }
 
 // errorJSON is the error envelope every failure returns.
@@ -300,7 +322,54 @@ func (h *Handler) handleExpertise(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]float64{"expertise": exp})
 }
 
+func (h *Handler) handleDurability(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	h.mu.Lock()
+	st := h.server.DurabilityStats()
+	h.mu.Unlock()
+	writeJSON(w, http.StatusOK, durabilityJSON(st))
+}
+
+func (h *Handler) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	h.mu.Lock()
+	err := h.server.Compact()
+	st := h.server.DurabilityStats()
+	h.mu.Unlock()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, eta2.ErrNotDurable) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, durabilityJSON(st))
+}
+
 // ---- helpers ----
+
+func durabilityJSON(st eta2.DurabilityStats) DurabilityJSON {
+	out := DurabilityJSON{
+		Enabled:     st.Enabled,
+		Dir:         st.Dir,
+		Segments:    st.Segments,
+		WALBytes:    st.WALBytes,
+		LastLSN:     st.LastLSN,
+		SnapshotLSN: st.SnapshotLSN,
+		Compactions: st.Compactions,
+	}
+	if !st.LastCompaction.IsZero() {
+		out.LastCompaction = st.LastCompaction.Format(time.RFC3339)
+	}
+	return out
+}
 
 func stepReportJSON(report eta2.StepReport) StepReportJSON {
 	out := StepReportJSON{
@@ -323,11 +392,24 @@ func stepReportJSON(report eta2.StepReport) StepReportJSON {
 	return out
 }
 
-// decode parses the JSON request body, replying 400 on failure.
+// decode parses the JSON request body: 415 for a non-JSON Content-Type,
+// 413 when the body exceeds the size cap, 400 for malformed JSON.
 func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err != nil || mt != "application/json" {
+		writeError(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("unsupported content type %q; use application/json", ct))
+		return false
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
 		return false
 	}

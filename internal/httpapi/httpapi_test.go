@@ -187,6 +187,102 @@ func TestErrorStatuses(t *testing.T) {
 	}
 }
 
+func TestContentTypeAndBodyLimits(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	post := func(contentType, body string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/users", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	// Non-JSON and missing Content-Type → 415, not 400.
+	for _, ct := range []string{"text/plain", "application/xml", ""} {
+		if resp := post(ct, `{"users":[]}`); resp.StatusCode != http.StatusUnsupportedMediaType {
+			t.Errorf("Content-Type %q: status %d, want 415", ct, resp.StatusCode)
+		}
+	}
+	// Charset parameters are fine.
+	if resp := post("application/json; charset=utf-8", `{"users":[]}`); resp.StatusCode != http.StatusOK {
+		t.Errorf("json with charset: status %d, want 200", resp.StatusCode)
+	}
+
+	// A body over the 16 MiB cap → 413, not 400. The oversized bytes sit
+	// in one ignored string field so the decoder must consume them all.
+	huge := `{"padding":"` + strings.Repeat("a", 17<<20) + `"}`
+	if resp := post("application/json", huge); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestDurabilityEndpoints(t *testing.T) {
+	ctx := context.Background()
+
+	// In-memory server: durability reports disabled, compaction is a 409.
+	client, _ := newTestServer(t)
+	st, err := client.Durability(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Enabled {
+		t.Errorf("in-memory durability = %+v, want disabled", st)
+	}
+	_, err = client.Compact(ctx)
+	wantStatus(t, err, http.StatusConflict)
+
+	// Durable-backed server: stats live, compact snapshots and truncates.
+	dir := t.TempDir()
+	srv, err := eta2.NewServer(eta2.WithDurability(dir, eta2.DurabilityPolicy{
+		Fsync:     eta2.FsyncNever,
+		CompactAt: -1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(srv))
+	t.Cleanup(ts.Close)
+	dclient := NewClient(ts.URL, ts.Client())
+
+	if err := dclient.AddUsers(ctx, []UserJSON{{ID: 0, Capacity: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dclient.CreateTasks(ctx, []TaskSpecJSON{{Description: "t", ProcTime: 1, DomainHint: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err = dclient.Durability(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Enabled || st.Dir != dir {
+		t.Fatalf("durability = %+v, want enabled in %s", st, dir)
+	}
+	if st.LastLSN != 2 || st.SnapshotLSN != 0 || st.WALBytes == 0 {
+		t.Errorf("after 2 mutations: %+v", st)
+	}
+
+	st, err = dclient.Compact(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SnapshotLSN != 2 || st.Compactions != 1 {
+		t.Errorf("after compact: %+v", st)
+	}
+	if st.LastCompaction == "" {
+		t.Error("compact response missing timestamp")
+	}
+}
+
 func wantStatus(t *testing.T, err error, status int) {
 	t.Helper()
 	var apiErr *APIError

@@ -1,0 +1,553 @@
+// Package wal implements the append-only, segment-rotating write-ahead
+// log behind the eta2 server's durable mode. Records are length-prefixed,
+// CRC32C-checksummed, versioned, and stamped with a monotonically
+// increasing log sequence number (LSN), so a reader can always tell a
+// torn tail from valid data and a snapshot can name the exact prefix of
+// the log it already covers.
+//
+// On-disk layout: a directory of segment files named
+// wal-<firstLSN>.log. Each record is
+//
+//	offset  size  field
+//	0       4     big-endian payload frame length = 9 + len(payload)
+//	4       4     CRC32C (Castagnoli) over the frame (LSN .. payload)
+//	8       8     big-endian LSN
+//	16      1     record-format version (recordVersion)
+//	17      n     opaque payload
+//
+// Open scans every segment in LSN order and truncates the log at the
+// first torn or corrupt record (checksum mismatch, impossible length,
+// short frame, or non-increasing LSN): the file is cut at the last valid
+// record and any later segments are deleted. A record written with an
+// UNKNOWN format version is not corruption — it means a newer binary
+// wrote the log — and surfaces as ErrUnknownVersion instead of silent
+// truncation.
+//
+// The Log is not safe for concurrent use; the owner must serialize
+// Append/Sync/TruncateThrough (the eta2 server already serializes all
+// mutations).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// recordVersion is the on-disk record format version this package writes.
+const recordVersion = 1
+
+// headerSize is the fixed bytes before the payload: length + crc + lsn +
+// version.
+const headerSize = 4 + 4 + 8 + 1
+
+// frameOverhead is the frame length beyond the payload itself (LSN +
+// version bytes, the part covered by the length field together with the
+// payload).
+const frameOverhead = 8 + 1
+
+// maxPayload bounds a single record so a corrupt length field cannot ask
+// the reader to allocate gigabytes.
+const maxPayload = 64 << 20
+
+// ErrUnknownVersion is returned when a record carries a format version
+// this build does not understand. Unlike corruption it is NOT truncated
+// away: a newer binary wrote valid data we must not destroy.
+var ErrUnknownVersion = errors.New("wal: record written by an unknown format version")
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = errors.New("wal: log is closed")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy selects when Append calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every record: no acknowledged write is ever
+	// lost, at the cost of one fsync per mutation.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs lazily: an Append syncs only when SyncEvery has
+	// elapsed since the previous sync. A crash loses at most the last
+	// interval's records — replay still stops cleanly at the torn tail.
+	SyncInterval
+	// SyncNever leaves flushing to the OS page cache. Replay correctness
+	// is unaffected; only crash durability is.
+	SyncNever
+)
+
+// Options configures Open.
+type Options struct {
+	// SegmentSize is the byte size at which the active segment is sealed
+	// and a new one started (default 1 MiB). A single record larger than
+	// SegmentSize still gets written — it just seals its segment early.
+	SegmentSize int64
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncEvery is the lazy-sync interval for SyncInterval (default 100ms).
+	SyncEvery time.Duration
+	// NextLSNFloor, when non-zero, forces the next assigned LSN to be at
+	// least this value. The server passes snapshotLSN+1 so fresh records
+	// can never collide with LSNs a snapshot already covers, even if the
+	// tail of the log was lost.
+	NextLSNFloor uint64
+}
+
+// Stats describes the log's current shape.
+type Stats struct {
+	// Segments is the number of live segment files.
+	Segments int
+	// Bytes is the total size of all live segments.
+	Bytes int64
+	// FirstLSN and LastLSN bound the records currently in the log
+	// (both zero when the log holds no records).
+	FirstLSN uint64
+	LastLSN  uint64
+	// TornBytes and DroppedSegments report what Open discarded while
+	// truncating a torn tail (zero on a clean open).
+	TornBytes       int64
+	DroppedSegments int
+}
+
+type segment struct {
+	path     string
+	firstLSN uint64 // LSN the segment was opened at (records start here or later)
+	lastLSN  uint64 // last LSN stored, 0 if empty
+	size     int64
+	records  int
+}
+
+// Log is an append-only write-ahead log over a directory of segments.
+type Log struct {
+	dir    string
+	opts   Options
+	segs   []segment // all live segments in LSN order; last is active
+	active *os.File
+	next   uint64 // next LSN to assign
+	first  uint64 // first LSN present, 0 if none
+
+	lastSync time.Time
+	dirty    bool
+	closed   bool
+
+	tornBytes    int64
+	droppedSegs  int
+	pendingDirFs bool
+}
+
+// Open opens (or creates) the log in dir, validates every segment, and
+// truncates the log at the first corrupt or partial record. The returned
+// Log is positioned to append after the last valid record.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = 1 << 20
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts, next: 1}
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i := range segs {
+		valid, lastLSN, nRecords, verr := l.scanSegment(&segs[i])
+		if verr != nil {
+			return nil, verr
+		}
+		if lastLSN != 0 {
+			if l.first == 0 {
+				l.first = segs[i].firstLSN
+			}
+			l.next = lastLSN + 1
+		}
+		segs[i].lastLSN = lastLSN
+		segs[i].records = nRecords
+		l.segs = append(l.segs, segs[i])
+		if valid < segs[i].size {
+			// Torn tail: cut this segment at the last valid record and
+			// drop everything after it.
+			l.tornBytes += segs[i].size - valid
+			if err := os.Truncate(segs[i].path, valid); err != nil {
+				return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+			l.segs[len(l.segs)-1].size = valid
+			for _, late := range segs[i+1:] {
+				l.tornBytes += late.size
+				l.droppedSegs++
+				if err := os.Remove(late.path); err != nil {
+					return nil, fmt.Errorf("wal: drop segment past torn tail: %w", err)
+				}
+			}
+			break
+		}
+	}
+	if opts.NextLSNFloor > l.next {
+		l.next = opts.NextLSNFloor
+	}
+
+	if len(l.segs) == 0 {
+		if err := l.openSegment(); err != nil {
+			return nil, err
+		}
+	} else {
+		last := &l.segs[len(l.segs)-1]
+		f, err := os.OpenFile(last.path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: reopen active segment: %w", err)
+		}
+		if _, err := f.Seek(last.size, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: seek active segment: %w", err)
+		}
+		l.active = f
+	}
+	if l.tornBytes > 0 || l.droppedSegs > 0 {
+		l.syncDir()
+	}
+	return l, nil
+}
+
+// listSegments returns the wal-*.log files in dir sorted by first LSN.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		lsn, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+		if err != nil {
+			continue // foreign file; leave it alone
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		segs = append(segs, segment{path: filepath.Join(dir, name), firstLSN: lsn, size: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstLSN < segs[j].firstLSN })
+	return segs, nil
+}
+
+// scanSegment walks seg's records, returning the byte offset of the end
+// of the last valid record, the last valid LSN (0 if none), and the
+// record count. Corruption ends the scan; an unknown record version is a
+// hard error.
+func (l *Log) scanSegment(seg *segment) (valid int64, lastLSN uint64, n int, err error) {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	r := &segmentReader{f: f, expectAfter: l.next - 1}
+	for {
+		_, _, rerr := r.next()
+		if rerr == io.EOF {
+			return r.valid, r.lastLSN, r.records, nil
+		}
+		if errors.Is(rerr, ErrUnknownVersion) {
+			return 0, 0, 0, fmt.Errorf("%w (segment %s, offset %d)", ErrUnknownVersion, seg.path, r.valid)
+		}
+		if rerr != nil {
+			// Corruption: everything before r.valid stands, the rest is
+			// the torn tail.
+			return r.valid, r.lastLSN, r.records, nil
+		}
+	}
+}
+
+// segmentReader decodes records sequentially, tracking the end offset of
+// the last fully valid record.
+type segmentReader struct {
+	f           *os.File
+	off         int64
+	valid       int64
+	lastLSN     uint64
+	expectAfter uint64 // records must have LSN > this
+	records     int
+	header      [headerSize]byte
+	buf         []byte
+}
+
+// errCorrupt marks a record that fails validation (the torn tail).
+var errCorrupt = errors.New("wal: corrupt record")
+
+// next decodes one record. io.EOF means a clean end; errCorrupt (or any
+// read error) means the tail from r.valid onward is garbage.
+func (r *segmentReader) next() (lsn uint64, payload []byte, err error) {
+	hn, err := io.ReadFull(r.f, r.header[:])
+	if err == io.EOF {
+		return 0, nil, io.EOF
+	}
+	if err != nil { // includes io.ErrUnexpectedEOF: torn header
+		return 0, nil, errCorrupt
+	}
+	r.off += int64(hn)
+	frameLen := binary.BigEndian.Uint32(r.header[0:4])
+	if frameLen < frameOverhead || frameLen > frameOverhead+maxPayload {
+		return 0, nil, errCorrupt
+	}
+	payloadLen := int(frameLen) - frameOverhead
+	if cap(r.buf) < payloadLen {
+		r.buf = make([]byte, payloadLen)
+	}
+	payload = r.buf[:payloadLen]
+	if _, err := io.ReadFull(r.f, payload); err != nil {
+		return 0, nil, errCorrupt
+	}
+	r.off += int64(payloadLen)
+	crc := crc32.Update(0, castagnoli, r.header[8:headerSize])
+	crc = crc32.Update(crc, castagnoli, payload)
+	if crc != binary.BigEndian.Uint32(r.header[4:8]) {
+		return 0, nil, errCorrupt
+	}
+	if v := r.header[16]; v != recordVersion {
+		return 0, nil, fmt.Errorf("%w: version %d", ErrUnknownVersion, v)
+	}
+	lsn = binary.BigEndian.Uint64(r.header[8:16])
+	if lsn <= r.expectAfter {
+		return 0, nil, errCorrupt
+	}
+	r.expectAfter = lsn
+	r.lastLSN = lsn
+	r.valid = r.off
+	r.records++
+	return lsn, payload, nil
+}
+
+// segmentPath names the segment whose first record will carry lsn.
+func (l *Log) segmentPath(lsn uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("wal-%020d.log", lsn))
+}
+
+// openSegment seals the active segment (if any) and starts a new one at
+// the next LSN.
+func (l *Log) openSegment() error {
+	if l.active != nil {
+		if err := l.active.Sync(); err != nil {
+			return fmt.Errorf("wal: seal segment: %w", err)
+		}
+		if err := l.active.Close(); err != nil {
+			return fmt.Errorf("wal: seal segment: %w", err)
+		}
+		l.active = nil
+		l.dirty = false
+	}
+	path := l.segmentPath(l.next)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	l.active = f
+	l.segs = append(l.segs, segment{path: path, firstLSN: l.next})
+	l.syncDir()
+	return nil
+}
+
+// Append writes one record and returns its LSN, fsyncing per the sync
+// policy.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if len(payload) > maxPayload {
+		return 0, fmt.Errorf("wal: payload %d bytes exceeds limit %d", len(payload), maxPayload)
+	}
+	active := &l.segs[len(l.segs)-1]
+	recLen := int64(headerSize + len(payload))
+	if active.size > 0 && active.size+recLen > l.opts.SegmentSize {
+		if err := l.openSegment(); err != nil {
+			return 0, err
+		}
+		active = &l.segs[len(l.segs)-1]
+	}
+
+	lsn := l.next
+	var header [headerSize]byte
+	binary.BigEndian.PutUint32(header[0:4], uint32(frameOverhead+len(payload)))
+	binary.BigEndian.PutUint64(header[8:16], lsn)
+	header[16] = recordVersion
+	crc := crc32.Update(0, castagnoli, header[8:headerSize])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.BigEndian.PutUint32(header[4:8], crc)
+
+	if _, err := l.active.Write(header[:]); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.active.Write(payload); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	active.size += recLen
+	active.lastLSN = lsn
+	active.records++
+	if l.first == 0 {
+		l.first = lsn
+	}
+	l.next = lsn + 1
+	l.dirty = true
+
+	switch l.opts.Sync {
+	case SyncAlways:
+		if err := l.Sync(); err != nil {
+			return 0, err
+		}
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opts.SyncEvery {
+			if err := l.Sync(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return lsn, nil
+}
+
+// Sync flushes the active segment to stable storage.
+func (l *Log) Sync() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.dirty {
+		if err := l.active.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+		l.dirty = false
+	}
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Replay streams every record currently in the log, in LSN order, to fn.
+// Open already truncated any torn tail, so replay sees only valid
+// records; fn returning an error aborts the replay with that error.
+func (l *Log) Replay(fn func(lsn uint64, payload []byte) error) error {
+	if l.closed {
+		return ErrClosed
+	}
+	var prev uint64
+	for _, seg := range l.segs {
+		if seg.records == 0 {
+			continue
+		}
+		f, err := os.Open(seg.path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		r := &segmentReader{f: f, expectAfter: prev}
+		for i := 0; i < seg.records; i++ {
+			lsn, payload, err := r.next()
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("wal: replay %s: %w", seg.path, err)
+			}
+			if err := fn(lsn, payload); err != nil {
+				f.Close()
+				return err
+			}
+			prev = lsn
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// TruncateThrough removes every record with LSN <= lsn from the log —
+// the compaction step after a snapshot covering that prefix is durably
+// on disk. The active segment is sealed first if it holds covered
+// records, so the log always ends with a live segment ready for appends.
+func (l *Log) TruncateThrough(lsn uint64) error {
+	if l.closed {
+		return ErrClosed
+	}
+	active := &l.segs[len(l.segs)-1]
+	if active.records > 0 && active.lastLSN <= lsn {
+		if err := l.openSegment(); err != nil {
+			return err
+		}
+	}
+	kept := l.segs[:0]
+	removed := false
+	for i := range l.segs {
+		s := l.segs[i]
+		sealed := i < len(l.segs)-1
+		if sealed && (s.records == 0 || s.lastLSN <= lsn) {
+			if err := os.Remove(s.path); err != nil {
+				return fmt.Errorf("wal: truncate: %w", err)
+			}
+			removed = true
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.segs = kept
+	if removed {
+		l.syncDir()
+	}
+	l.first = 0
+	for _, s := range l.segs {
+		if s.records > 0 {
+			l.first = s.firstLSN
+			break
+		}
+	}
+	return nil
+}
+
+// Stats reports the log's current shape.
+func (l *Log) Stats() Stats {
+	st := Stats{
+		Segments:        len(l.segs),
+		FirstLSN:        l.first,
+		TornBytes:       l.tornBytes,
+		DroppedSegments: l.droppedSegs,
+	}
+	if l.next > 1 && l.first != 0 {
+		st.LastLSN = l.next - 1
+	}
+	for _, s := range l.segs {
+		st.Bytes += s.size
+	}
+	return st
+}
+
+// NextLSN returns the LSN the next Append will be assigned.
+func (l *Log) NextLSN() uint64 { return l.next }
+
+// Close syncs and closes the log. Further operations return ErrClosed.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	err := l.Sync()
+	if cerr := l.active.Close(); err == nil {
+		err = cerr
+	}
+	l.closed = true
+	return err
+}
+
+// syncDir fsyncs the log directory so segment creation/removal survives a
+// crash. Best-effort: some filesystems reject directory fsync, and losing
+// it only re-exposes already-handled torn state.
+func (l *Log) syncDir() {
+	if d, err := os.Open(l.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}

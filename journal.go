@@ -1,0 +1,405 @@
+package eta2
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"eta2/internal/wal"
+)
+
+// This file implements the server's durable mode: every mutation is
+// appended to a write-ahead log (internal/wal) after it is applied, and
+// startup recovery rebuilds the exact pre-crash state by loading the
+// latest snapshot and replaying the log tail. Replay is deterministic —
+// every mutation the server performs is a pure function of its inputs
+// and the current state (the parallel hot paths are bit-identical for
+// every worker count, see DESIGN.md §8) — so a recovered server is
+// bit-identical to one that never crashed.
+//
+// Journal ordering: mutations are applied in memory first and logged on
+// success, and the caller only gets a nil error after the record is
+// appended. A crash between apply and append therefore loses exactly the
+// mutations whose callers never got an acknowledgement — the same
+// contract as losing the request in flight.
+
+// Journal event types. Allocation events carry no state (allocation does
+// not mutate the server) but are journaled as an audit trail of what was
+// handed to users.
+const (
+	eventAddUsers     = "add_users"
+	eventCreateTasks  = "create_tasks"
+	eventAllocate     = "allocate"
+	eventObservations = "observations"
+	eventCloseStep    = "close_step"
+)
+
+// walEvent is the JSON payload of one WAL record.
+type walEvent struct {
+	Type         string        `json:"t"`
+	Users        []User        `json:"users,omitempty"`
+	Specs        []TaskSpec    `json:"specs,omitempty"`
+	Observations []Observation `json:"obs,omitempty"`
+	Pairs        []Pair        `json:"pairs,omitempty"`
+}
+
+// durabilityConfig is the configured-but-not-yet-opened durable mode.
+type durabilityConfig struct {
+	dir    string
+	policy DurabilityPolicy
+}
+
+// WithDurability enables the durable mode: every mutation is journaled to
+// a write-ahead log under dir, snapshots compact the log, and NewServer
+// recovers the full pre-crash state from dir on the next start. The zero
+// DurabilityPolicy is valid and means fsync-always with default segment
+// and compaction sizes.
+func WithDurability(dir string, policy DurabilityPolicy) Option {
+	return func(c *config) error {
+		if dir == "" {
+			return errors.New("eta2: durability requires a data directory")
+		}
+		if err := policy.validate(); err != nil {
+			return err
+		}
+		policy.applyDefaults()
+		c.durable = &durabilityConfig{dir: dir, policy: policy}
+		return nil
+	}
+}
+
+func (p FsyncPolicy) walSync() wal.SyncPolicy {
+	switch p {
+	case FsyncInterval:
+		return wal.SyncInterval
+	case FsyncNever:
+		return wal.SyncNever
+	default:
+		return wal.SyncAlways
+	}
+}
+
+func (p *DurabilityPolicy) validate() error {
+	switch p.Fsync {
+	case "", FsyncAlways, FsyncInterval, FsyncNever:
+		return nil
+	}
+	return fmt.Errorf("eta2: unknown fsync policy %q (want %q, %q or %q)",
+		p.Fsync, FsyncAlways, FsyncInterval, FsyncNever)
+}
+
+func (p *DurabilityPolicy) applyDefaults() {
+	if p.Fsync == "" {
+		p.Fsync = FsyncAlways
+	}
+	if p.FsyncEvery <= 0 {
+		p.FsyncEvery = 100 * time.Millisecond
+	}
+	if p.CompactAt == 0 {
+		p.CompactAt = 8 << 20
+	}
+	if p.SegmentSize <= 0 {
+		p.SegmentSize = 1 << 20
+	}
+}
+
+// snapshotFile is one snapshot-<lsn>.json in the data directory.
+type snapshotFile struct {
+	path string
+	lsn  uint64
+}
+
+// listSnapshots returns the snapshot files in dir, newest (highest LSN)
+// first.
+func listSnapshots(dir string) ([]snapshotFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("eta2: %w", err)
+	}
+	var snaps []snapshotFile
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snapshot-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		lsn, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snapshot-"), ".json"), 10, 64)
+		if err != nil {
+			continue
+		}
+		snaps = append(snaps, snapshotFile{path: filepath.Join(dir, name), lsn: lsn})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].lsn > snaps[j].lsn })
+	return snaps, nil
+}
+
+// openDurableServer performs startup recovery and attaches the journal:
+// load the newest readable snapshot, replay the WAL records past it
+// (the wal package already truncated any torn tail), then start
+// journaling new mutations.
+func openDurableServer(cfg config, opts []Option) (*Server, error) {
+	d := cfg.durable
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("eta2: %w", err)
+	}
+
+	var s *Server
+	var snapLSN uint64
+	snaps, err := listSnapshots(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, sn := range snaps {
+		restored, err := loadSnapshotFile(sn.path, opts)
+		if err != nil {
+			if errors.Is(err, ErrBadState) {
+				// A snapshot this build cannot ever read (e.g. a future
+				// version) must fail loudly, not silently fall back to
+				// stale state.
+				return nil, err
+			}
+			// Unreadable/garbage snapshot: fall back to the next older one
+			// (the compactor keeps the previous snapshot until the new one
+			// is durably renamed, so an older one normally exists).
+			continue
+		}
+		s, snapLSN = restored, sn.lsn
+		break
+	}
+	if s == nil {
+		if s, err = newServer(cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	wlog, err := wal.Open(d.dir, wal.Options{
+		SegmentSize:  d.policy.SegmentSize,
+		Sync:         d.policy.Fsync.walSync(),
+		SyncEvery:    d.policy.FsyncEvery,
+		NextLSNFloor: snapLSN + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eta2: %w", err)
+	}
+
+	lastLSN := snapLSN
+	replayErr := wlog.Replay(func(lsn uint64, payload []byte) error {
+		if lsn <= snapLSN {
+			return nil // already covered by the snapshot
+		}
+		var ev walEvent
+		if err := json.Unmarshal(payload, &ev); err != nil {
+			return fmt.Errorf("eta2: decode journal record %d: %w", lsn, err)
+		}
+		if err := s.applyEvent(ev); err != nil {
+			return fmt.Errorf("eta2: replay journal record %d (%s): %w", lsn, ev.Type, err)
+		}
+		lastLSN = lsn
+		return nil
+	})
+	if replayErr != nil {
+		wlog.Close()
+		return nil, replayErr
+	}
+
+	// Journal attaches only after replay, so replayed mutations are never
+	// re-journaled.
+	s.journal = wlog
+	s.journalDir = d.dir
+	s.journalPolicy = d.policy
+	s.snapLSN = snapLSN
+	s.lastLSN = lastLSN
+	return s, nil
+}
+
+// loadSnapshotFile restores a server from one snapshot file, applying the
+// caller's options on top (exactly like LoadServer).
+func loadSnapshotFile(path string, opts []Option) (*Server, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("eta2: %w", err)
+	}
+	defer f.Close()
+	st, err := decodeState(f)
+	if err != nil {
+		return nil, err
+	}
+	return restoreServer(st, opts...)
+}
+
+// applyEvent re-executes one journaled mutation during recovery.
+func (s *Server) applyEvent(ev walEvent) error {
+	switch ev.Type {
+	case eventAddUsers:
+		return s.AddUsers(ev.Users...)
+	case eventCreateTasks:
+		_, err := s.CreateTasks(ev.Specs...)
+		return err
+	case eventObservations:
+		// Verbatim append: the journaled observations already carry their
+		// Day stamp (and min-cost rounds bypass SubmitObservations), so
+		// re-validating or re-stamping could diverge from the original run.
+		s.observations = append(s.observations, ev.Observations...)
+		return nil
+	case eventAllocate:
+		return nil // audit-only: allocation does not mutate server state
+	case eventCloseStep:
+		_, err := s.CloseTimeStep()
+		return err
+	default:
+		return fmt.Errorf("unknown event type %q", ev.Type)
+	}
+}
+
+// journalAppend logs one applied mutation. A nil journal (in-memory
+// server, or a mutation re-executed during replay) is a no-op.
+func (s *Server) journalAppend(ev walEvent) error {
+	if s.journal == nil {
+		return nil
+	}
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("eta2: encode journal event: %w", err)
+	}
+	lsn, err := s.journal.Append(payload)
+	if err != nil {
+		return fmt.Errorf("eta2: journal append: %w", err)
+	}
+	s.lastLSN = lsn
+	return nil
+}
+
+// closeStepDurability runs the per-step durability work after a committed
+// CloseTimeStep: force a WAL flush under the interval policy (a closed
+// step is the natural commit point; fsync-never callers keep their
+// explicit no-sync contract), then compact once the log has outgrown the
+// policy threshold.
+func (s *Server) closeStepDurability() error {
+	if s.journal == nil {
+		return nil
+	}
+	if s.journalPolicy.Fsync == FsyncInterval {
+		if err := s.journal.Sync(); err != nil {
+			return fmt.Errorf("eta2: journal sync: %w", err)
+		}
+	}
+	if s.journalPolicy.CompactAt > 0 && s.journal.Stats().Bytes >= s.journalPolicy.CompactAt {
+		if err := s.Compact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ErrNotDurable is returned by durability operations on a server built
+// without WithDurability.
+var ErrNotDurable = errors.New("eta2: server has no durable data directory")
+
+// Compact writes a snapshot of the current state covering every journaled
+// mutation, then truncates the WAL prefix the snapshot covers. Crash-safe
+// at every point: the snapshot lands via write-temp + fsync + rename, old
+// snapshots are removed only after the new one is durable, and WAL
+// records are only deleted once a snapshot with their LSN exists —
+// recovery at any intermediate state replays to the same result.
+func (s *Server) Compact() error {
+	if s.journal == nil {
+		return ErrNotDurable
+	}
+	if err := s.journal.Sync(); err != nil {
+		return fmt.Errorf("eta2: journal sync: %w", err)
+	}
+	lsn := s.lastLSN
+
+	tmp := filepath.Join(s.journalDir, "snapshot.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("eta2: compact: %w", err)
+	}
+	if err := s.SaveState(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("eta2: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("eta2: compact: %w", err)
+	}
+	final := filepath.Join(s.journalDir, fmt.Sprintf("snapshot-%020d.json", lsn))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("eta2: compact: %w", err)
+	}
+	syncDir(s.journalDir)
+
+	if snaps, err := listSnapshots(s.journalDir); err == nil {
+		for _, sn := range snaps {
+			if sn.lsn < lsn {
+				_ = os.Remove(sn.path)
+			}
+		}
+	}
+	if err := s.journal.TruncateThrough(lsn); err != nil {
+		return fmt.Errorf("eta2: compact: %w", err)
+	}
+	s.snapLSN = lsn
+	s.compactions++
+	s.lastCompaction = time.Now()
+	return nil
+}
+
+// Close writes a final snapshot (so the next start recovers without any
+// replay) and detaches the journal. The server itself stays usable as a
+// purely in-memory instance; Close is idempotent and a no-op for servers
+// built without WithDurability.
+func (s *Server) Close() error {
+	if s.journal == nil {
+		return nil
+	}
+	err := s.Compact()
+	if cerr := s.journal.Close(); err == nil {
+		err = cerr
+	}
+	s.journal = nil
+	return err
+}
+
+// DurabilityStats reports the state of the durable mode. Enabled is false
+// for in-memory servers (every other field is then zero).
+func (s *Server) DurabilityStats() DurabilityStats {
+	if s.journal == nil {
+		return DurabilityStats{}
+	}
+	wst := s.journal.Stats()
+	return DurabilityStats{
+		Enabled:        true,
+		Dir:            s.journalDir,
+		Segments:       wst.Segments,
+		WALBytes:       wst.Bytes,
+		LastLSN:        s.lastLSN,
+		SnapshotLSN:    s.snapLSN,
+		Compactions:    s.compactions,
+		LastCompaction: s.lastCompaction,
+	}
+}
+
+// syncDir fsyncs a directory (best-effort; see wal.syncDir).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}

@@ -1,0 +1,458 @@
+package eta2
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// saveBytes captures the canonical snapshot of s as bytes.
+func saveBytes(t *testing.T, s *Server) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// copyDataDir clones a (flat) durable data directory, simulating the disk
+// image a crash at this instant would leave behind.
+func copyDataDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// walSegments lists the WAL segment files in dir, in LSN order.
+func walSegments(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(matches)
+	return matches
+}
+
+func countSnapshots(t *testing.T, dir string) int {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "snapshot-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(matches)
+}
+
+// durableScript returns a deterministic op sequence exercising every
+// journaled mutation type: user registration, described-task creation,
+// max-quality allocation, observation submission, a min-cost round (whose
+// observations bypass SubmitObservations), and step closes.
+func durableScript(t *testing.T) []func(*Server) error {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	descs := []string{
+		"What is the noise level around the train station?",
+		"What is the decibel reading at the concert hall?",
+		"What is the retail price at the local supermarket?",
+		"What is the gas price at the gas station?",
+		"What is the traffic speed on the main bridge?",
+		"What is the congestion level at the ring road?",
+	}
+	var ops []func(*Server) error
+	ops = append(ops, func(s *Server) error {
+		var users []User
+		for u := 0; u < 6; u++ {
+			users = append(users, User{ID: UserID(u), Capacity: 10})
+		}
+		return s.AddUsers(users...)
+	})
+	for day := 0; day < 2; day++ {
+		ops = append(ops, func(s *Server) error {
+			var specs []TaskSpec
+			for _, d := range descs {
+				specs = append(specs, TaskSpec{Description: d, ProcTime: 1})
+			}
+			_, err := s.CreateTasks(specs...)
+			return err
+		})
+		ops = append(ops, func(s *Server) error {
+			alloc, err := s.AllocateMaxQuality()
+			if err != nil {
+				return err
+			}
+			var obs []Observation
+			for _, p := range alloc.Pairs {
+				v := float64(p.Task%7)*3 + rng.NormFloat64()/(1+float64(p.User))
+				obs = append(obs, Observation{Task: p.Task, User: p.User, Value: v})
+			}
+			return s.SubmitObservations(obs...)
+		})
+		ops = append(ops, func(s *Server) error {
+			_, err := s.CloseTimeStep()
+			return err
+		})
+	}
+	ops = append(ops, func(s *Server) error {
+		var specs []TaskSpec
+		for _, d := range descs[:3] {
+			specs = append(specs, TaskSpec{Description: d, ProcTime: 1})
+		}
+		_, err := s.CreateTasks(specs...)
+		return err
+	})
+	ops = append(ops, func(s *Server) error {
+		_, err := s.AllocateMinCost(MinCostParams{}, func(pairs []Pair) ([]Observation, error) {
+			var obs []Observation
+			for _, p := range pairs {
+				obs = append(obs, Observation{Task: p.Task, User: p.User, Value: float64(p.Task%5) + rng.NormFloat64()/4})
+			}
+			return obs, nil
+		})
+		return err
+	})
+	ops = append(ops, func(s *Server) error {
+		_, err := s.CloseTimeStep()
+		return err
+	})
+	return ops
+}
+
+// TestDurableRecoveryAtEveryBoundary is the crash-recovery acceptance
+// test: the durable pipeline is "killed" (the data directory is copied,
+// never cleanly closed) after every mutation, and recovery from each
+// boundary image must reproduce the bit-identical snapshot the live
+// server had at that instant.
+func TestDurableRecoveryAtEveryBoundary(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force multi-segment recovery; CompactAt < 0 disables
+	// auto-compaction so every boundary replays the full journal.
+	pol := DurabilityPolicy{Fsync: FsyncNever, CompactAt: -1, SegmentSize: 512}
+	opts := func() []Option {
+		return []Option{
+			WithEmbedder(rootTestEmbedder(t)),
+			WithAlpha(0.7),
+			WithGamma(0.5),
+			WithDurability(dir, pol),
+		}
+	}
+	s, err := NewServer(opts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type boundary struct {
+		dir  string
+		want []byte
+	}
+	var bounds []boundary
+	for i, op := range durableScript(t) {
+		if err := op(s); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		bounds = append(bounds, boundary{dir: copyDataDir(t, dir), want: saveBytes(t, s)})
+	}
+	liveStats := s.DurabilityStats()
+	if !liveStats.Enabled || liveStats.LastLSN == 0 {
+		t.Fatalf("durability not engaged: %+v", liveStats)
+	}
+	if len(walSegments(t, dir)) < 2 {
+		t.Fatal("workload did not span multiple WAL segments; weaken SegmentSize")
+	}
+
+	for i, b := range bounds {
+		r, err := NewServer(
+			WithEmbedder(rootTestEmbedder(t)),
+			WithAlpha(0.7),
+			WithGamma(0.5),
+			WithDurability(b.dir, pol),
+		)
+		if err != nil {
+			t.Fatalf("boundary %d: recovery failed: %v", i, err)
+		}
+		if got := saveBytes(t, r); !bytes.Equal(got, b.want) {
+			t.Errorf("boundary %d: recovered state is not bit-identical (%d vs %d bytes)", i, len(got), len(b.want))
+		}
+		r.journal.Close() // release the copy's file handle without compacting
+	}
+}
+
+// TestDurableTornFinalRecord cuts the WAL's final record at every byte
+// offset (a torn write mid-record): recovery must truncate it away, land
+// exactly on the previous boundary's state, and leave a usable server.
+func TestDurableTornFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	pol := DurabilityPolicy{Fsync: FsyncNever, CompactAt: -1}
+	s, err := NewServer(WithDurability(dir, pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hinted tasks keep recovery embedder-free so the per-offset loop
+	// stays cheap.
+	if err := s.AddUsers(User{ID: 0, Capacity: 5}, User{ID: 1, Capacity: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTasks(
+		TaskSpec{DomainHint: 1, ProcTime: 1},
+		TaskSpec{DomainHint: 1, ProcTime: 1},
+		TaskSpec{DomainHint: 2, ProcTime: 1},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitObservations(
+		Observation{Task: 0, User: 0, Value: 1.5},
+		Observation{Task: 1, User: 1, Value: 2.5},
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	segs := walSegments(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("want a single segment, got %d", len(segs))
+	}
+	seg := segs[0]
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevSize := fi.Size()
+	prevWant := saveBytes(t, s)
+
+	// The record that will be torn.
+	if err := s.SubmitObservations(
+		Observation{Task: 0, User: 1, Value: 9.5},
+		Observation{Task: 2, User: 0, Value: 4.5},
+	); err != nil {
+		t.Fatal(err)
+	}
+	fi, err = os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSize := fi.Size()
+	if fullSize <= prevSize {
+		t.Fatalf("final record added no bytes (%d -> %d)", prevSize, fullSize)
+	}
+
+	for cut := prevSize; cut < fullSize; cut++ {
+		cdir := copyDataDir(t, dir)
+		cseg := filepath.Join(cdir, filepath.Base(seg))
+		if err := os.Truncate(cseg, cut); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewServer(WithDurability(cdir, pol))
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		if got := saveBytes(t, r); !bytes.Equal(got, prevWant) {
+			t.Fatalf("cut %d: recovered state does not match the last intact boundary", cut)
+		}
+		// The recovered server must keep accepting work.
+		if err := r.SubmitObservations(Observation{Task: 2, User: 1, Value: 3.5}); err != nil {
+			t.Fatalf("cut %d: recovered server rejected new work: %v", cut, err)
+		}
+		if _, err := r.CloseTimeStep(); err != nil {
+			t.Fatalf("cut %d: recovered server cannot close a step: %v", cut, err)
+		}
+		r.journal.Close()
+	}
+}
+
+// TestDurableAutoCompaction drives the WAL past the compaction threshold
+// and checks the snapshot+truncate cycle, including crash recovery from
+// the compacted directory.
+func TestDurableAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	pol := DurabilityPolicy{Fsync: FsyncNever, CompactAt: 1, SegmentSize: 256}
+	s, err := NewServer(WithDurability(dir, pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddUsers(User{ID: 0, Capacity: 5}, User{ID: 1, Capacity: 5}); err != nil {
+		t.Fatal(err)
+	}
+	for day := 0; day < 3; day++ {
+		if _, err := s.CreateTasks(TaskSpec{DomainHint: 1, ProcTime: 1}); err != nil {
+			t.Fatal(err)
+		}
+		tid := TaskID(day)
+		if err := s.SubmitObservations(
+			Observation{Task: tid, User: 0, Value: float64(day)},
+			Observation{Task: tid, User: 1, Value: float64(day) + 1},
+		); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.CloseTimeStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.DurabilityStats()
+	if st.Compactions < 3 {
+		t.Errorf("compactions = %d, want one per step at CompactAt=1", st.Compactions)
+	}
+	if st.SnapshotLSN != st.LastLSN {
+		t.Errorf("snapshot covers LSN %d, last is %d", st.SnapshotLSN, st.LastLSN)
+	}
+	if st.LastCompaction.IsZero() {
+		t.Error("LastCompaction not stamped")
+	}
+	if n := countSnapshots(t, dir); n != 1 {
+		t.Errorf("%d snapshots on disk after compaction, want 1 (older ones removed)", n)
+	}
+	want := saveBytes(t, s)
+
+	r, err := NewServer(WithDurability(copyDataDir(t, dir), pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.journal.Close()
+	if got := saveBytes(t, r); !bytes.Equal(got, want) {
+		t.Error("recovery from compacted directory diverged")
+	}
+	rst := r.DurabilityStats()
+	if rst.SnapshotLSN != st.SnapshotLSN || rst.LastLSN != st.LastLSN {
+		t.Errorf("recovered LSNs %d/%d, want %d/%d", rst.SnapshotLSN, rst.LastLSN, st.SnapshotLSN, st.LastLSN)
+	}
+}
+
+// TestServerCloseWritesFinalSnapshot checks the clean-shutdown path: Close
+// compacts so the next start recovers snapshot-only, is idempotent, and
+// leaves the server usable in memory.
+func TestServerCloseWritesFinalSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	pol := DurabilityPolicy{CompactAt: -1}
+	s, err := NewServer(WithDurability(dir, pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddUsers(User{ID: 0, Capacity: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTasks(TaskSpec{DomainHint: 1, ProcTime: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitObservations(Observation{Task: 0, User: 0, Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytes(t, s)
+	lastLSN := s.DurabilityStats().LastLSN
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if s.DurabilityStats().Enabled {
+		t.Error("durability still reported enabled after Close")
+	}
+	if err := s.SubmitObservations(Observation{Task: 0, User: 0, Value: 3}); err != nil {
+		t.Errorf("closed server no longer usable in memory: %v", err)
+	}
+	if n := countSnapshots(t, dir); n != 1 {
+		t.Fatalf("%d snapshots after Close, want 1", n)
+	}
+
+	r, err := NewServer(WithDurability(dir, pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := saveBytes(t, r); !bytes.Equal(got, want) {
+		t.Error("state after Close + reopen diverged")
+	}
+	if rst := r.DurabilityStats(); rst.SnapshotLSN != lastLSN {
+		t.Errorf("reopen snapshot covers %d, want %d (replay-free recovery)", rst.SnapshotLSN, lastLSN)
+	}
+}
+
+func TestInMemoryServerDurabilityNoops(t *testing.T) {
+	s, err := NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.DurabilityStats(); st.Enabled {
+		t.Error("in-memory server reports durability enabled")
+	}
+	if err := s.Compact(); !errors.Is(err, ErrNotDurable) {
+		t.Errorf("Compact = %v, want ErrNotDurable", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close = %v, want nil no-op", err)
+	}
+}
+
+func TestWithDurabilityValidation(t *testing.T) {
+	if _, err := NewServer(WithDurability("", DurabilityPolicy{})); err == nil {
+		t.Error("empty data directory accepted")
+	}
+	if _, err := NewServer(WithDurability(t.TempDir(), DurabilityPolicy{Fsync: "sometimes"})); err == nil {
+		t.Error("unknown fsync policy accepted")
+	}
+}
+
+// TestRecoverySnapshotHandling: a garbage newest snapshot falls back to
+// the older good one; a future-version snapshot is a hard failure (a
+// newer build's data must not be silently discarded).
+func TestRecoverySnapshotHandling(t *testing.T) {
+	dir := t.TempDir()
+	pol := DurabilityPolicy{Fsync: FsyncNever, CompactAt: -1}
+	s, err := NewServer(WithDurability(dir, pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddUsers(User{ID: 0, Capacity: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTasks(TaskSpec{DomainHint: 1, ProcTime: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitObservations(Observation{Task: 0, User: 0, Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytes(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	garbage := filepath.Join(dir, "snapshot-00000000000000099999.json")
+	if err := os.WriteFile(garbage, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewServer(WithDurability(dir, pol))
+	if err != nil {
+		t.Fatalf("recovery did not fall back past a garbage snapshot: %v", err)
+	}
+	if got := saveBytes(t, r); !bytes.Equal(got, want) {
+		t.Error("fallback recovery diverged")
+	}
+	r.journal.Close()
+	if err := os.Remove(garbage); err != nil {
+		t.Fatal(err)
+	}
+
+	future := filepath.Join(dir, "snapshot-00000000000000099999.json")
+	if err := os.WriteFile(future, []byte(`{"version": 7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(WithDurability(dir, pol)); !errors.Is(err, ErrBadState) {
+		t.Errorf("future-version snapshot: err = %v, want ErrBadState", err)
+	}
+}

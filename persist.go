@@ -95,22 +95,49 @@ var ErrBadState = errors.New("eta2: invalid server state")
 // clustering state survives even across embedder retrains (new tasks are
 // then placed with the NEW embedder's geometry — retrain with the same
 // corpus and seed to keep distances consistent).
+//
+// WithDurability has no effect here: LoadServer restores exactly the
+// supplied snapshot and nothing else. To restore from a durable data
+// directory (snapshot + write-ahead-log replay), pass WithDurability to
+// NewServer instead.
 func LoadServer(r io.Reader, opts ...Option) (*Server, error) {
+	st, err := decodeState(r)
+	if err != nil {
+		return nil, err
+	}
+	return restoreServer(st, opts...)
+}
+
+// decodeState parses and version-checks a snapshot.
+func decodeState(r io.Reader) (serverState, error) {
 	var st serverState
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&st); err != nil {
-		return nil, fmt.Errorf("eta2: load state: %w", err)
+		return serverState{}, fmt.Errorf("eta2: load state: %w", err)
 	}
 	if st.Version != stateVersion {
-		return nil, fmt.Errorf("%w: snapshot version %d, want %d", ErrBadState, st.Version, stateVersion)
+		return serverState{}, fmt.Errorf("%w: snapshot has version %d, but this build supports version %d",
+			ErrBadState, st.Version, stateVersion)
 	}
+	return st, nil
+}
 
+// restoreServer materializes a decoded snapshot. The snapshot's own
+// alpha/gamma/epsilon are the base configuration; the caller's options
+// are applied on top and win.
+func restoreServer(st serverState, opts ...Option) (*Server, error) {
 	allOpts := append([]Option{
 		WithAlpha(st.Alpha),
 		WithGamma(st.Gamma),
 		WithEpsilon(st.Epsilon),
 	}, opts...)
-	s, err := NewServer(allOpts...)
+	cfg, err := buildConfig(allOpts...)
+	if err != nil {
+		return nil, err
+	}
+	// newServer, not NewServer: a WithDurability option in opts must not
+	// recurse into recovery — openDurableServer drives this path itself.
+	s, err := newServer(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package eta2
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -167,6 +168,79 @@ func TestLoadServerWithoutEmbedder(t *testing.T) {
 	// Hinted tasks still work.
 	if _, err := restored.CreateTasks(TaskSpec{Description: "hinted", ProcTime: 1, DomainHint: 1}); err != nil {
 		t.Errorf("hinted task rejected: %v", err)
+	}
+}
+
+func TestSaveLoadRoundTripMidStep(t *testing.T) {
+	// Snapshot between Allocate and CloseTimeStep, when pending tasks and
+	// unprocessed observations are both non-empty.
+	s := buildBusyServer(t)
+	if _, err := s.CreateTasks(
+		TaskSpec{Description: "What is the noise level at the airport?", ProcTime: 1},
+		TaskSpec{Description: "What is the fuel price on the highway?", ProcTime: 1},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitObservations(
+		Observation{Task: 12, User: 0, Value: 4.5},
+		Observation{Task: 13, User: 3, Value: 2.25},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.pending) == 0 || len(s.observations) == 0 {
+		t.Fatalf("fixture not mid-step: %d pending, %d observations", len(s.pending), len(s.observations))
+	}
+
+	var buf bytes.Buffer
+	if err := s.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadServer(bytes.NewReader(buf.Bytes()), WithEmbedder(rootTestEmbedder(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(restored.pending), len(s.pending); got != want {
+		t.Errorf("pending tasks: %d vs %d", got, want)
+	}
+	if got, want := len(restored.observations), len(s.observations); got != want {
+		t.Errorf("observations: %d vs %d", got, want)
+	}
+	var buf2 bytes.Buffer
+	if err := restored.SaveState(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("mid-step save → load → save is not byte-stable")
+	}
+
+	// The restored server finishes the step identically to the original.
+	origReport, err := s.CloseTimeStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restReport, err := restored.CloseTimeStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(origReport.Estimates) != len(restReport.Estimates) {
+		t.Errorf("step estimates: %d vs %d", len(origReport.Estimates), len(restReport.Estimates))
+	}
+	if !bytes.Equal(saveBytes(t, s), saveBytes(t, restored)) {
+		t.Error("closing the step diverges between original and restored server")
+	}
+}
+
+func TestLoadServerFutureVersion(t *testing.T) {
+	_, err := LoadServer(strings.NewReader(`{"version": 2}`))
+	if !errors.Is(err, ErrBadState) {
+		t.Fatalf("err = %v, want ErrBadState", err)
+	}
+	// The message must name BOTH versions so an operator can tell which
+	// side to upgrade.
+	for _, want := range []string{"version 2", "supports version 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
 	}
 }
 

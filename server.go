@@ -3,12 +3,14 @@ package eta2
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"eta2/internal/allocation"
 	"eta2/internal/cluster"
 	"eta2/internal/core"
 	"eta2/internal/semantic"
 	"eta2/internal/truth"
+	"eta2/internal/wal"
 )
 
 // Server is the crowdsourcing server: it owns task/domain state, learned
@@ -39,6 +41,15 @@ type Server struct {
 
 	lastNewDomains []DomainID
 	lastMerges     int
+
+	// Durable mode (nil journal = in-memory server); see journal.go.
+	journal        *wal.Log
+	journalDir     string
+	journalPolicy  DurabilityPolicy
+	lastLSN        uint64
+	snapLSN        uint64
+	compactions    int
+	lastCompaction time.Time
 }
 
 type config struct {
@@ -48,6 +59,7 @@ type config struct {
 	parallelism int
 	truthCfg    truth.Config
 	embedder    Embedder
+	durable     *durabilityConfig
 }
 
 // Option customizes a Server.
@@ -126,17 +138,37 @@ func WithParallelism(n int) Option {
 	}
 }
 
-// NewServer creates a Server.
+// NewServer creates a Server. With WithDurability it first recovers any
+// state the data directory holds (latest snapshot + write-ahead-log
+// replay), then journals every subsequent mutation.
 func NewServer(opts ...Option) (*Server, error) {
+	cfg, err := buildConfig(opts...)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.durable != nil {
+		return openDurableServer(cfg, opts)
+	}
+	return newServer(cfg)
+}
+
+// buildConfig applies options over the defaults.
+func buildConfig(opts ...Option) (config, error) {
 	cfg := config{alpha: 0.5, gamma: 0.5, epsilon: allocation.DefaultEpsilon}
 	for _, opt := range opts {
 		if err := opt(&cfg); err != nil {
-			return nil, err
+			return config{}, err
 		}
 	}
 	if cfg.truthCfg.Parallelism == 0 {
 		cfg.truthCfg.Parallelism = cfg.parallelism
 	}
+	return cfg, nil
+}
+
+// newServer builds a bare in-memory server from a resolved config (no
+// recovery, no journal — openDurableServer layers those on top).
+func newServer(cfg config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		users:    make(map[UserID]User),
@@ -158,18 +190,24 @@ func NewServer(opts ...Option) (*Server, error) {
 }
 
 // AddUsers registers users with the server. Re-adding an existing ID
-// updates its capacity.
+// updates its capacity. The batch is atomic: one invalid user rejects the
+// whole call with no state change.
 func (s *Server) AddUsers(users ...User) error {
+	if len(users) == 0 {
+		return nil
+	}
 	for _, u := range users {
 		if err := u.Validate(); err != nil {
 			return fmt.Errorf("eta2: %w", err)
 		}
+	}
+	for _, u := range users {
 		if _, ok := s.users[u.ID]; !ok {
 			s.userOrder = append(s.userOrder, u.ID)
 		}
 		s.users[u.ID] = u
 	}
-	return nil
+	return s.journalAppend(walEvent{Type: eventAddUsers, Users: users})
 }
 
 // NumUsers returns the number of registered users.
@@ -184,11 +222,18 @@ var ErrNoEmbedder = errors.New("eta2: described tasks require WithEmbedder; set 
 // pair-word method and clustered dynamically. It returns the assigned task
 // IDs, in spec order.
 func (s *Server) CreateTasks(specs ...TaskSpec) ([]TaskID, error) {
-	ids := make([]TaskID, 0, len(specs))
-	var clusterItems []TaskID
-	for _, spec := range specs {
+	// Phase 1: validate every spec and vectorize described ones without
+	// touching server state — a bad spec must not leave a half-applied
+	// batch (and the journal only records fully-applied batches).
+	type prepared struct {
+		task      core.Task
+		vec       semantic.TaskVector
+		described bool
+	}
+	preps := make([]prepared, 0, len(specs))
+	for i, spec := range specs {
 		t := core.Task{
-			ID:          TaskID(len(s.tasks)),
+			ID:          TaskID(len(s.tasks) + i),
 			Description: spec.Description,
 			Domain:      spec.DomainHint,
 			ProcTime:    spec.ProcTime,
@@ -201,6 +246,7 @@ func (s *Server) CreateTasks(specs ...TaskSpec) ([]TaskID, error) {
 		if err := t.Validate(); err != nil {
 			return nil, fmt.Errorf("eta2: %w", err)
 		}
+		p := prepared{task: t}
 		if spec.DomainHint == DomainNone {
 			if s.clusterer == nil || s.vectorizer == nil {
 				return nil, ErrNoEmbedder
@@ -209,21 +255,31 @@ func (s *Server) CreateTasks(specs ...TaskSpec) ([]TaskID, error) {
 			if err != nil {
 				return nil, fmt.Errorf("eta2: %w", err)
 			}
-			s.vectors = append(s.vectors, tv)
-			s.itemToTask = append(s.itemToTask, t.ID)
-			clusterItems = append(clusterItems, t.ID)
-		} else {
-			s.domainOf[t.ID] = spec.DomainHint
+			p.vec, p.described = tv, true
 		}
-		s.tasks = append(s.tasks, t)
-		s.pending = append(s.pending, t.ID)
-		ids = append(ids, t.ID)
+		preps = append(preps, p)
+	}
+
+	// Phase 2: commit.
+	ids := make([]TaskID, 0, len(specs))
+	clusterItems := 0
+	for i, p := range preps {
+		if p.described {
+			s.vectors = append(s.vectors, p.vec)
+			s.itemToTask = append(s.itemToTask, p.task.ID)
+			clusterItems++
+		} else {
+			s.domainOf[p.task.ID] = specs[i].DomainHint
+		}
+		s.tasks = append(s.tasks, p.task)
+		s.pending = append(s.pending, p.task.ID)
+		ids = append(ids, p.task.ID)
 	}
 
 	s.lastNewDomains = nil
 	s.lastMerges = 0
-	if len(clusterItems) > 0 {
-		up, err := s.clusterer.AddItems(len(clusterItems))
+	if clusterItems > 0 {
+		up, err := s.clusterer.AddItems(clusterItems)
 		if err != nil {
 			return nil, fmt.Errorf("eta2: clustering: %w", err)
 		}
@@ -235,6 +291,12 @@ func (s *Server) CreateTasks(specs ...TaskSpec) ([]TaskID, error) {
 		}
 		s.lastNewDomains = up.NewDomains
 		s.lastMerges = len(up.Merges)
+	}
+	if len(specs) == 0 {
+		return ids, nil
+	}
+	if err := s.journalAppend(walEvent{Type: eventCreateTasks, Specs: specs}); err != nil {
+		return nil, err
 	}
 	return ids, nil
 }
@@ -306,6 +368,9 @@ func (s *Server) AllocateMaxQuality() (*Allocation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("eta2: %w", err)
 	}
+	if err := s.journalAppend(walEvent{Type: eventAllocate, Pairs: res.Allocation.Pairs}); err != nil {
+		return nil, err
+	}
 	return res.Allocation, nil
 }
 
@@ -320,6 +385,9 @@ func (s *Server) AllocateMaxQualityBudgeted(budget float64) (*Allocation, error)
 	res, err := allocation.MaxQualityBudgeted(s.allocationInput(tasks), budget, allocation.MaxQualityOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("eta2: %w", err)
+	}
+	if err := s.journalAppend(walEvent{Type: eventAllocate, Pairs: res.Allocation.Pairs}); err != nil {
+		return nil, err
 	}
 	return res.Allocation, nil
 }
@@ -373,6 +441,13 @@ func (s *Server) AllocateMinCost(params MinCostParams, collect Collector) (MinCo
 			return allocation.IterationOutcome{}, err
 		}
 		s.observations = append(s.observations, obs...)
+		if len(obs) > 0 {
+			// Journal the collected batch verbatim (min-cost bypasses
+			// SubmitObservations, so replay appends these as-is).
+			if err := s.journalAppend(walEvent{Type: eventObservations, Observations: obs}); err != nil {
+				return allocation.IterationOutcome{}, err
+			}
+		}
 		table.AddAll(obs)
 		// Only users that actually responded contribute information to the
 		// confidence interval; allocated-but-silent users must not count.
@@ -400,6 +475,9 @@ func (s *Server) AllocateMinCost(params MinCostParams, collect Collector) (MinCo
 	if err != nil {
 		return MinCostOutcome{}, fmt.Errorf("eta2: %w", err)
 	}
+	if err := s.journalAppend(walEvent{Type: eventAllocate, Pairs: res.Allocation.Pairs}); err != nil {
+		return MinCostOutcome{}, err
+	}
 	return MinCostOutcome{
 		Allocation:  res.Allocation,
 		Cost:        res.Cost,
@@ -409,7 +487,13 @@ func (s *Server) AllocateMinCost(params MinCostParams, collect Collector) (MinCo
 }
 
 // SubmitObservations records data reported by users for this time step.
+// The batch is atomic: one invalid observation rejects the whole call
+// with no state change.
 func (s *Server) SubmitObservations(obs ...Observation) error {
+	if len(obs) == 0 {
+		return nil
+	}
+	stamped := make([]Observation, 0, len(obs))
 	for _, o := range obs {
 		if int(o.Task) < 0 || int(o.Task) >= len(s.tasks) {
 			return fmt.Errorf("eta2: observation for unknown task %d", o.Task)
@@ -418,9 +502,10 @@ func (s *Server) SubmitObservations(obs ...Observation) error {
 			return fmt.Errorf("eta2: observation from unknown user %d", o.User)
 		}
 		o.Day = s.day
-		s.observations = append(s.observations, o)
+		stamped = append(stamped, o)
 	}
-	return nil
+	s.observations = append(s.observations, stamped...)
+	return s.journalAppend(walEvent{Type: eventObservations, Observations: stamped})
 }
 
 // ErrNoObservations is returned by CloseTimeStep when nothing was
@@ -478,6 +563,12 @@ func (s *Server) CloseTimeStep() (StepReport, error) {
 	s.observations = nil
 	s.pending = nil
 	s.day++
+	if err := s.journalAppend(walEvent{Type: eventCloseStep}); err != nil {
+		return StepReport{}, err
+	}
+	if err := s.closeStepDurability(); err != nil {
+		return StepReport{}, err
+	}
 	return report, nil
 }
 

@@ -17,6 +17,11 @@
 //     expertise-aware maximum-likelihood estimation and updates every
 //     user's per-domain expertise with exponential decay.
 //
+// Servers can run purely in memory, persist explicit snapshots
+// (SaveState/LoadServer), or run fully durable: WithDurability journals
+// every mutation to a write-ahead log and recovers the exact pre-crash
+// state on the next start (see DESIGN.md §9).
+//
 // The internal packages expose the substrates individually (embedding
 // training, clustering, MLE truth analysis, allocation solvers, baselines,
 // dataset generators, the evaluation harness); this package is the
@@ -25,6 +30,7 @@ package eta2
 
 import (
 	"io"
+	"time"
 
 	"eta2/internal/core"
 	"eta2/internal/embedding"
@@ -101,6 +107,65 @@ type StepReport struct {
 	// NewDomains and MergedDomains report clustering activity of the step.
 	NewDomains    []DomainID
 	MergedDomains int
+}
+
+// FsyncPolicy selects when the durable server's write-ahead log is
+// flushed to stable storage.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways flushes after every journaled mutation: no acknowledged
+	// write is ever lost. The default.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval flushes lazily, at most every FsyncEvery, plus a
+	// forced flush whenever a time step closes. A crash loses at most the
+	// last interval's mutations; recovery still stops cleanly at the torn
+	// tail.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncNever leaves flushing to the OS. Recovery correctness is
+	// unaffected — only durability across power loss is.
+	FsyncNever FsyncPolicy = "never"
+)
+
+// DurabilityPolicy tunes the durable mode enabled by WithDurability. The
+// zero value is valid: fsync-always, 1 MiB segments, compaction once the
+// log passes 8 MiB.
+type DurabilityPolicy struct {
+	// Fsync is the WAL flush policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncEvery is the maximum time between flushes under FsyncInterval
+	// (default 100ms).
+	FsyncEvery time.Duration
+	// CompactAt is the WAL size in bytes that triggers an automatic
+	// snapshot+truncate compaction at the next closed time step (default
+	// 8 MiB; negative disables automatic compaction — Compact can still
+	// be called explicitly).
+	CompactAt int64
+	// SegmentSize is the WAL segment rotation size in bytes (default
+	// 1 MiB).
+	SegmentSize int64
+}
+
+// DurabilityStats describes the durable mode's current state, as exposed
+// by the GET /v1/admin/durability endpoint.
+type DurabilityStats struct {
+	// Enabled reports whether the server journals mutations at all.
+	Enabled bool
+	// Dir is the durable data directory.
+	Dir string
+	// Segments and WALBytes describe the live write-ahead log.
+	Segments int
+	WALBytes int64
+	// LastLSN is the sequence number of the newest journaled mutation;
+	// SnapshotLSN is the newest mutation the latest snapshot covers.
+	// Their difference is the replay work a crash right now would need.
+	LastLSN     uint64
+	SnapshotLSN uint64
+	// Compactions counts snapshot+truncate cycles since startup;
+	// LastCompaction is when the newest one finished (zero if none ran
+	// this process).
+	Compactions    int
+	LastCompaction time.Time
 }
 
 // EmbeddingModel is a trained skip-gram model. Beyond the Embedder
