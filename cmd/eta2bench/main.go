@@ -85,7 +85,7 @@ func runJSON(runners []experiments.Runner, opts experiments.Options) int {
 		ID     string      `json:"id"`
 		Title  string      `json:"title"`
 		Runs   int         `json:"runs"`
-		Result interface{} `json:"result"`
+		Result any `json:"result"`
 	}
 	var out []entry
 	for _, r := range runners {

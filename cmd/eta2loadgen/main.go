@@ -1,0 +1,368 @@
+// Command eta2loadgen drives mixed concurrent read/write traffic against
+// the ETA² HTTP API and reports throughput and latency percentiles as
+// machine-readable JSON. It is the measurement half of the serving
+// concurrency work: the BENCH_*.json files in the repo root are its
+// output.
+//
+// Usage:
+//
+//	eta2loadgen                              # self-hosted, 1/8/64 clients
+//	eta2loadgen -fsync always -baseline      # also run the single-mutex baseline
+//	eta2loadgen -addr http://host:8080       # drive an external server
+//	eta2loadgen -clients 8 -duration 2s -out bench.json
+//
+// In self-hosted mode (the default) each scenario gets a fresh durable
+// server on a fresh data directory, so scenarios do not contaminate each
+// other. With -baseline every scenario is also run with the handler
+// wrapped in a single global mutex — the pre-RWMutex serving model —
+// which is what the speedup figures compare against.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"eta2"
+	"eta2/internal/httpapi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal("eta2loadgen: ", err)
+	}
+}
+
+type config struct {
+	addr         string
+	dataDir      string
+	fsync        string
+	clients      []int
+	duration     time.Duration
+	readFraction float64
+	batch        int
+	fsyncDelay   time.Duration
+	baseline     bool
+	out          string
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "", "base URL of a running server; empty self-hosts an in-process server per scenario")
+		dataDir    = flag.String("data-dir", "", "root for self-hosted data directories (default: a temp dir, removed afterwards)")
+		fsync      = flag.String("fsync", "always", "WAL fsync policy for self-hosted servers: always | interval | never")
+		clients    = flag.String("clients", "1,8,64", "comma-separated concurrent client counts, one scenario each")
+		duration   = flag.Duration("duration", 3*time.Second, "measured duration per scenario")
+		readFrac   = flag.Float64("read-fraction", 0.5, "fraction of requests that are reads (truth/expertise/durability)")
+		batch      = flag.Int("batch", 4, "observations per submit request")
+		fsyncDelay = flag.Duration("fsync-delay", 0, "artificial latency added to every WAL fsync (self-hosted only) — emulates network block storage on dev machines with write-back caches")
+		baseline   = flag.Bool("baseline", false, "also run each scenario against a single-mutex serialized handler (self-hosted only)")
+		out        = flag.String("out", "", "write the JSON report to this file (default: stdout)")
+	)
+	flag.Parse()
+
+	cfg := config{
+		addr:         *addr,
+		dataDir:      *dataDir,
+		fsync:        *fsync,
+		duration:     *duration,
+		readFraction: *readFrac,
+		batch:        *batch,
+		fsyncDelay:   *fsyncDelay,
+		baseline:     *baseline,
+		out:          *out,
+	}
+	for _, part := range strings.Split(*clients, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -clients entry %q", part)
+		}
+		cfg.clients = append(cfg.clients, n)
+	}
+	if cfg.addr != "" && cfg.baseline {
+		return fmt.Errorf("-baseline needs a self-hosted server (drop -addr)")
+	}
+	if cfg.addr != "" && cfg.fsyncDelay > 0 {
+		return fmt.Errorf("-fsync-delay needs a self-hosted server (drop -addr)")
+	}
+	if cfg.batch <= 0 || cfg.readFraction < 0 || cfg.readFraction > 1 {
+		return fmt.Errorf("bad -batch or -read-fraction")
+	}
+	if cfg.addr == "" && cfg.dataDir == "" {
+		dir, err := os.MkdirTemp("", "eta2loadgen")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cfg.dataDir = dir
+	}
+
+	rep := report{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		Fsync:        cfg.fsync,
+		FsyncDelayMs: float64(cfg.fsyncDelay) / float64(time.Millisecond),
+		DurationS:    cfg.duration.Seconds(),
+		ReadFraction: cfg.readFraction,
+		Batch:        cfg.batch,
+	}
+	modes := []string{"concurrent"}
+	if cfg.baseline {
+		modes = append(modes, "serialized")
+	}
+	for _, n := range cfg.clients {
+		for _, mode := range modes {
+			log.Printf("scenario: %d clients, %s handler, fsync=%s, %v", n, mode, cfg.fsync, cfg.duration)
+			sc, err := runScenario(cfg, n, mode == "serialized")
+			if err != nil {
+				return fmt.Errorf("%d clients (%s): %w", n, mode, err)
+			}
+			log.Printf("  writes: %.0f req/s p50=%.2fms p99=%.2fms | reads: %.0f req/s p50=%.2fms p99=%.2fms",
+				sc.Writes.RPS, sc.Writes.P50Ms, sc.Writes.P99Ms, sc.Reads.RPS, sc.Reads.P50Ms, sc.Reads.P99Ms)
+			rep.Scenarios = append(rep.Scenarios, sc)
+		}
+	}
+	rep.Speedups = speedups(rep.Scenarios)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if cfg.out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(cfg.out, data, 0o644)
+}
+
+// report is the machine-readable benchmark output (BENCH_*.json).
+type report struct {
+	Generated string `json:"generated"`
+	Fsync     string `json:"fsync"`
+	// FsyncDelayMs is the artificial per-fsync latency (-fsync-delay)
+	// the scenarios ran with; 0 means raw hardware fsyncs.
+	FsyncDelayMs float64    `json:"fsync_delay_ms"`
+	DurationS    float64    `json:"duration_s"`
+	ReadFraction float64    `json:"read_fraction"`
+	Batch        int        `json:"batch"`
+	Scenarios    []scenario `json:"scenarios"`
+	// Speedups maps client counts to concurrent/serialized write
+	// throughput ratios; present only when -baseline ran.
+	Speedups map[string]float64 `json:"write_speedup_vs_serialized,omitempty"`
+}
+
+type scenario struct {
+	Mode    string  `json:"mode"` // concurrent | serialized
+	Clients int     `json:"clients"`
+	Writes  opStats `json:"writes"`
+	Reads   opStats `json:"reads"`
+	Errors  int     `json:"errors"`
+}
+
+type opStats struct {
+	Count int     `json:"count"`
+	RPS   float64 `json:"rps"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// serializedHandler emulates the pre-PR serving model: one global mutex
+// around every request, fsync waits included.
+type serializedHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *serializedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.h.ServeHTTP(w, r)
+}
+
+func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
+	baseURL := cfg.addr
+	httpClient := http.DefaultClient
+	if cfg.addr == "" {
+		dir := filepath.Join(cfg.dataDir, fmt.Sprintf("c%d-%s", clients, map[bool]string{false: "conc", true: "ser"}[serialized]))
+		srv, err := eta2.NewServer(eta2.WithDurability(dir, eta2.DurabilityPolicy{
+			Fsync:      eta2.FsyncPolicy(cfg.fsync),
+			FsyncDelay: cfg.fsyncDelay,
+			CompactAt:  -1,
+		}))
+		if err != nil {
+			return scenario{}, err
+		}
+		var handler http.Handler = httpapi.New(srv)
+		if serialized {
+			handler = &serializedHandler{h: handler}
+		}
+		ts := httptest.NewServer(handler)
+		defer ts.Close()
+		defer srv.Close()
+		baseURL = ts.URL
+		httpClient = ts.Client()
+	}
+	// The default transport keeps only 2 idle conns per host; at 64
+	// clients that would measure connection churn, not the server.
+	if t, ok := httpClient.Transport.(*http.Transport); ok {
+		t = t.Clone()
+		t.MaxIdleConns = clients * 2
+		t.MaxIdleConnsPerHost = clients * 2
+		httpClient = &http.Client{Transport: t, Timeout: 30 * time.Second}
+	}
+	client := httpapi.NewClient(baseURL, httpClient)
+	ctx := context.Background()
+
+	// Seed the server so reads have something to read: users, one batch
+	// of tasks per domain, observations from every user, one closed step.
+	const nUsers, nTasks, nDomains = 16, 32, 4
+	users := make([]httpapi.UserJSON, nUsers)
+	for i := range users {
+		users[i] = httpapi.UserJSON{ID: i, Capacity: 1e9}
+	}
+	if err := client.AddUsers(ctx, users); err != nil {
+		return scenario{}, err
+	}
+	specs := make([]httpapi.TaskSpecJSON, nTasks)
+	for i := range specs {
+		specs[i] = httpapi.TaskSpecJSON{ProcTime: 1, DomainHint: 1 + i%nDomains}
+	}
+	tasks, err := client.CreateTasks(ctx, specs)
+	if err != nil {
+		return scenario{}, err
+	}
+	var seed []httpapi.ObservationJSON
+	for u := 0; u < nUsers; u++ {
+		for _, task := range tasks {
+			seed = append(seed, httpapi.ObservationJSON{Task: task, User: u, Value: 10 + float64(task) + 0.1*float64(u)})
+		}
+	}
+	if err := client.SubmitObservations(ctx, seed); err != nil {
+		return scenario{}, err
+	}
+	if _, err := client.CloseStep(ctx); err != nil {
+		return scenario{}, err
+	}
+
+	type worker struct {
+		reads, writes []time.Duration
+		errors        int
+	}
+	workers := make([]worker, clients)
+	deadline := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			me := &workers[w]
+			for time.Now().Before(deadline) {
+				if rng.Float64() < cfg.readFraction {
+					var err error
+					start := time.Now()
+					switch rng.Intn(3) {
+					case 0:
+						_, err = client.Truth(ctx, tasks[rng.Intn(len(tasks))])
+					case 1:
+						_, err = client.Expertise(ctx, rng.Intn(nUsers), 1+rng.Intn(nDomains))
+					default:
+						_, err = client.Durability(ctx)
+					}
+					me.reads = append(me.reads, time.Since(start))
+					if err != nil {
+						me.errors++
+					}
+				} else {
+					obs := make([]httpapi.ObservationJSON, cfg.batch)
+					for i := range obs {
+						obs[i] = httpapi.ObservationJSON{
+							Task:  tasks[rng.Intn(len(tasks))],
+							User:  w % nUsers,
+							Value: 10 + rng.NormFloat64(),
+						}
+					}
+					start := time.Now()
+					err := client.SubmitObservations(ctx, obs)
+					me.writes = append(me.writes, time.Since(start))
+					if err != nil {
+						me.errors++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var reads, writes []time.Duration
+	errors := 0
+	for i := range workers {
+		reads = append(reads, workers[i].reads...)
+		writes = append(writes, workers[i].writes...)
+		errors += workers[i].errors
+	}
+	return scenario{
+		Mode:    map[bool]string{false: "concurrent", true: "serialized"}[serialized],
+		Clients: clients,
+		Writes:  summarize(writes, cfg.duration),
+		Reads:   summarize(reads, cfg.duration),
+		Errors:  errors,
+	}, nil
+}
+
+func summarize(lat []time.Duration, elapsed time.Duration) opStats {
+	if len(lat) == 0 {
+		return opStats{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(lat)-1))
+		return float64(lat[i]) / float64(time.Millisecond)
+	}
+	return opStats{
+		Count: len(lat),
+		RPS:   float64(len(lat)) / elapsed.Seconds(),
+		P50Ms: pct(0.50),
+		P90Ms: pct(0.90),
+		P99Ms: pct(0.99),
+		MaxMs: float64(lat[len(lat)-1]) / float64(time.Millisecond),
+	}
+}
+
+// speedups computes, per client count, the concurrent write throughput
+// over the serialized baseline's. Empty when no baseline scenarios ran.
+func speedups(scs []scenario) map[string]float64 {
+	conc := map[int]float64{}
+	ser := map[int]float64{}
+	for _, sc := range scs {
+		if sc.Mode == "concurrent" {
+			conc[sc.Clients] = sc.Writes.RPS
+		} else {
+			ser[sc.Clients] = sc.Writes.RPS
+		}
+	}
+	out := map[string]float64{}
+	for n, c := range conc {
+		if s, ok := ser[n]; ok && s > 0 {
+			out[strconv.Itoa(n)] = c / s
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -449,7 +449,7 @@ func TestRunTypedCoversRegistry(t *testing.T) {
 
 // typedDispatches reports whether RunTyped knows the ID, without running
 // the experiment (it probes the error of a zero-cost dispatch check).
-func typedDispatches(id string) (interface{}, bool) {
+func typedDispatches(id string) (any, bool) {
 	switch id {
 	case "fig2", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig11", "fig12", "table2", "ablation-secondpass",

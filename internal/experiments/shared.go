@@ -182,6 +182,6 @@ func fullObservations(ds *dataset.Dataset, seed int64) [][]float64 {
 }
 
 // column formats a fixed-width table cell.
-func cell(w int, format string, args ...interface{}) string {
+func cell(w int, format string, args ...any) string {
 	return fmt.Sprintf("%-*s", w, fmt.Sprintf(format, args...))
 }

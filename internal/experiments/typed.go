@@ -6,32 +6,32 @@ import "fmt"
 // (the same typed structs the Render methods print), for machine-readable
 // output such as eta2bench -format json. Per-dataset experiments return a
 // map from dataset name to result.
-func RunTyped(id string, opts Options) (interface{}, error) {
+func RunTyped(id string, opts Options) (any, error) {
 	switch id {
 	case "fig2":
 		return Fig2(opts)
 	case "table1":
 		return Table1(opts)
 	case "fig4":
-		return perDatasetTyped(DatasetNames, func(name string) (interface{}, error) {
+		return perDatasetTyped(DatasetNames, func(name string) (any, error) {
 			return Fig4(name, opts)
 		})
 	case "fig5":
-		return perDatasetTyped(DatasetNames, func(name string) (interface{}, error) {
+		return perDatasetTyped(DatasetNames, func(name string) (any, error) {
 			return Fig5(name, opts)
 		})
 	case "fig6":
-		return perDatasetTyped(DatasetNames, func(name string) (interface{}, error) {
+		return perDatasetTyped(DatasetNames, func(name string) (any, error) {
 			return Fig6(name, opts)
 		})
 	case "fig7":
-		return perDatasetTyped([]string{"survey", "sfv"}, func(name string) (interface{}, error) {
+		return perDatasetTyped([]string{"survey", "sfv"}, func(name string) (any, error) {
 			return Fig7(name, opts)
 		})
 	case "fig8":
 		return Fig8(opts)
 	case "fig9":
-		return perDatasetTyped(DatasetNames, func(name string) (interface{}, error) {
+		return perDatasetTyped(DatasetNames, func(name string) (any, error) {
 			return Fig9And10(name, opts)
 		})
 	case "fig11":
@@ -57,8 +57,8 @@ func RunTyped(id string, opts Options) (interface{}, error) {
 	}
 }
 
-func perDatasetTyped(names []string, fn func(name string) (interface{}, error)) (interface{}, error) {
-	out := make(map[string]interface{}, len(names))
+func perDatasetTyped(names []string, fn func(name string) (any, error)) (any, error) {
+	out := make(map[string]any, len(names))
 	for _, name := range names {
 		r, err := fn(name)
 		if err != nil {

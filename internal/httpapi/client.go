@@ -39,7 +39,7 @@ func (e *APIError) Error() string {
 
 // AddUsers registers users.
 func (c *Client) AddUsers(ctx context.Context, users []UserJSON) error {
-	return c.post(ctx, "/v1/users", map[string]interface{}{"users": users}, nil)
+	return c.post(ctx, "/v1/users", map[string]any{"users": users}, nil)
 }
 
 // CreateTasks registers tasks and returns their IDs.
@@ -47,7 +47,7 @@ func (c *Client) CreateTasks(ctx context.Context, tasks []TaskSpecJSON) ([]int, 
 	var resp struct {
 		IDs []int `json:"ids"`
 	}
-	if err := c.post(ctx, "/v1/tasks", map[string]interface{}{"tasks": tasks}, &resp); err != nil {
+	if err := c.post(ctx, "/v1/tasks", map[string]any{"tasks": tasks}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.IDs, nil
@@ -66,7 +66,7 @@ func (c *Client) AllocateMaxQuality(ctx context.Context) ([]PairJSON, error) {
 
 // SubmitObservations reports collected values.
 func (c *Client) SubmitObservations(ctx context.Context, obs []ObservationJSON) error {
-	return c.post(ctx, "/v1/observations", map[string]interface{}{"observations": obs}, nil)
+	return c.post(ctx, "/v1/observations", map[string]any{"observations": obs}, nil)
 }
 
 // CloseStep finalizes the current time step.
@@ -125,7 +125,7 @@ func (c *Client) Compact(ctx context.Context) (DurabilityJSON, error) {
 	return resp, nil
 }
 
-func (c *Client) post(ctx context.Context, path string, body, out interface{}) error {
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("httpapi: encode request: %w", err)
@@ -138,7 +138,7 @@ func (c *Client) post(ctx context.Context, path string, body, out interface{}) e
 	return c.do(req, out)
 }
 
-func (c *Client) get(ctx context.Context, path string, out interface{}) error {
+func (c *Client) get(ctx context.Context, path string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return fmt.Errorf("httpapi: build request: %w", err)
@@ -146,7 +146,7 @@ func (c *Client) get(ctx context.Context, path string, out interface{}) error {
 	return c.do(req, out)
 }
 
-func (c *Client) do(req *http.Request, out interface{}) error {
+func (c *Client) do(req *http.Request, out any) error {
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("httpapi: %w", err)

@@ -1,0 +1,175 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"eta2"
+)
+
+// allowStatus passes errors whose HTTP status is in the allowed set —
+// expected races like closing a step that another goroutine just drained
+// (409) — and fails the test on anything else, in particular any 5xx.
+func allowStatus(t *testing.T, err error, allowed ...int) {
+	t.Helper()
+	if err == nil {
+		return
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Error(err)
+		return
+	}
+	for _, s := range allowed {
+		if apiErr.StatusCode == s {
+			return
+		}
+	}
+	t.Errorf("unexpected status %d: %s", apiErr.StatusCode, apiErr.Message)
+}
+
+// TestConcurrentMixedTraffic hammers a durable server with the mixed
+// read/write workload the RWMutex split is for: truth, expertise, health
+// and durability reads racing observation submits, step closes, and a
+// compaction. Run under -race this covers the whole serving stack —
+// handler (lock-free), Server (RWMutex), and WAL (group commit).
+func TestConcurrentMixedTraffic(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := eta2.NewServer(eta2.WithDurability(dir, eta2.DurabilityPolicy{
+		Fsync:     eta2.FsyncAlways,
+		CompactAt: -1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(srv))
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	// Seed: users, one domain of tasks, a first closed step so that
+	// /v1/truth and /v1/expertise have data for the readers.
+	const nUsers, nTasks, dom = 4, 6, 1
+	users := make([]UserJSON, nUsers)
+	for i := range users {
+		users[i] = UserJSON{ID: i, Capacity: 100}
+	}
+	if err := client.AddUsers(ctx, users); err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]TaskSpecJSON, nTasks)
+	for i := range specs {
+		specs[i] = TaskSpecJSON{Description: "reading", ProcTime: 1, DomainHint: dom}
+	}
+	tasks, err := client.CreateTasks(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := make([]ObservationJSON, 0, nUsers*nTasks)
+	for u := 0; u < nUsers; u++ {
+		for _, task := range tasks {
+			seed = append(seed, ObservationJSON{Task: task, User: u, Value: 10 + float64(task) + 0.1*float64(u)})
+		}
+	}
+	if err := client.SubmitObservations(ctx, seed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.CloseStep(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		readers   = 4
+		writers   = 4
+		perWorker = 30
+	)
+	var wg sync.WaitGroup
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := client.Truth(ctx, tasks[i%len(tasks)]); err != nil {
+					allowStatus(t, err)
+				}
+				if _, err := client.Expertise(ctx, r%nUsers, dom); err != nil {
+					allowStatus(t, err)
+				}
+				if err := client.Health(ctx); err != nil {
+					t.Error(err)
+				}
+				if _, err := client.Durability(ctx); err != nil {
+					t.Error(err)
+				}
+			}
+		}(r)
+	}
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				obs := []ObservationJSON{{
+					Task:  tasks[(w+i)%len(tasks)],
+					User:  w % nUsers,
+					Value: 10 + float64(i),
+				}}
+				allowStatus(t, client.SubmitObservations(ctx, obs))
+			}
+		}(w)
+	}
+
+	// One goroutine races step closes and a compaction against the
+	// traffic above. Closing an already-drained step is a legal 409.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			_, err := client.CloseStep(ctx)
+			allowStatus(t, err, http.StatusConflict)
+		}
+		_, err := client.Compact(ctx)
+		allowStatus(t, err, http.StatusConflict)
+	}()
+
+	wg.Wait()
+
+	// The server must still be coherent: flush any straggler
+	// observations, then every task has a truth and stats line up.
+	if _, err := client.CloseStep(ctx); err != nil {
+		allowStatus(t, err, http.StatusConflict)
+	}
+	for _, task := range tasks {
+		if _, err := client.Truth(ctx, task); err != nil {
+			t.Errorf("truth(%d) after storm: %v", task, err)
+		}
+	}
+	st, err := client.Durability(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Enabled {
+		t.Fatalf("durability lost: %+v", st)
+	}
+
+	// And the journal must replay to a working server.
+	ts.Close()
+	srv2, err := eta2.NewServer(eta2.WithDurability(dir, eta2.DurabilityPolicy{
+		Fsync:     eta2.FsyncNever,
+		CompactAt: -1,
+	}))
+	if err != nil {
+		t.Fatalf("recovery after concurrent traffic: %v", err)
+	}
+	for _, task := range tasks {
+		if _, ok := srv2.Truth(eta2.TaskID(task)); !ok {
+			t.Errorf("recovered server lost truth for task %d", task)
+		}
+	}
+}

@@ -5,10 +5,12 @@
 //
 // The API is versioned under /v1 and uses plain JSON request/response
 // bodies (POSTs with any other Content-Type are rejected with 415). All
-// handlers are safe for concurrent use: the underlying eta2.Server is
-// guarded by a single mutex, which is ample for the request rates a
-// crowdsourcing control plane sees (allocation and truth analysis are the
-// expensive operations and run at time-step granularity).
+// handlers are safe for concurrent use and the HTTP layer holds no locks
+// of its own: eta2.Server is internally synchronized with a
+// reader/writer split, so read endpoints (/v1/truth, /v1/expertise,
+// /v1/healthz, /v1/admin/durability) run fully in parallel and are never
+// blocked behind an in-flight WAL fsync, while mutations group-commit
+// their journal records (see DESIGN.md §10).
 //
 // The /v1/admin endpoints expose the durable mode: GET
 // /v1/admin/durability reports WAL shape and snapshot coverage, POST
@@ -22,15 +24,14 @@ import (
 	"mime"
 	"net/http"
 	"strconv"
-	"sync"
 	"time"
 
 	"eta2"
 )
 
-// Handler serves the ETA² HTTP API.
+// Handler serves the ETA² HTTP API. It is a thin concurrent front: all
+// synchronization lives in eta2.Server.
 type Handler struct {
-	mu     sync.Mutex
 	server *eta2.Server
 	mux    *http.ServeMux
 }
@@ -130,11 +131,9 @@ func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	h.mu.Lock()
 	day := h.server.Day()
 	users := h.server.NumUsers()
-	h.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
 		"day":    day,
 		"users":  users,
@@ -156,10 +155,8 @@ func (h *Handler) handleUsers(w http.ResponseWriter, r *http.Request) {
 	for _, u := range req.Users {
 		users = append(users, eta2.User{ID: eta2.UserID(u.ID), Capacity: u.Capacity})
 	}
-	h.mu.Lock()
 	err := h.server.AddUsers(users...)
 	n := h.server.NumUsers()
-	h.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -187,9 +184,7 @@ func (h *Handler) handleTasks(w http.ResponseWriter, r *http.Request) {
 			DomainHint:  eta2.DomainID(t.DomainHint),
 		})
 	}
-	h.mu.Lock()
 	ids, err := h.server.CreateTasks(specs...)
-	h.mu.Unlock()
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, eta2.ErrNoEmbedder) {
@@ -210,9 +205,7 @@ func (h *Handler) handleAllocateMaxQuality(w http.ResponseWriter, r *http.Reques
 		methodNotAllowed(w, http.MethodPost)
 		return
 	}
-	h.mu.Lock()
 	alloc, err := h.server.AllocateMaxQuality()
-	h.mu.Unlock()
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, eta2.ErrNothingToAllocate) {
@@ -247,9 +240,7 @@ func (h *Handler) handleObservations(w http.ResponseWriter, r *http.Request) {
 			Value: o.Value,
 		})
 	}
-	h.mu.Lock()
 	err := h.server.SubmitObservations(obs...)
-	h.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -262,9 +253,7 @@ func (h *Handler) handleCloseStep(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodPost)
 		return
 	}
-	h.mu.Lock()
 	report, err := h.server.CloseTimeStep()
-	h.mu.Unlock()
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, eta2.ErrNoObservations) {
@@ -286,9 +275,7 @@ func (h *Handler) handleTruth(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid task id: %w", err))
 		return
 	}
-	h.mu.Lock()
 	est, ok := h.server.Truth(eta2.TaskID(id))
-	h.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no estimate for task %d", id))
 		return
@@ -316,9 +303,7 @@ func (h *Handler) handleExpertise(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid domain id: %w", err))
 		return
 	}
-	h.mu.Lock()
 	exp := h.server.ExpertiseInDomain(eta2.UserID(user), eta2.DomainID(domain))
-	h.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]float64{"expertise": exp})
 }
 
@@ -327,9 +312,7 @@ func (h *Handler) handleDurability(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	h.mu.Lock()
 	st := h.server.DurabilityStats()
-	h.mu.Unlock()
 	writeJSON(w, http.StatusOK, durabilityJSON(st))
 }
 
@@ -338,10 +321,8 @@ func (h *Handler) handleCompact(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodPost)
 		return
 	}
-	h.mu.Lock()
 	err := h.server.Compact()
 	st := h.server.DurabilityStats()
-	h.mu.Unlock()
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, eta2.ErrNotDurable) {
@@ -394,7 +375,7 @@ func stepReportJSON(report eta2.StepReport) StepReportJSON {
 
 // decode parses the JSON request body: 415 for a non-JSON Content-Type,
 // 413 when the body exceeds the size cap, 400 for malformed JSON.
-func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	ct := r.Header.Get("Content-Type")
 	if mt, _, err := mime.ParseMediaType(ct); err != nil || mt != "application/json" {
 		writeError(w, http.StatusUnsupportedMediaType,
@@ -416,7 +397,7 @@ func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 	return true
 }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	// Encoding of our own wire types cannot fail; ignore the error after

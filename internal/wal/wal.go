@@ -23,9 +23,15 @@
 // wrote the log — and surfaces as ErrUnknownVersion instead of silent
 // truncation.
 //
-// The Log is not safe for concurrent use; the owner must serialize
-// Append/Sync/TruncateThrough (the eta2 server already serializes all
-// mutations).
+// The Log is safe for concurrent use. Appends are split into two halves:
+// AppendBuffered assigns the LSN and writes the record into the OS page
+// cache under the log's internal mutex (so LSN order always equals file
+// order), and Commit waits for the record to reach stable storage.
+// Commit implements group commit: the first waiter becomes the commit
+// leader and issues a single fsync that covers every record buffered
+// since the previous sync, so N concurrent appenders pay ~1 fsync, not N.
+// Append is the two halves back to back and keeps the original
+// one-call-per-record API.
 package wal
 
 import (
@@ -39,6 +45,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -94,6 +101,13 @@ type Options struct {
 	Sync SyncPolicy
 	// SyncEvery is the lazy-sync interval for SyncInterval (default 100ms).
 	SyncEvery time.Duration
+	// SyncDelay adds artificial latency to every fsync — a benchmarking
+	// knob that emulates slow storage (network block devices) on machines
+	// whose local disk absorbs fsyncs into a write-back cache. The delay
+	// is paid by the commit leader outside all locks, so it stretches the
+	// group-commit window exactly like a genuinely slow fsync would.
+	// Leave zero in production.
+	SyncDelay time.Duration
 	// NextLSNFloor, when non-zero, forces the next assigned LSN to be at
 	// least this value. The server passes snapshotLSN+1 so fresh records
 	// can never collide with LSNs a snapshot already covers, even if the
@@ -127,20 +141,32 @@ type segment struct {
 
 // Log is an append-only write-ahead log over a directory of segments.
 type Log struct {
-	dir    string
-	opts   Options
-	segs   []segment // all live segments in LSN order; last is active
-	active *os.File
-	next   uint64 // next LSN to assign
-	first  uint64 // first LSN present, 0 if none
+	dir  string
+	opts Options
 
-	lastSync time.Time
-	dirty    bool
+	// mu guards the write path: segment bookkeeping, LSN assignment, and
+	// the file writes themselves. It is held only for page-cache writes,
+	// never across an fsync.
+	mu       sync.Mutex
+	segs     []segment // all live segments in LSN order; last is active
+	active   *os.File
+	next     uint64 // next LSN to assign
+	first    uint64 // first LSN present, 0 if none
 	closed   bool
+	writeErr error // sticky: a partial record write we could not rewind
 
-	tornBytes    int64
-	droppedSegs  int
-	pendingDirFs bool
+	tornBytes   int64
+	droppedSegs int
+
+	// Group-commit state. syncMu orders commit leaders and guards the
+	// durable frontier; it is never held across an fsync either — the
+	// leader flag is what keeps followers parked while a sync is in
+	// flight.
+	syncMu   sync.Mutex
+	syncCond *sync.Cond
+	syncing  bool   // a commit leader's fsync is in flight
+	durable  uint64 // highest LSN known to be on stable storage
+	lastSync time.Time
 }
 
 // Open opens (or creates) the log in dir, validates every segment, and
@@ -157,6 +183,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	l := &Log{dir: dir, opts: opts, next: 1}
+	l.syncCond = sync.NewCond(&l.syncMu)
 
 	segs, err := listSegments(dir)
 	if err != nil {
@@ -338,7 +365,9 @@ func (l *Log) segmentPath(lsn uint64) string {
 }
 
 // openSegment seals the active segment (if any) and starts a new one at
-// the next LSN.
+// the next LSN. Sealing fsyncs before closing, so every record in a
+// sealed segment is durable — the invariant the commit leader relies on
+// when it finds its captured file already closed. Called with mu held.
 func (l *Log) openSegment() error {
 	if l.active != nil {
 		if err := l.active.Sync(); err != nil {
@@ -348,7 +377,6 @@ func (l *Log) openSegment() error {
 			return fmt.Errorf("wal: seal segment: %w", err)
 		}
 		l.active = nil
-		l.dirty = false
 	}
 	path := l.segmentPath(l.next)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
@@ -362,10 +390,32 @@ func (l *Log) openSegment() error {
 }
 
 // Append writes one record and returns its LSN, fsyncing per the sync
-// policy.
+// policy. It is AppendBuffered followed by Commit; callers that must not
+// block on an fsync while holding their own locks use the two halves
+// directly.
 func (l *Log) Append(payload []byte) (uint64, error) {
+	lsn, err := l.AppendBuffered(payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.Commit(lsn); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// AppendBuffered assigns the next LSN and writes the record into the OS
+// page cache without waiting for stable storage. LSN order equals file
+// order even under concurrency: both happen under the same mutex. The
+// record is not durable until a later Commit/Sync covers its LSN.
+func (l *Log) AppendBuffered(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
 		return 0, ErrClosed
+	}
+	if l.writeErr != nil {
+		return 0, l.writeErr
 	}
 	if len(payload) > maxPayload {
 		return 0, fmt.Errorf("wal: payload %d bytes exceeds limit %d", len(payload), maxPayload)
@@ -389,9 +439,11 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	binary.BigEndian.PutUint32(header[4:8], crc)
 
 	if _, err := l.active.Write(header[:]); err != nil {
+		l.rewind(active)
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	if _, err := l.active.Write(payload); err != nil {
+		l.rewind(active)
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	active.size += recLen
@@ -401,42 +453,113 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		l.first = lsn
 	}
 	l.next = lsn + 1
-	l.dirty = true
-
-	switch l.opts.Sync {
-	case SyncAlways:
-		if err := l.Sync(); err != nil {
-			return 0, err
-		}
-	case SyncInterval:
-		if time.Since(l.lastSync) >= l.opts.SyncEvery {
-			if err := l.Sync(); err != nil {
-				return 0, err
-			}
-		}
-	}
 	return lsn, nil
 }
 
-// Sync flushes the active segment to stable storage.
-func (l *Log) Sync() error {
-	if l.closed {
-		return ErrClosed
+// rewind cuts a partially written record back off the active segment so
+// the next append starts at a clean record boundary. If the cut itself
+// fails the log is poisoned: later appends would land after garbage bytes
+// and be unreachable to recovery, so they must be refused. Called with mu
+// held.
+func (l *Log) rewind(active *segment) {
+	if err := l.active.Truncate(active.size); err != nil {
+		l.writeErr = fmt.Errorf("wal: unreadable tail after failed append: %w", err)
+		return
 	}
-	if l.dirty {
-		if err := l.active.Sync(); err != nil {
-			return fmt.Errorf("wal: sync: %w", err)
+	if _, err := l.active.Seek(active.size, io.SeekStart); err != nil {
+		l.writeErr = fmt.Errorf("wal: unreadable tail after failed append: %w", err)
+	}
+}
+
+// Commit blocks until the record at lsn is durable per the sync policy:
+// SyncNever returns immediately, SyncInterval syncs only when the
+// interval has elapsed, SyncAlways always waits for stable storage.
+func (l *Log) Commit(lsn uint64) error {
+	switch l.opts.Sync {
+	case SyncNever:
+		return nil
+	case SyncInterval:
+		l.syncMu.Lock()
+		due := time.Since(l.lastSync) >= l.opts.SyncEvery
+		l.syncMu.Unlock()
+		if !due {
+			return nil
 		}
-		l.dirty = false
+	}
+	return l.syncThrough(lsn)
+}
+
+// syncThrough blocks until every record with LSN <= lsn is on stable
+// storage. The group-commit core: a caller whose LSN is already covered
+// returns immediately; while a leader's fsync is in flight, callers park;
+// the first parked caller to wake uncovered becomes the next leader, and
+// its single fsync covers the whole batch written in the meantime.
+func (l *Log) syncThrough(lsn uint64) error {
+	l.syncMu.Lock()
+	for l.durable < lsn && l.syncing {
+		l.syncCond.Wait()
+	}
+	if l.durable >= lsn {
+		l.syncMu.Unlock()
+		return nil
+	}
+	l.syncing = true
+	l.syncMu.Unlock()
+
+	// This goroutine is the commit leader. Capture the write frontier and
+	// the active file, then fsync outside both locks so appenders keep
+	// writing the next batch behind the in-flight sync.
+	l.mu.Lock()
+	file := l.active
+	frontier := l.next - 1
+	closed := l.closed
+	l.mu.Unlock()
+
+	if l.opts.SyncDelay > 0 {
+		time.Sleep(l.opts.SyncDelay)
+	}
+	var err error
+	if closed {
+		err = ErrClosed
+	} else if serr := file.Sync(); serr != nil && !errors.Is(serr, os.ErrClosed) {
+		// os.ErrClosed means the segment was sealed (rotated) between the
+		// capture and the fsync — sealing itself fsyncs, so every record
+		// the leader covers is already durable. Anything else is real.
+		err = fmt.Errorf("wal: sync: %w", serr)
+	}
+
+	l.syncMu.Lock()
+	if err == nil && frontier > l.durable {
+		l.durable = frontier
 	}
 	l.lastSync = time.Now()
-	return nil
+	l.syncing = false
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+	return err
+}
+
+// Sync flushes every record written so far to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	frontier := l.next - 1
+	l.mu.Unlock()
+	return l.syncThrough(frontier)
 }
 
 // Replay streams every record currently in the log, in LSN order, to fn.
 // Open already truncated any torn tail, so replay sees only valid
 // records; fn returning an error aborts the replay with that error.
+// Replay holds the log's mutex for its whole duration, excluding
+// concurrent appends (it is normally called once, at startup, before any
+// concurrency exists).
 func (l *Log) Replay(fn func(lsn uint64, payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
@@ -472,6 +595,8 @@ func (l *Log) Replay(fn func(lsn uint64, payload []byte) error) error {
 // on disk. The active segment is sealed first if it holds covered
 // records, so the log always ends with a live segment ready for appends.
 func (l *Log) TruncateThrough(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
@@ -511,6 +636,8 @@ func (l *Log) TruncateThrough(lsn uint64) error {
 
 // Stats reports the log's current shape.
 func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	st := Stats{
 		Segments:        len(l.segs),
 		FirstLSN:        l.first,
@@ -527,18 +654,38 @@ func (l *Log) Stats() Stats {
 }
 
 // NextLSN returns the LSN the next Append will be assigned.
-func (l *Log) NextLSN() uint64 { return l.next }
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
 
 // Close syncs and closes the log. Further operations return ErrClosed.
 func (l *Log) Close() error {
+	l.mu.Lock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
-	err := l.Sync()
-	if cerr := l.active.Close(); err == nil {
+	frontier := l.next - 1
+	var err error
+	if serr := l.active.Sync(); serr != nil {
+		err = fmt.Errorf("wal: sync: %w", serr)
+	}
+	if cerr := l.active.Close(); err == nil && cerr != nil {
 		err = cerr
 	}
 	l.closed = true
+	l.mu.Unlock()
+
+	// Publish the final durable frontier and wake any parked committers;
+	// they either find their LSN covered or fail with ErrClosed.
+	l.syncMu.Lock()
+	if err == nil && frontier > l.durable {
+		l.durable = frontier
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
 	return err
 }
 

@@ -24,9 +24,15 @@ import (
 // every worker count, see DESIGN.md §8) — so a recovered server is
 // bit-identical to one that never crashed.
 //
-// Journal ordering: mutations are applied in memory first and logged on
-// success, and the caller only gets a nil error after the record is
-// appended. A crash between apply and append therefore loses exactly the
+// Journal ordering: a mutation is validated, then journaled (buffered
+// write, LSN assigned), then applied in memory — all under the server's
+// write lock, so journal order always equals apply order and replay
+// rebuilds bit-identical state. A failed journal write aborts the
+// mutation before anything is applied, so live memory never diverges
+// from what recovery would rebuild. The fsync wait (journalCommit) runs
+// after the lock is released: the WAL group-commits concurrent callers
+// into one flush, and a caller only gets a nil error once its record is
+// durable per the fsync policy. A crash therefore loses exactly the
 // mutations whose callers never got an acknowledgement — the same
 // contract as losing the request in flight.
 
@@ -185,6 +191,7 @@ func openDurableServer(cfg config, opts []Option) (*Server, error) {
 		SegmentSize:  d.policy.SegmentSize,
 		Sync:         d.policy.Fsync.walSync(),
 		SyncEvery:    d.policy.FsyncEvery,
+		SyncDelay:    d.policy.FsyncDelay,
 		NextLSNFloor: snapLSN + 1,
 	})
 	if err != nil {
@@ -260,21 +267,64 @@ func (s *Server) applyEvent(ev walEvent) error {
 	}
 }
 
-// journalAppend logs one applied mutation. A nil journal (in-memory
-// server, or a mutation re-executed during replay) is a no-op.
-func (s *Server) journalAppend(ev walEvent) error {
-	if s.journal == nil {
-		return nil
-	}
+// encodeEvent marshals one WAL record payload. Split out so hot paths can
+// encode outside the server's locks.
+func encodeEvent(ev walEvent) ([]byte, error) {
 	payload, err := json.Marshal(ev)
 	if err != nil {
-		return fmt.Errorf("eta2: encode journal event: %w", err)
+		return nil, fmt.Errorf("eta2: encode journal event: %w", err)
 	}
-	lsn, err := s.journal.Append(payload)
+	return payload, nil
+}
+
+// journalBuffered encodes and journals one mutation without waiting for
+// durability. The caller must hold the write lock (so LSN order equals
+// apply order) and must call journalCommit with the returned LSN after
+// releasing it. A nil journal (in-memory server, or a mutation
+// re-executed during replay) is a no-op returning LSN 0.
+func (s *Server) journalBuffered(ev walEvent) (uint64, error) {
+	if s.journal == nil {
+		return 0, nil
+	}
+	payload, err := encodeEvent(ev)
 	if err != nil {
-		return fmt.Errorf("eta2: journal append: %w", err)
+		return 0, err
+	}
+	return s.journalBufferedPayload(payload)
+}
+
+// journalBufferedPayload is journalBuffered for a pre-encoded payload.
+func (s *Server) journalBufferedPayload(payload []byte) (uint64, error) {
+	if s.journal == nil {
+		return 0, nil
+	}
+	lsn, err := s.journal.AppendBuffered(payload)
+	if err != nil {
+		return 0, fmt.Errorf("eta2: journal append: %w", err)
 	}
 	s.lastLSN = lsn
+	return lsn, nil
+}
+
+// journalCommit blocks until the record at lsn is durable per the fsync
+// policy. Called with no server lock held: concurrent committers are
+// batched by the WAL's group commit into a single fsync. An LSN of 0
+// (in-memory server) is a no-op, and so is a journal detached by a
+// concurrent Close — Close syncs the log before detaching, so the record
+// is already durable.
+func (s *Server) journalCommit(lsn uint64) error {
+	if lsn == 0 {
+		return nil
+	}
+	s.mu.RLock()
+	j := s.journal
+	s.mu.RUnlock()
+	if j == nil {
+		return nil
+	}
+	if err := j.Commit(lsn); err != nil {
+		return fmt.Errorf("eta2: journal commit: %w", err)
+	}
 	return nil
 }
 
@@ -282,7 +332,7 @@ func (s *Server) journalAppend(ev walEvent) error {
 // CloseTimeStep: force a WAL flush under the interval policy (a closed
 // step is the natural commit point; fsync-never callers keep their
 // explicit no-sync contract), then compact once the log has outgrown the
-// policy threshold.
+// policy threshold. Called with the write lock held.
 func (s *Server) closeStepDurability() error {
 	if s.journal == nil {
 		return nil
@@ -293,7 +343,7 @@ func (s *Server) closeStepDurability() error {
 		}
 	}
 	if s.journalPolicy.CompactAt > 0 && s.journal.Stats().Bytes >= s.journalPolicy.CompactAt {
-		if err := s.Compact(); err != nil {
+		if err := s.compactLocked(); err != nil {
 			return err
 		}
 	}
@@ -311,6 +361,15 @@ var ErrNotDurable = errors.New("eta2: server has no durable data directory")
 // records are only deleted once a snapshot with their LSN exists —
 // recovery at any intermediate state replays to the same result.
 func (s *Server) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+// compactLocked is Compact with the write lock already held (the
+// auto-compaction path inside CloseTimeStep and the final snapshot in
+// Close call it directly).
+func (s *Server) compactLocked() error {
 	if s.journal == nil {
 		return ErrNotDurable
 	}
@@ -324,7 +383,7 @@ func (s *Server) Compact() error {
 	if err != nil {
 		return fmt.Errorf("eta2: compact: %w", err)
 	}
-	if err := s.SaveState(f); err != nil {
+	if err := s.saveStateLocked(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -366,10 +425,12 @@ func (s *Server) Compact() error {
 // purely in-memory instance; Close is idempotent and a no-op for servers
 // built without WithDurability.
 func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.journal == nil {
 		return nil
 	}
-	err := s.Compact()
+	err := s.compactLocked()
 	if cerr := s.journal.Close(); err == nil {
 		err = cerr
 	}
@@ -380,6 +441,8 @@ func (s *Server) Close() error {
 // DurabilityStats reports the state of the durable mode. Enabled is false
 // for in-memory servers (every other field is then zero).
 func (s *Server) DurabilityStats() DurabilityStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.journal == nil {
 		return DurabilityStats{}
 	}

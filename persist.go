@@ -54,6 +54,14 @@ type taskVectorState struct {
 // expertise, clustering structure, pending observations) as JSON. The
 // embedding model is not included; see LoadServer.
 func (s *Server) SaveState(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.saveStateLocked(w)
+}
+
+// saveStateLocked is SaveState with the server lock (read or write)
+// already held — the compactor snapshots under the write lock.
+func (s *Server) saveStateLocked(w io.Writer) error {
 	st := serverState{
 		Version:      stateVersion,
 		Alpha:        s.cfg.alpha,

@@ -3,6 +3,7 @@ package eta2
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"eta2/internal/allocation"
@@ -15,9 +16,19 @@ import (
 
 // Server is the crowdsourcing server: it owns task/domain state, learned
 // user expertise, and the allocation and truth-analysis machinery. It is
-// not safe for concurrent use; wrap it in a mutex if multiple goroutines
-// drive one server.
+// safe for concurrent use: reads (Truth, Expertise, Day, NumUsers,
+// DurabilityStats, SaveState, ...) share a read lock and run in parallel,
+// while mutations serialize behind the write lock. In durable mode a
+// mutation's critical section covers only the in-memory apply and the
+// buffered journal write; the fsync wait happens outside the lock, where
+// the WAL's group commit batches concurrent callers into a single flush
+// (see DESIGN.md §10).
 type Server struct {
+	// mu is the server-wide reader/writer split. Lock ordering: mu is
+	// always taken before any internal/wal lock, never the other way
+	// around, and the fsync wait (journalCommit) runs with mu released.
+	mu sync.RWMutex
+
 	cfg config
 
 	users     map[UserID]User
@@ -190,8 +201,8 @@ func newServer(cfg config) (*Server, error) {
 }
 
 // AddUsers registers users with the server. Re-adding an existing ID
-// updates its capacity. The batch is atomic: one invalid user rejects the
-// whole call with no state change.
+// updates its capacity. The batch is atomic: one invalid user — or a
+// failed journal write — rejects the whole call with no state change.
 func (s *Server) AddUsers(users ...User) error {
 	if len(users) == 0 {
 		return nil
@@ -201,17 +212,28 @@ func (s *Server) AddUsers(users ...User) error {
 			return fmt.Errorf("eta2: %w", err)
 		}
 	}
+	s.mu.Lock()
+	lsn, err := s.journalBuffered(walEvent{Type: eventAddUsers, Users: users})
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
 	for _, u := range users {
 		if _, ok := s.users[u.ID]; !ok {
 			s.userOrder = append(s.userOrder, u.ID)
 		}
 		s.users[u.ID] = u
 	}
-	return s.journalAppend(walEvent{Type: eventAddUsers, Users: users})
+	s.mu.Unlock()
+	return s.journalCommit(lsn)
 }
 
 // NumUsers returns the number of registered users.
-func (s *Server) NumUsers() int { return len(s.users) }
+func (s *Server) NumUsers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.users)
+}
 
 // ErrNoEmbedder is returned when a described task is created on a server
 // built without WithEmbedder.
@@ -222,6 +244,23 @@ var ErrNoEmbedder = errors.New("eta2: described tasks require WithEmbedder; set 
 // pair-word method and clustered dynamically. It returns the assigned task
 // IDs, in spec order.
 func (s *Server) CreateTasks(specs ...TaskSpec) ([]TaskID, error) {
+	s.mu.Lock()
+	ids, lsn, err := s.createTasksLocked(specs)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.journalCommit(lsn); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// createTasksLocked validates, journals, and applies one task batch. The
+// whole batch runs under the write lock because task IDs are assigned
+// from the live task count and described tasks mutate the shared
+// clustering structure.
+func (s *Server) createTasksLocked(specs []TaskSpec) ([]TaskID, uint64, error) {
 	// Phase 1: validate every spec and vectorize described ones without
 	// touching server state — a bad spec must not leave a half-applied
 	// batch (and the journal only records fully-applied batches).
@@ -244,20 +283,32 @@ func (s *Server) CreateTasks(specs ...TaskSpec) ([]TaskID, error) {
 			t.Cost = 1
 		}
 		if err := t.Validate(); err != nil {
-			return nil, fmt.Errorf("eta2: %w", err)
+			return nil, 0, fmt.Errorf("eta2: %w", err)
 		}
 		p := prepared{task: t}
 		if spec.DomainHint == DomainNone {
 			if s.clusterer == nil || s.vectorizer == nil {
-				return nil, ErrNoEmbedder
+				return nil, 0, ErrNoEmbedder
 			}
 			tv, err := s.vectorizer.Vectorize(spec.Description)
 			if err != nil {
-				return nil, fmt.Errorf("eta2: %w", err)
+				return nil, 0, fmt.Errorf("eta2: %w", err)
 			}
 			p.vec, p.described = tv, true
 		}
 		preps = append(preps, p)
+	}
+	if len(specs) == 0 {
+		return nil, 0, nil
+	}
+
+	// Journal before applying: if the write fails, no state has changed
+	// and live memory stays equal to what recovery would rebuild. The
+	// apply below cannot fail (the only error path, AddItems, rejects
+	// negative counts and clusterItems is always >= 0).
+	lsn, err := s.journalBuffered(walEvent{Type: eventCreateTasks, Specs: specs})
+	if err != nil {
+		return nil, 0, err
 	}
 
 	// Phase 2: commit.
@@ -281,7 +332,7 @@ func (s *Server) CreateTasks(specs ...TaskSpec) ([]TaskID, error) {
 	if clusterItems > 0 {
 		up, err := s.clusterer.AddItems(clusterItems)
 		if err != nil {
-			return nil, fmt.Errorf("eta2: clustering: %w", err)
+			return nil, 0, fmt.Errorf("eta2: clustering: %w", err)
 		}
 		for _, m := range up.Merges {
 			s.store.MergeDomains(m.Into, m.From)
@@ -292,21 +343,21 @@ func (s *Server) CreateTasks(specs ...TaskSpec) ([]TaskID, error) {
 		s.lastNewDomains = up.NewDomains
 		s.lastMerges = len(up.Merges)
 	}
-	if len(specs) == 0 {
-		return ids, nil
-	}
-	if err := s.journalAppend(walEvent{Type: eventCreateTasks, Specs: specs}); err != nil {
-		return nil, err
-	}
-	return ids, nil
+	return ids, lsn, nil
 }
 
 // Domain returns the expertise domain assigned to a task.
-func (s *Server) Domain(id TaskID) DomainID { return s.domainOf[id] }
+func (s *Server) Domain(id TaskID) DomainID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.domainOf[id]
+}
 
 // NumDomains returns the number of discovered domains (clustered servers
 // only; hinted domains are counted by their distinct hints).
 func (s *Server) NumDomains() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	seen := make(map[DomainID]struct{})
 	for _, d := range s.domainOf {
 		seen[d] = struct{}{}
@@ -317,11 +368,15 @@ func (s *Server) NumDomains() int {
 // Expertise returns the learned expertise of user u for task t (via the
 // task's domain). Unobserved pairs return DefaultExpertise.
 func (s *Server) Expertise(u UserID, t TaskID) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.store.Expertise(u, s.domainOf[t])
 }
 
 // ExpertiseInDomain returns the learned expertise of user u in a domain.
 func (s *Server) ExpertiseInDomain(u UserID, d DomainID) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.store.Expertise(u, d)
 }
 
@@ -360,15 +415,23 @@ var ErrNothingToAllocate = errors.New("eta2: no pending tasks or no users to all
 // pending tasks: maximize the probability that each task receives accurate
 // data, subject to user capacities (Sec. 5.1 of the paper).
 func (s *Server) AllocateMaxQuality() (*Allocation, error) {
+	s.mu.Lock()
 	tasks := s.pendingTasks()
 	if len(tasks) == 0 || len(s.users) == 0 {
+		s.mu.Unlock()
 		return nil, ErrNothingToAllocate
 	}
 	res, err := allocation.MaxQuality(s.allocationInput(tasks), allocation.MaxQualityOptions{})
 	if err != nil {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("eta2: %w", err)
 	}
-	if err := s.journalAppend(walEvent{Type: eventAllocate, Pairs: res.Allocation.Pairs}); err != nil {
+	lsn, err := s.journalBuffered(walEvent{Type: eventAllocate, Pairs: res.Allocation.Pairs})
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.journalCommit(lsn); err != nil {
 		return nil, err
 	}
 	return res.Allocation, nil
@@ -378,15 +441,23 @@ func (s *Server) AllocateMaxQuality() (*Allocation, error) {
 // tasks under an additional total recruiting budget Σ s_ij·c_j ≤ budget —
 // the allocation for a server with a fixed per-step payroll.
 func (s *Server) AllocateMaxQualityBudgeted(budget float64) (*Allocation, error) {
+	s.mu.Lock()
 	tasks := s.pendingTasks()
 	if len(tasks) == 0 || len(s.users) == 0 {
+		s.mu.Unlock()
 		return nil, ErrNothingToAllocate
 	}
 	res, err := allocation.MaxQualityBudgeted(s.allocationInput(tasks), budget, allocation.MaxQualityOptions{})
 	if err != nil {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("eta2: %w", err)
 	}
-	if err := s.journalAppend(walEvent{Type: eventAllocate, Pairs: res.Allocation.Pairs}); err != nil {
+	lsn, err := s.journalBuffered(walEvent{Type: eventAllocate, Pairs: res.Allocation.Pairs})
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.journalCommit(lsn); err != nil {
 		return nil, err
 	}
 	return res.Allocation, nil
@@ -423,11 +494,14 @@ type MinCostOutcome struct {
 // The collected observations are recorded on the server, so CloseTimeStep
 // afterwards finalizes the step without re-collecting.
 func (s *Server) AllocateMinCost(params MinCostParams, collect Collector) (MinCostOutcome, error) {
+	s.mu.Lock()
 	tasks := s.pendingTasks()
 	if len(tasks) == 0 || len(s.users) == 0 {
+		s.mu.Unlock()
 		return MinCostOutcome{}, ErrNothingToAllocate
 	}
 	if collect == nil {
+		s.mu.Unlock()
 		return MinCostOutcome{}, errors.New("eta2: nil collector")
 	}
 
@@ -440,14 +514,16 @@ func (s *Server) AllocateMinCost(params MinCostParams, collect Collector) (MinCo
 		if err != nil {
 			return allocation.IterationOutcome{}, err
 		}
-		s.observations = append(s.observations, obs...)
 		if len(obs) > 0 {
 			// Journal the collected batch verbatim (min-cost bypasses
-			// SubmitObservations, so replay appends these as-is).
-			if err := s.journalAppend(walEvent{Type: eventObservations, Observations: obs}); err != nil {
+			// SubmitObservations, so replay appends these as-is). Buffered
+			// only: the whole min-cost round runs under the write lock, so
+			// the fsync is deferred to the single commit at the end.
+			if _, err := s.journalBuffered(walEvent{Type: eventObservations, Observations: obs}); err != nil {
 				return allocation.IterationOutcome{}, err
 			}
 		}
+		s.observations = append(s.observations, obs...)
 		table.AddAll(obs)
 		// Only users that actually responded contribute information to the
 		// confidence interval; allocated-but-silent users must not count.
@@ -473,9 +549,20 @@ func (s *Server) AllocateMinCost(params MinCostParams, collect Collector) (MinCo
 		IterBudget: params.IterBudget,
 	}, env)
 	if err != nil {
+		// Observation batches collected before the failure are applied and
+		// buffered in the journal; flush them so live state and durable
+		// state agree even on the error path.
+		flushLSN := s.lastLSN
+		s.mu.Unlock()
+		_ = s.journalCommit(flushLSN)
 		return MinCostOutcome{}, fmt.Errorf("eta2: %w", err)
 	}
-	if err := s.journalAppend(walEvent{Type: eventAllocate, Pairs: res.Allocation.Pairs}); err != nil {
+	lsn, jerr := s.journalBuffered(walEvent{Type: eventAllocate, Pairs: res.Allocation.Pairs})
+	s.mu.Unlock()
+	if jerr != nil {
+		return MinCostOutcome{}, jerr
+	}
+	if err := s.journalCommit(lsn); err != nil {
 		return MinCostOutcome{}, err
 	}
 	return MinCostOutcome{
@@ -487,25 +574,62 @@ func (s *Server) AllocateMinCost(params MinCostParams, collect Collector) (MinCo
 }
 
 // SubmitObservations records data reported by users for this time step.
-// The batch is atomic: one invalid observation rejects the whole call
-// with no state change.
+// The batch is atomic: one invalid observation — or a failed journal
+// write — rejects the whole call with no state change.
+//
+// This is the serving hot path: validation, day-stamping, and the journal
+// payload encoding all run under the shared read lock, so concurrent
+// submitters only serialize for the slice append and the buffered journal
+// write. The fsync wait happens with no server lock held at all, letting
+// the WAL group-commit one flush per batch of concurrent submitters.
 func (s *Server) SubmitObservations(obs ...Observation) error {
 	if len(obs) == 0 {
 		return nil
 	}
+	s.mu.RLock()
+	nTasks := len(s.tasks)
+	day := s.day
 	stamped := make([]Observation, 0, len(obs))
 	for _, o := range obs {
-		if int(o.Task) < 0 || int(o.Task) >= len(s.tasks) {
+		if int(o.Task) < 0 || int(o.Task) >= nTasks {
+			s.mu.RUnlock()
 			return fmt.Errorf("eta2: observation for unknown task %d", o.Task)
 		}
 		if _, ok := s.users[o.User]; !ok {
+			s.mu.RUnlock()
 			return fmt.Errorf("eta2: observation from unknown user %d", o.User)
 		}
-		o.Day = s.day
+		o.Day = day
 		stamped = append(stamped, o)
 	}
+	s.mu.RUnlock()
+	payload, err := encodeEvent(walEvent{Type: eventObservations, Observations: stamped})
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	// Tasks and users only grow, so the validation above cannot be
+	// invalidated between the locks — but a concurrent CloseTimeStep may
+	// have advanced the clock, in which case the batch is re-stamped (and
+	// re-encoded) with the current day.
+	if s.day != day {
+		for i := range stamped {
+			stamped[i].Day = s.day
+		}
+		if payload, err = encodeEvent(walEvent{Type: eventObservations, Observations: stamped}); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	lsn, err := s.journalBufferedPayload(payload)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
 	s.observations = append(s.observations, stamped...)
-	return s.journalAppend(walEvent{Type: eventObservations, Observations: stamped})
+	s.mu.Unlock()
+	return s.journalCommit(lsn)
 }
 
 // ErrNoObservations is returned by CloseTimeStep when nothing was
@@ -514,14 +638,20 @@ var ErrNoObservations = errors.New("eta2: no observations submitted this time st
 
 // CloseTimeStep runs expertise-aware truth analysis over the observations
 // submitted since the previous step, commits the expertise update, clears
-// the pending state, and advances the server's clock.
+// the pending state, and advances the server's clock. The analysis runs
+// against a clone of the expertise store and commits only after the
+// step's journal record is written, so a failed journal write leaves the
+// server (and what recovery would rebuild) exactly as it was.
 func (s *Server) CloseTimeStep() (StepReport, error) {
+	s.mu.Lock()
 	if len(s.observations) == 0 {
+		s.mu.Unlock()
 		return StepReport{}, ErrNoObservations
 	}
 	table := core.NewObservationTable(s.observations)
 	domainFn := func(id TaskID) DomainID { return s.domainOf[id] }
 
+	store := s.store.Clone()
 	var mu, sigma map[TaskID]float64
 	var iters int
 	var converged bool
@@ -529,19 +659,28 @@ func (s *Server) CloseTimeStep() (StepReport, error) {
 		// Warm-up: joint MLE from scratch (Sec. 4.1).
 		res, err := truth.Estimate(table, domainFn, nil, s.cfg.truthCfg)
 		if err != nil {
+			s.mu.Unlock()
 			return StepReport{}, fmt.Errorf("eta2: %w", err)
 		}
-		s.store.Commit(truth.Contributions(table, domainFn, res.Mu, res.Sigma, s.cfg.truthCfg))
+		store.Commit(truth.Contributions(table, domainFn, res.Mu, res.Sigma, s.cfg.truthCfg))
 		mu, sigma, iters, converged = res.Mu, res.Sigma, res.Iterations, res.Converged
 	} else {
 		// Dynamic update with decayed expertise accumulators (Sec. 4.2).
-		res, err := truth.UpdateStep(s.store, table, domainFn, s.cfg.truthCfg)
+		res, err := truth.UpdateStep(store, table, domainFn, s.cfg.truthCfg)
 		if err != nil {
+			s.mu.Unlock()
 			return StepReport{}, fmt.Errorf("eta2: %w", err)
 		}
 		mu, sigma, iters, converged = res.Mu, res.Sigma, res.Iterations, res.Converged
 	}
 
+	lsn, err := s.journalBuffered(walEvent{Type: eventCloseStep})
+	if err != nil {
+		s.mu.Unlock()
+		return StepReport{}, err
+	}
+
+	s.store = store
 	report := StepReport{
 		Day:           s.day,
 		MLEIterations: iters,
@@ -563,10 +702,12 @@ func (s *Server) CloseTimeStep() (StepReport, error) {
 	s.observations = nil
 	s.pending = nil
 	s.day++
-	if err := s.journalAppend(walEvent{Type: eventCloseStep}); err != nil {
-		return StepReport{}, err
+	derr := s.closeStepDurability()
+	s.mu.Unlock()
+	if derr != nil {
+		return StepReport{}, derr
 	}
-	if err := s.closeStepDurability(); err != nil {
+	if err := s.journalCommit(lsn); err != nil {
 		return StepReport{}, err
 	}
 	return report, nil
@@ -574,9 +715,15 @@ func (s *Server) CloseTimeStep() (StepReport, error) {
 
 // Truth returns the latest truth estimate for a task.
 func (s *Server) Truth(id TaskID) (TruthEstimate, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	est, ok := s.truths[id]
 	return est, ok
 }
 
 // Day returns the server's current time-step index.
-func (s *Server) Day() int { return s.day }
+func (s *Server) Day() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.day
+}
