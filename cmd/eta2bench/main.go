@@ -16,10 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"eta2/internal/experiments"
+	"eta2/internal/obs"
 )
 
 func main() {
@@ -34,8 +36,13 @@ func run() int {
 		seed       = flag.Int64("seed", 1, "base random seed")
 		days       = flag.Int("days", 5, "simulated days per run")
 		format     = flag.String("format", "text", "output format: text or json")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("eta2bench %s %s\n", obs.Version(), runtime.Version())
+		return 0
+	}
 	if *format != "text" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "eta2bench: unknown format %q\n", *format)
 		return 2
@@ -82,10 +89,10 @@ func run() int {
 // result, suitable for external plotting.
 func runJSON(runners []experiments.Runner, opts experiments.Options) int {
 	type entry struct {
-		ID     string      `json:"id"`
-		Title  string      `json:"title"`
-		Runs   int         `json:"runs"`
-		Result any `json:"result"`
+		ID     string `json:"id"`
+		Title  string `json:"title"`
+		Runs   int    `json:"runs"`
+		Result any    `json:"result"`
 	}
 	var out []entry
 	for _, r := range runners {

@@ -15,12 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
 	"eta2/internal/cluster"
 	"eta2/internal/core"
 	"eta2/internal/embedding"
+	"eta2/internal/obs"
 	"eta2/internal/semantic"
 	"eta2/internal/stats"
 )
@@ -31,11 +33,16 @@ func main() {
 
 func run() int {
 	var (
-		gamma = flag.Float64("gamma", 0.5, "clustering termination parameter in [0, 1]")
-		demo  = flag.Int("demo", 0, "generate N sample descriptions instead of reading stdin")
-		seed  = flag.Int64("seed", 1, "random seed for -demo")
+		gamma   = flag.Float64("gamma", 0.5, "clustering termination parameter in [0, 1]")
+		demo    = flag.Int("demo", 0, "generate N sample descriptions instead of reading stdin")
+		seed    = flag.Int64("seed", 1, "random seed for -demo")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("eta2cluster %s %s\n", obs.Version(), runtime.Version())
+		return 0
+	}
 
 	var descriptions []string
 	if *demo > 0 {

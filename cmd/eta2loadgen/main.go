@@ -19,16 +19,19 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -37,6 +40,7 @@ import (
 
 	"eta2"
 	"eta2/internal/httpapi"
+	"eta2/internal/obs"
 )
 
 func main() {
@@ -70,8 +74,13 @@ func run() error {
 		fsyncDelay = flag.Duration("fsync-delay", 0, "artificial latency added to every WAL fsync (self-hosted only) — emulates network block storage on dev machines with write-back caches")
 		baseline   = flag.Bool("baseline", false, "also run each scenario against a single-mutex serialized handler (self-hosted only)")
 		out        = flag.String("out", "", "write the JSON report to this file (default: stdout)")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("eta2loadgen %s %s\n", obs.Version(), runtime.Version())
+		return nil
+	}
 
 	cfg := config{
 		addr:         *addr,
@@ -169,6 +178,12 @@ type scenario struct {
 	Writes  opStats `json:"writes"`
 	Reads   opStats `json:"reads"`
 	Errors  int     `json:"errors"`
+	// MetricsDelta is the change in every eta2_* series scraped from
+	// /metrics across the measured window (after minus before), giving
+	// server-side counts — WAL fsyncs, group-commit batches, HTTP status
+	// classes — alongside the client-side latency numbers. Empty when the
+	// target exposes no /metrics endpoint.
+	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
 }
 
 type opStats struct {
@@ -210,7 +225,12 @@ func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 		if serialized {
 			handler = &serializedHandler{h: handler}
 		}
-		ts := httptest.NewServer(handler)
+		// Same composition as cmd/eta2server: business API plus /metrics,
+		// so the scrape path is identical for self-hosted and external runs.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.Handle("/metrics", obs.Default().Handler())
+		ts := httptest.NewServer(mux)
 		defer ts.Close()
 		defer srv.Close()
 		baseURL = ts.URL
@@ -256,6 +276,11 @@ func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 	}
 	if _, err := client.CloseStep(ctx); err != nil {
 		return scenario{}, err
+	}
+
+	before, scrapeErr := scrapeMetrics(httpClient, baseURL)
+	if scrapeErr != nil {
+		log.Printf("  note: no /metrics at %s (%v); report will omit metrics_delta", baseURL, scrapeErr)
 	}
 
 	type worker struct {
@@ -308,6 +333,13 @@ func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 	}
 	wg.Wait()
 
+	var delta map[string]float64
+	if scrapeErr == nil {
+		if after, err := scrapeMetrics(httpClient, baseURL); err == nil {
+			delta = metricsDelta(before, after)
+		}
+	}
+
 	var reads, writes []time.Duration
 	errors := 0
 	for i := range workers {
@@ -316,12 +348,71 @@ func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 		errors += workers[i].errors
 	}
 	return scenario{
-		Mode:    map[bool]string{false: "concurrent", true: "serialized"}[serialized],
-		Clients: clients,
-		Writes:  summarize(writes, cfg.duration),
-		Reads:   summarize(reads, cfg.duration),
-		Errors:  errors,
+		Mode:         map[bool]string{false: "concurrent", true: "serialized"}[serialized],
+		Clients:      clients,
+		Writes:       summarize(writes, cfg.duration),
+		Reads:        summarize(reads, cfg.duration),
+		Errors:       errors,
+		MetricsDelta: delta,
 	}, nil
+}
+
+// scrapeMetrics fetches and parses /metrics into a flat series -> value
+// map. Keys are the full sample lines' name+labels part, so histogram
+// buckets and labeled series stay distinct.
+func scrapeMetrics(client *http.Client, baseURL string) (map[string]float64, error) {
+	resp, err := client.Get(strings.TrimSuffix(baseURL, "/") + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	return parseMetrics(resp.Body)
+}
+
+// parseMetrics reads Prometheus text exposition into series -> value.
+func parseMetrics(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[idx+1:], 64)
+		if err != nil {
+			continue // timestamped or malformed line; skip
+		}
+		out[line[:idx]] = v
+	}
+	return out, sc.Err()
+}
+
+// metricsDelta returns after-minus-before for every eta2_* series that
+// moved during the window (gauges included: their delta is the net
+// change).
+func metricsDelta(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for k, a := range after {
+		if !strings.HasPrefix(k, "eta2_") {
+			continue
+		}
+		if d := a - before[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 func summarize(lat []time.Duration, elapsed time.Duration) opStats {

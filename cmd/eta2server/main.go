@@ -24,6 +24,8 @@
 //	GET  /v1/healthz
 //	GET  /v1/admin/durability      WAL segments/bytes, snapshot coverage
 //	POST /v1/admin/compact         force a snapshot+truncate cycle
+//	GET  /metrics                  Prometheus text exposition (all subsystems)
+//	GET  /debug/pprof/...          runtime profiles (opt-in via -pprof)
 package main
 
 import (
@@ -33,14 +35,17 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"eta2"
 	"eta2/internal/embedding"
 	"eta2/internal/httpapi"
+	"eta2/internal/obs"
 )
 
 func main() {
@@ -59,8 +64,15 @@ func run() error {
 		dataDir    = flag.String("data-dir", "", "durable data directory (write-ahead log + snapshots); empty keeps all state in memory")
 		fsyncMode  = flag.String("fsync", "always", "WAL fsync policy with -data-dir: always | interval | never")
 		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "max time between WAL fsyncs with -fsync interval")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
+		shutdownTO = flag.Duration("shutdown-timeout", 10*time.Second, "max time to drain in-flight requests on SIGTERM/SIGINT before the final snapshot")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("eta2server %s %s\n", obs.Version(), runtime.Version())
+		return nil
+	}
 
 	opts := []eta2.Option{eta2.WithAlpha(*alpha), eta2.WithGamma(*gamma)}
 	if *semantic || *modelPath != "" {
@@ -89,9 +101,24 @@ func run() error {
 			*dataDir, *fsyncMode, st.LastLSN, st.SnapshotLSN)
 	}
 
+	// The business API owns every path except the observability endpoints:
+	// /metrics serves the process-wide registry, /debug/pprof/ is opt-in.
+	obs.RegisterBuildInfo(obs.Default())
+	mux := http.NewServeMux()
+	mux.Handle("/", httpapi.New(server))
+	mux.Handle("/metrics", obs.Default().Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Println("pprof enabled at /debug/pprof/")
+	}
+
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(server),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -101,7 +128,7 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := serve(ctx, httpServer); err != nil {
+	if err := serve(ctx, httpServer, *shutdownTO); err != nil {
 		return err
 	}
 	// HTTP is drained; write the final snapshot so the next start recovers
@@ -155,9 +182,11 @@ func loadOrTrainModel(path string) (*embedding.Model, error) {
 }
 
 // serve runs the HTTP server until ctx is cancelled, then shuts down
-// gracefully.
-func serve(ctx context.Context, httpServer *http.Server) error {
-
+// gracefully: the listener closes, in-flight requests get up to timeout
+// to drain, and only then does the caller write the final snapshot. A
+// drain overrunning the deadline is logged and forced closed rather than
+// failing the shutdown — the final snapshot must still be written.
+func serve(ctx context.Context, httpServer *http.Server, timeout time.Duration) error {
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s", httpServer.Addr)
@@ -171,11 +200,14 @@ func serve(ctx context.Context, httpServer *http.Server) error {
 		}
 		return nil
 	case <-ctx.Done():
-		log.Println("shutting down...")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		log.Printf("shutting down (draining in-flight requests, up to %v)...", timeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), timeout)
 		defer cancel()
 		if err := httpServer.Shutdown(shutdownCtx); err != nil {
-			return fmt.Errorf("shutdown: %w", err)
+			log.Printf("drain incomplete after %v: %v; closing remaining connections", timeout, err)
+			if cerr := httpServer.Close(); cerr != nil {
+				return fmt.Errorf("shutdown: %w", cerr)
+			}
 		}
 		<-errCh // drain the ListenAndServe result
 		return nil

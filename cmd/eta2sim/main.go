@@ -13,9 +13,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"eta2/internal/dataset"
 	"eta2/internal/embedding"
+	"eta2/internal/obs"
 	"eta2/internal/simulation"
 )
 
@@ -25,17 +27,22 @@ func main() {
 
 func run() int {
 	var (
-		dsName = flag.String("dataset", "synthetic", "dataset: synthetic, survey, sfv")
-		method = flag.String("method", "eta2", "method: eta2, eta2-mc, hubs, avglog, truthfinder, baseline")
-		days   = flag.Int("days", 5, "number of simulated days")
-		seed   = flag.Int64("seed", 1, "random seed")
-		tau    = flag.Float64("tau", 12, "average user processing capability (hours/day)")
-		alpha  = flag.Float64("alpha", 0.5, "expertise decay factor")
-		gamma  = flag.Float64("gamma", 0.5, "clustering termination parameter")
-		budget = flag.Float64("budget", 60, "per-iteration cost cap c° (eta2-mc)")
-		bias   = flag.Float64("bias", 0, "fraction of non-normal (uniform) observations")
+		dsName  = flag.String("dataset", "synthetic", "dataset: synthetic, survey, sfv")
+		method  = flag.String("method", "eta2", "method: eta2, eta2-mc, hubs, avglog, truthfinder, baseline")
+		days    = flag.Int("days", 5, "number of simulated days")
+		seed    = flag.Int64("seed", 1, "random seed")
+		tau     = flag.Float64("tau", 12, "average user processing capability (hours/day)")
+		alpha   = flag.Float64("alpha", 0.5, "expertise decay factor")
+		gamma   = flag.Float64("gamma", 0.5, "clustering termination parameter")
+		budget  = flag.Float64("budget", 60, "per-iteration cost cap c° (eta2-mc)")
+		bias    = flag.Float64("bias", 0, "fraction of non-normal (uniform) observations")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("eta2sim %s %s\n", obs.Version(), runtime.Version())
+		return 0
+	}
 
 	m, ok := parseMethod(*method)
 	if !ok {

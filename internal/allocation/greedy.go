@@ -32,10 +32,10 @@ type pairItem struct {
 
 type pairHeap []pairItem
 
-func (h pairHeap) Len() int            { return len(h) }
-func (h pairHeap) Less(i, j int) bool  { return h[i].eff > h[j].eff }
-func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pairHeap) Push(x any) { *h = append(*h, x.(pairItem)) }
+func (h pairHeap) Len() int           { return len(h) }
+func (h pairHeap) Less(i, j int) bool { return h[i].eff > h[j].eff }
+func (h pairHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x any)        { *h = append(*h, x.(pairItem)) }
 func (h *pairHeap) Pop() any {
 	old := *h
 	n := len(old)

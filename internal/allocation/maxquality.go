@@ -2,6 +2,7 @@ package allocation
 
 import (
 	"errors"
+	"time"
 
 	"eta2/internal/core"
 )
@@ -36,27 +37,28 @@ func MaxQuality(in Input, opts MaxQualityOptions) (MaxQualityResult, error) {
 	if err := in.Validate(); err != nil {
 		return MaxQualityResult{}, err
 	}
+	start := time.Now()
 
 	effState := NewState(in)
 	runGreedy(in, effState, greedyOptions{})
 	effObj := effState.Objective(in.Tasks)
 
-	if opts.DisableSecondPass {
-		return MaxQualityResult{Allocation: effState.Pairs(), Objective: effObj}, nil
+	res := MaxQualityResult{Allocation: effState.Pairs(), Objective: effObj}
+	if !opts.DisableSecondPass {
+		valState := NewState(in)
+		runGreedy(in, valState, greedyOptions{ignoreSize: true})
+		if valObj := valState.Objective(in.Tasks); valObj > effObj {
+			res = MaxQualityResult{
+				Allocation:     valState.Pairs(),
+				Objective:      valObj,
+				UsedSecondPass: true,
+			}
+		}
 	}
-
-	valState := NewState(in)
-	runGreedy(in, valState, greedyOptions{ignoreSize: true})
-	valObj := valState.Objective(in.Tasks)
-
-	if valObj > effObj {
-		return MaxQualityResult{
-			Allocation:     valState.Pairs(),
-			Objective:      valObj,
-			UsedSecondPass: true,
-		}, nil
-	}
-	return MaxQualityResult{Allocation: effState.Pairs(), Objective: effObj}, nil
+	mMaxQualityDur.Observe(time.Since(start).Seconds())
+	mMaxQualityPairs.Add(uint64(res.Allocation.Len()))
+	mAllocQuality.Set(res.Objective)
+	return res, nil
 }
 
 // MaxQualityBudgeted solves the budget-capped variant of the max-quality
@@ -74,25 +76,26 @@ func MaxQualityBudgeted(in Input, budget float64, opts MaxQualityOptions) (MaxQu
 	if budget <= 0 {
 		return MaxQualityResult{}, errors.New("allocation: budget must be positive")
 	}
+	start := time.Now()
 
 	effState := NewState(in)
 	runGreedy(in, effState, greedyOptions{costLimit: budget})
 	effObj := effState.Objective(in.Tasks)
 
-	if opts.DisableSecondPass {
-		return MaxQualityResult{Allocation: effState.Pairs(), Objective: effObj}, nil
+	res := MaxQualityResult{Allocation: effState.Pairs(), Objective: effObj}
+	if !opts.DisableSecondPass {
+		valState := NewState(in)
+		runGreedy(in, valState, greedyOptions{ignoreSize: true, costLimit: budget})
+		if valObj := valState.Objective(in.Tasks); valObj > effObj {
+			res = MaxQualityResult{
+				Allocation:     valState.Pairs(),
+				Objective:      valObj,
+				UsedSecondPass: true,
+			}
+		}
 	}
-
-	valState := NewState(in)
-	runGreedy(in, valState, greedyOptions{ignoreSize: true, costLimit: budget})
-	valObj := valState.Objective(in.Tasks)
-
-	if valObj > effObj {
-		return MaxQualityResult{
-			Allocation:     valState.Pairs(),
-			Objective:      valObj,
-			UsedSecondPass: true,
-		}, nil
-	}
-	return MaxQualityResult{Allocation: effState.Pairs(), Objective: effObj}, nil
+	mMaxQualityBudgetedDur.Observe(time.Since(start).Seconds())
+	mMaxQualityBudgetedP.Add(uint64(res.Allocation.Len()))
+	mAllocQuality.Set(res.Objective)
+	return res, nil
 }

@@ -1,0 +1,26 @@
+package allocation
+
+import "eta2/internal/obs"
+
+// Allocation metrics. The `algorithm` label distinguishes the three
+// solvers; the expected-quality gauge carries the objective value
+// Σ_j q_j of the most recent max-quality round.
+var (
+	mAllocDur = obs.Default().HistogramVec("eta2_allocation_duration_seconds",
+		"Wall time of one allocation solve (greedy passes included).",
+		obs.DefBuckets, "algorithm")
+	mAllocPairs = obs.Default().CounterVec("eta2_allocation_allocated_pairs_total",
+		"User-task pairs allocated, summed over rounds.", "algorithm")
+	mAllocQuality = obs.Default().Gauge("eta2_allocation_expected_quality",
+		"Objective sum of per-task accuracy probabilities of the last max-quality round.")
+	mMinCostIters = obs.Default().Histogram("eta2_allocation_mincost_iterations",
+		"Allocate-collect-evaluate rounds per min-cost solve.",
+		obs.ExpBuckets(1, 2, 8))
+
+	mMaxQualityDur         = mAllocDur.With("max_quality")
+	mMaxQualityBudgetedDur = mAllocDur.With("max_quality_budgeted")
+	mMinCostDur            = mAllocDur.With("min_cost")
+	mMaxQualityPairs       = mAllocPairs.With("max_quality")
+	mMaxQualityBudgetedP   = mAllocPairs.With("max_quality_budgeted")
+	mMinCostPairs          = mAllocPairs.With("min_cost")
+)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"eta2/internal/core"
 	"eta2/internal/stats"
@@ -100,11 +101,18 @@ func MinCost(in Input, cfg MinCostConfig, env Environment) (MinCostResult, error
 	if env == nil {
 		return MinCostResult{}, ErrNoEnvironment
 	}
+	start := time.Now()
 
 	state := NewState(in)
 	exclude := make(map[core.TaskID]bool, len(in.Tasks))
 	totalCost := 0.0
 	iterations := 0
+	finish := func(res MinCostResult) MinCostResult {
+		mMinCostDur.Observe(time.Since(start).Seconds())
+		mMinCostPairs.Add(uint64(res.Allocation.Len()))
+		mMinCostIters.Observe(float64(res.Iterations))
+		return res
+	}
 
 	for iterations < cfg.MaxIterations {
 		iterations++
@@ -135,11 +143,11 @@ func MinCost(in Input, cfg MinCostConfig, env Environment) (MinCostResult, error
 			}
 		}
 		if allPass {
-			return MinCostResult{
+			return finish(MinCostResult{
 				Allocation: state.Pairs(),
 				Cost:       totalCost,
 				Iterations: iterations,
-			}, nil
+			}), nil
 		}
 	}
 
@@ -149,12 +157,12 @@ func MinCost(in Input, cfg MinCostConfig, env Environment) (MinCostResult, error
 			unmet = append(unmet, t.ID)
 		}
 	}
-	return MinCostResult{
+	return finish(MinCostResult{
 		Allocation:  state.Pairs(),
 		Cost:        totalCost,
 		Iterations:  iterations,
 		Unsatisfied: unmet,
-	}, nil
+	}), nil
 }
 
 // QualityMetForTask evaluates the confidence-interval condition of Eq. 24

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"eta2/internal/core"
 )
@@ -111,6 +112,7 @@ func (e *Engine) AddItems(n int) (Update, error) {
 	if n < 0 {
 		return Update{}, fmt.Errorf("cluster: cannot add %d items", n)
 	}
+	start := time.Now()
 	oldItems := e.nItems
 
 	// 1. Create singleton slots and extend the distance matrix.
@@ -176,7 +178,13 @@ func (e *Engine) AddItems(n int) (Update, error) {
 	if applied > 0 || n > 0 {
 		e.compact()
 	}
-	return e.resolveDomains(), nil
+	up := e.resolveDomains()
+	mItems.Add(uint64(n))
+	mMerges.Add(uint64(applied))
+	mDomainMerges.Add(uint64(len(up.Merges)))
+	mDomains.Set(float64(len(e.clusters)))
+	mAddDur.Observe(time.Since(start).Seconds())
+	return up, nil
 }
 
 // applyMerge folds cluster slot b into slot a in the persistent state.

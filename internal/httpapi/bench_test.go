@@ -1,0 +1,53 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"eta2"
+	"eta2/internal/obs"
+)
+
+// benchHandler drives the full handler stack in-process (no TCP) so the
+// instrumented/disabled comparison isolates the metrics cost.
+func benchHandler(b *testing.B, disabled bool) {
+	b.Helper()
+	srv, err := eta2.NewServer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := New(srv)
+
+	// Seed one user so /v1/healthz isn't the only exercised path.
+	seed := httptest.NewRequest(http.MethodPost, "/v1/users",
+		strings.NewReader(`{"users":[{"id":1,"capacity":4}]}`))
+	seed.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, seed)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("seed users: %d %s", rec.Code, rec.Body.String())
+	}
+
+	obs.SetDisabled(disabled)
+	defer obs.SetDisabled(false)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/v1/healthz", nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("healthz: %d", w.Code)
+		}
+	}
+}
+
+// The acceptance bar is instrumented throughput within 5% of
+// uninstrumented; compare these two:
+//
+//	go test ./internal/httpapi -bench 'HandlerOverhead' -count 10
+func BenchmarkHandlerOverheadInstrumented(b *testing.B) { benchHandler(b, false) }
+func BenchmarkHandlerOverheadDisabled(b *testing.B)     { benchHandler(b, true) }

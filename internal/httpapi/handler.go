@@ -38,20 +38,34 @@ type Handler struct {
 
 var _ http.Handler = (*Handler)(nil)
 
-// New wraps an eta2.Server in the HTTP API.
+// New wraps an eta2.Server in the HTTP API. Every route is instrumented
+// with the eta2_http_* metrics (see metrics.go); unmatched paths get a
+// JSON 404 under the synthetic route "unmatched" instead of the
+// ServeMux's plain-text default.
 func New(server *eta2.Server) *Handler {
 	h := &Handler{server: server, mux: http.NewServeMux()}
-	h.mux.HandleFunc("/v1/healthz", h.handleHealth)
-	h.mux.HandleFunc("/v1/users", h.handleUsers)
-	h.mux.HandleFunc("/v1/tasks", h.handleTasks)
-	h.mux.HandleFunc("/v1/allocate/max-quality", h.handleAllocateMaxQuality)
-	h.mux.HandleFunc("/v1/observations", h.handleObservations)
-	h.mux.HandleFunc("/v1/step/close", h.handleCloseStep)
-	h.mux.HandleFunc("/v1/truth", h.handleTruth)
-	h.mux.HandleFunc("/v1/expertise", h.handleExpertise)
-	h.mux.HandleFunc("/v1/admin/durability", h.handleDurability)
-	h.mux.HandleFunc("/v1/admin/compact", h.handleCompact)
+	routes := map[string]http.HandlerFunc{
+		"/v1/healthz":              h.handleHealth,
+		"/v1/users":                h.handleUsers,
+		"/v1/tasks":                h.handleTasks,
+		"/v1/allocate/max-quality": h.handleAllocateMaxQuality,
+		"/v1/observations":         h.handleObservations,
+		"/v1/step/close":           h.handleCloseStep,
+		"/v1/truth":                h.handleTruth,
+		"/v1/expertise":            h.handleExpertise,
+		"/v1/admin/durability":     h.handleDurability,
+		"/v1/admin/compact":        h.handleCompact,
+	}
+	for pattern, fn := range routes {
+		h.mux.HandleFunc(pattern, instrument(pattern, fn))
+	}
+	h.mux.HandleFunc("/", instrument("unmatched", handleNotFound))
 	return h
+}
+
+// handleNotFound is the JSON fallback for paths no route matches.
+func handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, fmt.Errorf("no such endpoint: %s", r.URL.Path))
 }
 
 // ServeHTTP implements http.Handler.

@@ -1,0 +1,75 @@
+package httpapi
+
+import (
+	"net/http"
+	"time"
+
+	"eta2/internal/obs"
+)
+
+// HTTP-layer metrics. Route labels are the registered /v1 patterns plus
+// the synthetic "unmatched" for 404s, so cardinality is fixed by the
+// route table. Per-route histograms are resolved once at Handler
+// construction; the request path performs only atomic updates plus one
+// lock-free counter lookup for the (method, code-class) pair.
+var (
+	mHTTPRequests = obs.Default().CounterVec("eta2_http_requests_total",
+		"HTTP requests served, by route, method, and status class.",
+		"route", "method", "code")
+	mHTTPDur = obs.Default().HistogramVec("eta2_http_request_duration_seconds",
+		"HTTP request latency, fsync waits and truth analysis included.",
+		obs.DefBuckets, "route")
+	mHTTPInFlight = obs.Default().Gauge("eta2_http_in_flight_requests",
+		"Requests currently being served.")
+)
+
+// statusWriter captures the status code a handler wrote. Handlers in this
+// package only use WriteHeader/Write, so no further interface forwarding
+// (Flusher, Hijacker) is needed.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// codeClass buckets a status code into 1xx..5xx.
+func codeClass(status int) string {
+	switch {
+	case status >= 500:
+		return "5xx"
+	case status >= 400:
+		return "4xx"
+	case status >= 300:
+		return "3xx"
+	case status >= 200:
+		return "2xx"
+	default:
+		return "1xx"
+	}
+}
+
+// instrument wraps one route handler with the in-flight gauge, the
+// per-route latency histogram, and the request counter.
+func instrument(route string, fn http.HandlerFunc) http.HandlerFunc {
+	hist := mHTTPDur.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		mHTTPInFlight.Add(1)
+		defer mHTTPInFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		fn(sw, r)
+		hist.Observe(time.Since(start).Seconds())
+		mHTTPRequests.With(route, r.Method, codeClass(sw.status)).Inc()
+	}
+}

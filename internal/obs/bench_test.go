@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// Hot-path costs. The acceptance bar for the instrumented pipeline is
+// "within noise", so the primitives must be a handful of nanoseconds.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_counter", "x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_counter", "x")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkGaugeAdd(b *testing.B) {
+	g := NewRegistry().Gauge("bench_gauge", "x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_hist", "x", DefBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("bench_hist", "x", DefBuckets)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.0042)
+		}
+	})
+}
+
+// BenchmarkVecWith measures the labeled-series lookup, the only map access
+// on any hot path that has not been hoisted to registration time.
+func BenchmarkVecWith(b *testing.B) {
+	cv := NewRegistry().CounterVec("bench_vec", "x", "route", "method", "code")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cv.With("/v1/observations", "POST", "2xx").Inc()
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	for _, name := range []string{"a_total", "b_total", "c_total"} {
+		r.Counter(name, "x").Add(123)
+	}
+	hv := r.HistogramVec("lat_seconds", "x", DefBuckets, "route")
+	for _, route := range []string{"/v1/users", "/v1/tasks", "/v1/observations"} {
+		hv.With(route).Observe(0.01)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// newTestRegistry builds a registry exercising every metric type, label
+// rendering, escaping, and histogram encoding.
+func newTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Requests served.").Add(42)
+
+	rv := r.CounterVec("test_routed_total", "Requests by route and code.", "route", "code")
+	rv.With("/v1/truth", "2xx").Add(7)
+	rv.With("/v1/truth", "4xx").Inc()
+	rv.With("/v1/users", "2xx").Add(3)
+
+	g := r.Gauge("test_in_flight", "In-flight requests.")
+	g.Add(5)
+	g.Add(-2)
+	r.Gauge("test_temperature", "Signed gauge.").Set(-3.25)
+	r.GaugeVec("test_build_info", "Escaping test; value 1.", "version").
+		With("v1+\"quo\\te\"\nline2").Set(1)
+
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2.5} {
+		h.Observe(v)
+	}
+	hv := r.HistogramVec("test_sizes", "Sizes by kind.", []float64{1, 2, 4}, "kind")
+	hv.With("write").Observe(3)
+	return r
+}
+
+func TestGoldenExposition(t *testing.T) {
+	var buf bytes.Buffer
+	if err := newTestRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden.prom")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+func TestExpositionDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	r := newTestRegistry()
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two gathers of the same registry differ")
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "x", []float64{1, 2, 4})
+
+	cases := []struct {
+		v    float64
+		slot int
+	}{
+		{0, 0},                    // below every bound -> first bucket
+		{-5, 0},                   // negative too
+		{1, 0},                    // le is inclusive: v == bound lands in that bucket
+		{math.Nextafter(1, 2), 1}, // just past the bound -> next bucket
+		{2, 1},
+		{4, 2},
+		{4.0001, 3}, // above the last bound -> +Inf slot
+		{math.Inf(1), 3},
+	}
+	for _, c := range cases {
+		before := h.counts[c.slot].Load()
+		h.Observe(c.v)
+		if got := h.counts[c.slot].Load(); got != before+1 {
+			t.Errorf("Observe(%g): slot %d count = %d, want %d", c.v, c.slot, got, before+1)
+		}
+	}
+
+	// Cumulative rendering: every bucket line must cover all smaller ones
+	// and _count must equal the +Inf bucket.
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`h_bucket{le="1"} 3`,
+		`h_bucket{le="2"} 5`,
+		`h_bucket{le="4"} 6`,
+		`h_bucket{le="+Inf"} 8`,
+		`h_count 8`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramImplicitInfBucket(t *testing.T) {
+	r := NewRegistry()
+	// A trailing +Inf in the bucket spec must not create a duplicate slot.
+	h := r.Histogram("h", "x", []float64{1, math.Inf(1)})
+	if got := len(h.counts); got != 2 {
+		t.Fatalf("explicit +Inf bucket not collapsed: %d slots, want 2", got)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "x")
+	b := r.Counter("c", "other help is ignored")
+	if a != b {
+		t.Error("re-registering the same counter returned a different instance")
+	}
+	h1 := r.HistogramVec("hv", "x", []float64{1, 2}, "l")
+	h2 := r.HistogramVec("hv", "x", []float64{1, 2}, "l")
+	if h1.With("v") != h2.With("v") {
+		t.Error("re-registered histogram vec returned different children")
+	}
+}
+
+func TestRegistrationMismatchPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("c", "x")
+	mustPanic("kind mismatch", func() { r.Gauge("c", "x") })
+	r.CounterVec("cv", "x", "a")
+	mustPanic("label mismatch", func() { r.CounterVec("cv", "x", "b") })
+	r.Histogram("h", "x", []float64{1})
+	mustPanic("bucket mismatch", func() { r.Histogram("h", "x", []float64{2}) })
+	mustPanic("bad name", func() { r.Counter("bad name", "x") })
+	mustPanic("bad label", func() { r.CounterVec("ok", "x", "bad-label") })
+	mustPanic("descending buckets", func() { r.Histogram("h2", "x", []float64{2, 1}) })
+	mustPanic("wrong arity", func() { r.CounterVec("cv2", "x", "a", "b").With("only-one") })
+}
+
+func TestSetDisabled(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "x")
+	g := r.Gauge("g", "x")
+	h := r.Histogram("h", "x", []float64{1})
+	SetDisabled(true)
+	c.Inc()
+	g.Set(5)
+	h.Observe(0.5)
+	SetDisabled(false)
+	if c.Value() != 0 || g.Value() != 0 || h.counts[0].Load() != 0 {
+		t.Error("updates leaked through while disabled")
+	}
+	c.Inc()
+	if c.Value() != 1 {
+		t.Error("counter dead after re-enabling")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := newTestRegistry()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, ContentType)
+	}
+
+	post, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Errorf("POST status %d, want 405", post.StatusCode)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", exp, want)
+		}
+	}
+	lin := LinearBuckets(0, 5, 3)
+	want = []float64{0, 5, 10}
+	for i := range want {
+		if lin[i] != want[i] {
+			t.Fatalf("LinearBuckets = %v, want %v", lin, want)
+		}
+	}
+}
+
+func TestVersionNonEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Error("Version() returned empty string")
+	}
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "eta2_build_info{") {
+		t.Errorf("build info gauge missing:\n%s", buf.String())
+	}
+}

@@ -2,6 +2,7 @@ package truth
 
 import (
 	"errors"
+	"time"
 
 	"eta2/internal/core"
 )
@@ -106,6 +107,7 @@ func Estimate(obs *core.ObservationTable, domainOf func(core.TaskID) core.Domain
 	if obs == nil || obs.Len() == 0 {
 		return Result{}, ErrNoObservations
 	}
+	start := time.Now()
 
 	// Dense re-index once: the O(#obs · #iterations) inner loops below then
 	// run on contiguous buckets and flat parameter slices (see dense.go).
@@ -140,6 +142,9 @@ func Estimate(obs *core.ObservationTable, domainOf func(core.TaskID) core.Domain
 			}
 		}
 	}
+
+	mEstimateBatchDur.Observe(time.Since(start).Seconds())
+	observeRun("batch", iterations, st.idx.NumTasks(), obs.Len(), converged)
 
 	return Result{
 		Mu:         st.muMap(),

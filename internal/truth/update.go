@@ -1,6 +1,8 @@
 package truth
 
 import (
+	"time"
+
 	"eta2/internal/core"
 )
 
@@ -33,6 +35,7 @@ func UpdateStep(store *Store, obs *core.ObservationTable, domainOf func(core.Tas
 	if obs == nil || obs.Len() == 0 {
 		return UpdateResult{}, ErrNoObservations
 	}
+	start := time.Now()
 
 	// Candidate expertise starts at the store's current values (the paper
 	// initializes the iteration with the time-T expertise); the dense state
@@ -62,6 +65,8 @@ func UpdateStep(store *Store, obs *core.ObservationTable, domainOf func(core.Tas
 	}
 
 	store.Commit(contribs)
+	mEstimateIncrementalDur.Observe(time.Since(start).Seconds())
+	observeRun("incremental", iterations, st.idx.NumTasks(), obs.Len(), converged)
 	return UpdateResult{
 		Mu:         st.muMap(),
 		Sigma:      st.sigmaMap(),

@@ -242,6 +242,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		l.active = f
 	}
 	if l.tornBytes > 0 || l.droppedSegs > 0 {
+		mTornBytes.Add(uint64(l.tornBytes))
 		l.syncDir()
 	}
 	return l, nil
@@ -377,6 +378,7 @@ func (l *Log) openSegment() error {
 			return fmt.Errorf("wal: seal segment: %w", err)
 		}
 		l.active = nil
+		mRotations.Inc()
 	}
 	path := l.segmentPath(l.next)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
@@ -449,6 +451,8 @@ func (l *Log) AppendBuffered(payload []byte) (uint64, error) {
 	active.size += recLen
 	active.lastLSN = lsn
 	active.records++
+	mAppendRecords.Inc()
+	mAppendBytes.Add(uint64(recLen))
 	if l.first == 0 {
 		l.first = lsn
 	}
@@ -515,6 +519,7 @@ func (l *Log) syncThrough(lsn uint64) error {
 	closed := l.closed
 	l.mu.Unlock()
 
+	syncStart := time.Now()
 	if l.opts.SyncDelay > 0 {
 		time.Sleep(l.opts.SyncDelay)
 	}
@@ -527,9 +532,14 @@ func (l *Log) syncThrough(lsn uint64) error {
 		// the leader covers is already durable. Anything else is real.
 		err = fmt.Errorf("wal: sync: %w", serr)
 	}
+	if !closed {
+		mFsyncs.Inc()
+		mFsyncDur.Observe(time.Since(syncStart).Seconds())
+	}
 
 	l.syncMu.Lock()
 	if err == nil && frontier > l.durable {
+		mBatchRecords.Observe(float64(frontier - l.durable))
 		l.durable = frontier
 	}
 	l.lastSync = time.Now()
@@ -583,6 +593,7 @@ func (l *Log) Replay(fn func(lsn uint64, payload []byte) error) error {
 				f.Close()
 				return err
 			}
+			mReplayed.Inc()
 			prev = lsn
 		}
 		f.Close()

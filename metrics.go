@@ -1,0 +1,35 @@
+package eta2
+
+import "eta2/internal/obs"
+
+// Server-level gauges, published after every committed mutation (and once
+// after recovery/restore). The obs registry is process-wide, so when a
+// process hosts several servers the gauges reflect the one that mutated
+// last — a serving process owns exactly one; see DESIGN.md §11.
+var (
+	mDay = obs.Default().Gauge("eta2_server_day",
+		"Current time-step index (advances at CloseTimeStep).")
+	mUsers = obs.Default().Gauge("eta2_server_users",
+		"Registered users.")
+	mTasks = obs.Default().Gauge("eta2_server_tasks",
+		"Tasks created since the server started (all time steps).")
+	mPendingTasks = obs.Default().Gauge("eta2_server_pending_tasks",
+		"Tasks created since the last closed step, awaiting allocation.")
+	mBufferedObs = obs.Default().Gauge("eta2_server_observations_buffered",
+		"Observations submitted this step and not yet folded into truth analysis.")
+	mObsAccepted = obs.Default().Counter("eta2_server_observations_accepted_total",
+		"Observations accepted across the process lifetime (replay included).")
+	mStepsClosed = obs.Default().Counter("eta2_server_steps_closed_total",
+		"Time steps closed across the process lifetime (replay included).")
+)
+
+// publishMetricsLocked refreshes the server-shape gauges. Callers hold
+// s.mu (read or write); every store is a single atomic, so the cost is a
+// handful of nanoseconds on the mutation path.
+func (s *Server) publishMetricsLocked() {
+	mDay.Set(float64(s.day))
+	mUsers.Set(float64(len(s.users)))
+	mTasks.Set(float64(len(s.tasks)))
+	mPendingTasks.Set(float64(len(s.pending)))
+	mBufferedObs.Set(float64(len(s.observations)))
+}

@@ -200,5 +200,8 @@ func restoreServer(st serverState, opts ...Option) (*Server, error) {
 			s.vectorizer = semantic.NewVectorizer(s.cfg.embedder)
 		}
 	}
+	// Not yet shared with other goroutines, so publishing without the lock
+	// is safe; brings the server-shape gauges in line with restored state.
+	s.publishMetricsLocked()
 	return s, nil
 }

@@ -224,6 +224,7 @@ func (s *Server) AddUsers(users ...User) error {
 		}
 		s.users[u.ID] = u
 	}
+	s.publishMetricsLocked()
 	s.mu.Unlock()
 	return s.journalCommit(lsn)
 }
@@ -343,6 +344,7 @@ func (s *Server) createTasksLocked(specs []TaskSpec) ([]TaskID, uint64, error) {
 		s.lastNewDomains = up.NewDomains
 		s.lastMerges = len(up.Merges)
 	}
+	s.publishMetricsLocked()
 	return ids, lsn, nil
 }
 
@@ -524,6 +526,8 @@ func (s *Server) AllocateMinCost(params MinCostParams, collect Collector) (MinCo
 			}
 		}
 		s.observations = append(s.observations, obs...)
+		mObsAccepted.Add(uint64(len(obs)))
+		s.publishMetricsLocked()
 		table.AddAll(obs)
 		// Only users that actually responded contribute information to the
 		// confidence interval; allocated-but-silent users must not count.
@@ -628,6 +632,8 @@ func (s *Server) SubmitObservations(obs ...Observation) error {
 		return err
 	}
 	s.observations = append(s.observations, stamped...)
+	mObsAccepted.Add(uint64(len(stamped)))
+	s.publishMetricsLocked()
 	s.mu.Unlock()
 	return s.journalCommit(lsn)
 }
@@ -702,6 +708,8 @@ func (s *Server) CloseTimeStep() (StepReport, error) {
 	s.observations = nil
 	s.pending = nil
 	s.day++
+	mStepsClosed.Inc()
+	s.publishMetricsLocked()
 	derr := s.closeStepDurability()
 	s.mu.Unlock()
 	if derr != nil {
