@@ -405,7 +405,7 @@ func metricsDelta(before, after map[string]float64) map[string]float64 {
 		if !strings.HasPrefix(k, "eta2_") {
 			continue
 		}
-		if d := a - before[k]; d != 0 {
+		if d := a - before[k]; d != 0 { //eta2:floatcmp-ok counter deltas are exact: both scrapes parse the same decimal encoding
 			out[k] = d
 		}
 	}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 
@@ -89,7 +90,7 @@ func run() int {
 		fmt.Printf("%6d%10d%12.4f%10.0f%8d\n", d.Day, d.NumTasks, d.Error, d.Cost, d.Pairs)
 	}
 	fmt.Printf("overall error: %.4f   total cost: %.0f\n", res.OverallError, res.TotalCost)
-	if res.ExpertiseError == res.ExpertiseError { // not NaN
+	if !math.IsNaN(res.ExpertiseError) {
 		fmt.Printf("expertise estimation error: %.4f\n", res.ExpertiseError)
 	}
 	return 0

@@ -141,7 +141,7 @@ func (s *State) Pairs() *core.Allocation {
 	out := &core.Allocation{}
 	// Deterministic ordering: iterate users/tasks in numeric order.
 	pairs := make([]core.Pair, 0, len(s.assigned))
-	for p := range s.assigned {
+	for p := range s.assigned { //eta2:nondeterministic-ok collect-then-sort: sortPairs below fixes the order
 		pairs = append(pairs, p)
 	}
 	sortPairs(pairs)

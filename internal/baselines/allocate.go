@@ -19,7 +19,7 @@ func ReliabilityGreedy(users []core.User, tasks []core.Task, reliability map[cor
 	copy(byRel, users)
 	sort.SliceStable(byRel, func(i, j int) bool {
 		ri, rj := reliability[byRel[i].ID], reliability[byRel[j].ID]
-		if ri != rj {
+		if ri != rj { //eta2:floatcmp-ok sort tie-break: exact comparison on the key keeps the order total and deterministic
 			return ri > rj
 		}
 		return byRel[i].ID < byRel[j].ID
@@ -28,7 +28,7 @@ func ReliabilityGreedy(users []core.User, tasks []core.Task, reliability map[cor
 	byTime := make([]core.Task, len(tasks))
 	copy(byTime, tasks)
 	sort.SliceStable(byTime, func(i, j int) bool {
-		if byTime[i].ProcTime != byTime[j].ProcTime {
+		if byTime[i].ProcTime != byTime[j].ProcTime { //eta2:floatcmp-ok sort tie-break: exact comparison on the key keeps the order total and deterministic
 			return byTime[i].ProcTime < byTime[j].ProcTime
 		}
 		return byTime[i].ID < byTime[j].ID

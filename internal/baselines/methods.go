@@ -92,18 +92,18 @@ func weightedTruth(obs *core.ObservationTable, rel map[core.UserID]float64) map[
 // reset to uniform 1 so downstream weighting never collapses.
 func normalizeMax(m map[core.UserID]float64) {
 	maxV := 0.0
-	for _, v := range m {
+	for _, v := range m { //eta2:nondeterministic-ok max over comparisons, no accumulation: order-independent
 		if v > maxV {
 			maxV = v
 		}
 	}
 	if maxV <= 0 {
-		for k := range m {
+		for k := range m { //eta2:nondeterministic-ok independent per-key write: order-independent
 			m[k] = 1
 		}
 		return
 	}
-	for k := range m {
+	for k := range m { //eta2:nondeterministic-ok independent per-key write: order-independent
 		m[k] /= maxV
 	}
 }
@@ -112,7 +112,7 @@ func normalizeMax(m map[core.UserID]float64) {
 // the keys of a.
 func maxAbsDelta(a, b map[core.UserID]float64) float64 {
 	maxD := 0.0
-	for k, va := range a {
+	for k, va := range a { //eta2:nondeterministic-ok max over comparisons, no accumulation: order-independent
 		if d := math.Abs(va - b[k]); d > maxD {
 			maxD = d
 		}

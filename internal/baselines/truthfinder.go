@@ -121,7 +121,7 @@ func (t *TruthFinder) Estimate(obs *core.ObservationTable) (Result, error) {
 	}
 
 	rel := make(map[core.UserID]float64, len(users))
-	for u, v := range trust {
+	for u, v := range trust { //eta2:nondeterministic-ok map-to-map copy, independent per-key write: order-independent
 		rel[u] = v
 	}
 	normalizeMax(rel)

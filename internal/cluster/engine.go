@@ -190,10 +190,10 @@ func (e *Engine) AddItems(n int) (Update, error) {
 // applyMerge folds cluster slot b into slot a in the persistent state.
 func (e *Engine) applyMerge(a, b int) {
 	ca, cb := &e.clusters[a], &e.clusters[b]
-	na, nb := float64(len(ca.items)), float64(len(cb.items))
-	if nb == 0 {
+	if len(cb.items) == 0 {
 		return
 	}
+	na, nb := float64(len(ca.items)), float64(len(cb.items))
 	tot := na + nb
 	for c := range e.clusters {
 		if c == a || c == b || len(e.clusters[c].items) == 0 {

@@ -63,7 +63,7 @@ func dendrogram(d [][]float64, size []int) []Merge {
 				continue
 			}
 			dj := d[top][j]
-			if best == -1 || dj < bestD || (dj == bestD && j == prev) {
+			if best == -1 || dj < bestD || (dj == bestD && j == prev) { //eta2:floatcmp-ok exact-tie preference for the chain predecessor is what makes NN-chain deterministic
 				best, bestD = j, dj
 			}
 		}

@@ -84,7 +84,7 @@ func (t *ObservationTable) Len() int { return t.n }
 func (t *ObservationTable) Tasks() []TaskID {
 	if t.taskIDs == nil {
 		t.taskIDs = make([]TaskID, 0, len(t.byTask))
-		for id := range t.byTask {
+		for id := range t.byTask { //eta2:nondeterministic-ok collect-then-sort: the sort below fixes the order
 			t.taskIDs = append(t.taskIDs, id)
 		}
 		sort.Slice(t.taskIDs, func(i, j int) bool { return t.taskIDs[i] < t.taskIDs[j] })
@@ -98,7 +98,7 @@ func (t *ObservationTable) Tasks() []TaskID {
 func (t *ObservationTable) Users() []UserID {
 	if t.userIDs == nil {
 		t.userIDs = make([]UserID, 0, len(t.byUser))
-		for id := range t.byUser {
+		for id := range t.byUser { //eta2:nondeterministic-ok collect-then-sort: the sort below fixes the order
 			t.userIDs = append(t.userIDs, id)
 		}
 		sort.Slice(t.userIDs, func(i, j int) bool { return t.userIDs[i] < t.userIDs[j] })

@@ -122,7 +122,7 @@ type ObservationModel struct {
 func (m ObservationModel) ObserveAs(user core.UserID, t core.Task, u float64, rng *stats.RNG) float64 {
 	if _, bad := m.Adversaries[user]; bad {
 		offset := m.AdversaryOffset
-		if offset == 0 {
+		if offset == 0 { //eta2:floatcmp-ok exact zero is the unset-field sentinel, never a computed value
 			offset = 3
 		}
 		// Colluders are precise about their lie: small spread so they

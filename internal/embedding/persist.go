@@ -111,7 +111,7 @@ func (m *Model) Nearest(word string, n int) ([]Neighbor, error) {
 		out = append(out, Neighbor{Word: w, Similarity: qv.Cosine(m.in[id])})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Similarity != out[j].Similarity {
+		if out[i].Similarity != out[j].Similarity { //eta2:floatcmp-ok sort tie-break: exact comparison on the key keeps the order total and deterministic
 			return out[i].Similarity > out[j].Similarity
 		}
 		return out[i].Word < out[j].Word

@@ -75,7 +75,7 @@ func (v Vector) Norm() float64 {
 // Normalize scales v in place to unit norm. Zero vectors are left unchanged.
 func (v Vector) Normalize() {
 	n := v.Norm()
-	if n == 0 {
+	if n <= 0 { // norms are non-negative
 		return
 	}
 	for i := range v {
@@ -101,7 +101,7 @@ func (v Vector) SquaredDistance(w Vector) float64 {
 // is a zero vector or the dimensions differ.
 func (v Vector) Cosine(w Vector) float64 {
 	nv, nw := v.Norm(), w.Norm()
-	if nv == 0 || nw == 0 || len(v) != len(w) {
+	if nv <= 0 || nw <= 0 || len(v) != len(w) { // norms are non-negative
 		return 0
 	}
 	return v.Dot(w) / (nv * nw)

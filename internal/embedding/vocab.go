@@ -98,7 +98,7 @@ func (v *Vocabulary) BuildNegativeTable(size int) {
 		total += pow[i]
 	}
 	v.negTable = make([]int, 0, size)
-	if total == 0 {
+	if total <= 0 { // sum of freq^0.75 terms, each non-negative
 		return
 	}
 	cum := 0.0

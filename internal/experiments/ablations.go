@@ -274,7 +274,7 @@ func clusterPairwiseF1(ds *dataset.Dataset, dist func(a, b int) float64, gamma f
 			}
 		}
 	}
-	if tp == 0 {
+	if tp <= 0 { // +1 increments only; <= sidesteps exact float equality
 		return 0, nil
 	}
 	precision := tp / (tp + fp)
@@ -307,7 +307,7 @@ func cosineBOW(a, b map[string]float64) float64 {
 	for _, vb := range b {
 		nb += vb * vb
 	}
-	if na == 0 || nb == 0 {
+	if na <= 0 || nb <= 0 { // sums of squares: non-negative
 		return 0
 	}
 	return dot / (sqrt(na) * sqrt(nb))

@@ -51,7 +51,7 @@ func (c *lineChart) render(width, height int) string {
 	if math.IsInf(lo, 1) { // no data
 		return c.title + "\n(no data)\n"
 	}
-	if hi == lo {
+	if hi <= lo { // hi >= lo by construction; <= avoids exact equality
 		hi = lo + 1
 	}
 

@@ -77,7 +77,7 @@ func Fig2(opts Options) (Fig2Result, error) {
 			for _, vals := range perTask {
 				mu := stats.Mean(vals)
 				sd := stats.StdDev(vals)
-				if sd == 0 {
+				if sd <= 0 { // standard deviations are non-negative
 					continue
 				}
 				for _, x := range vals {

@@ -124,7 +124,7 @@ func uniqueGammas(ps []Fig4Point) []float64 {
 
 func lookupFig4(ps []Fig4Point, a, g float64) float64 {
 	for _, p := range ps {
-		if p.Alpha == a && p.Gamma == g {
+		if p.Alpha == a && p.Gamma == g { //eta2:floatcmp-ok grid lookup: both sides are the same untouched literals from the sweep table
 			return p.Error
 		}
 	}

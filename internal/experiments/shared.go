@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -156,7 +157,7 @@ func averageRuns(opts Options, fn func(seed int64) (float64, error)) (float64, e
 	}
 	var vals []float64
 	for _, v := range all {
-		if v == v { // skip NaN
+		if !math.IsNaN(v) {
 			vals = append(vals, v)
 		}
 	}

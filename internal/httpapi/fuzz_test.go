@@ -1,6 +1,9 @@
+//go:build go1.18
+
 package httpapi
 
 import (
+	"bytes"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -40,6 +43,46 @@ func FuzzHandlerBodies(f *testing.F) {
 		}
 		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
 			t.Fatalf("content type %q", ct)
+		}
+	})
+}
+
+// FuzzHTTPDecode throws arbitrary bodies and Content-Type values at the
+// shared request decoder. The contract: it never panics, and it either
+// accepts the body or writes exactly one of 415 / 413 / 400 — attacker
+// bytes cannot produce a 5xx or reach a handler undecoded.
+func FuzzHTTPDecode(f *testing.F) {
+	f.Add(`{"users":[{"id":1,"capacity":2.5}]}`, "application/json")
+	f.Add(`{"users":[]}`, "application/json; charset=utf-8")
+	f.Add(`{"unknown_field":true}`, "application/json")
+	f.Add(`{"users":`, "application/json")
+	f.Add(`null`, "application/json")
+	f.Add(`[1,2,3]`, "application/json")
+	f.Add(`{"users":[{"id":1}]}`, "text/plain")
+	f.Add("", "")
+	f.Add("\x00\xff\xfe", "application/json")
+
+	f.Fuzz(func(t *testing.T, body, contentType string) {
+		req := httptest.NewRequest(http.MethodPost, "http://test/v1/users", bytes.NewReader([]byte(body)))
+		req.Header.Set("Content-Type", contentType)
+		rec := httptest.NewRecorder()
+		var v struct {
+			Users []UserJSON `json:"users"`
+		}
+		ok := decode(rec, req, &v)
+		if ok {
+			if rec.Code != http.StatusOK {
+				t.Fatalf("decode accepted the body but wrote status %d", rec.Code)
+			}
+			return
+		}
+		switch rec.Code {
+		case http.StatusUnsupportedMediaType, http.StatusRequestEntityTooLarge, http.StatusBadRequest:
+		default:
+			t.Fatalf("decode rejected the body with status %d, want 415/413/400", rec.Code)
+		}
+		if rec.Body.Len() == 0 {
+			t.Fatalf("rejection wrote no error body")
 		}
 	})
 }

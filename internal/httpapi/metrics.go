@@ -43,6 +43,34 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// normalizeMethod maps a request's method — arbitrary client-controlled
+// bytes — onto the fixed label set of the standard methods, so a client
+// sending garbage verbs cannot mint unbounded time series.
+func normalizeMethod(m string) string {
+	switch m {
+	case http.MethodGet:
+		return "GET"
+	case http.MethodHead:
+		return "HEAD"
+	case http.MethodPost:
+		return "POST"
+	case http.MethodPut:
+		return "PUT"
+	case http.MethodPatch:
+		return "PATCH"
+	case http.MethodDelete:
+		return "DELETE"
+	case http.MethodConnect:
+		return "CONNECT"
+	case http.MethodOptions:
+		return "OPTIONS"
+	case http.MethodTrace:
+		return "TRACE"
+	default:
+		return "other"
+	}
+}
+
 // codeClass buckets a status code into 1xx..5xx.
 func codeClass(status int) string {
 	switch {
@@ -70,6 +98,6 @@ func instrument(route string, fn http.HandlerFunc) http.HandlerFunc {
 		start := time.Now()
 		fn(sw, r)
 		hist.Observe(time.Since(start).Seconds())
-		mHTTPRequests.With(route, r.Method, codeClass(sw.status)).Inc()
+		mHTTPRequests.With(route, normalizeMethod(r.Method), codeClass(sw.status)).Inc()
 	}
 }

@@ -1,0 +1,55 @@
+package httpapi
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"eta2"
+)
+
+// TestNormalizeMethodBoundsLabelSet pins the metrichygiene fix: the
+// method label of eta2_http_requests_total must come from the fixed set
+// of standard verbs plus "other", never from raw client bytes.
+func TestNormalizeMethodBoundsLabelSet(t *testing.T) {
+	standard := []string{"GET", "HEAD", "POST", "PUT", "PATCH", "DELETE", "CONNECT", "OPTIONS", "TRACE"}
+	for _, m := range standard {
+		if got := normalizeMethod(m); got != m {
+			t.Errorf("normalizeMethod(%q) = %q, want identity", m, got)
+		}
+	}
+	for _, m := range []string{"BREW", "get", "PROPFIND", "X\xff\xfe", "", "GARBAGE-VERB-42"} {
+		if got := normalizeMethod(m); got != "other" {
+			t.Errorf("normalizeMethod(%q) = %q, want \"other\"", m, got)
+		}
+	}
+}
+
+// TestGarbageMethodsDoNotMintSeries drives requests with attacker-chosen
+// verbs through the instrumented handler and asserts they all collapse
+// onto the "other" series.
+func TestGarbageMethodsDoNotMintSeries(t *testing.T) {
+	srv, err := eta2.NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(srv)
+	for _, verb := range []string{"BREW", "SPY", "EXFILTRATE"} {
+		req := httptest.NewRequest("GET", "http://test/v1/healthz", nil)
+		req.Method = verb // bypass NewRequest's validation, as a raw socket would
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+	}
+	// The health handler answers 405 to non-GET verbs, so all three land
+	// on the ("other", "4xx") series; none of the garbage verbs may
+	// appear as a label value.
+	if got := mHTTPRequests.With("/v1/healthz", "other", "4xx").Value(); got < 3 {
+		t.Errorf("other-method series = %d, want >= 3", got)
+	}
+	for _, verb := range []string{"BREW", "SPY", "EXFILTRATE"} {
+		for _, class := range []string{"2xx", "4xx", "5xx"} {
+			if got := mHTTPRequests.With("/v1/healthz", verb, class).Value(); got != 0 {
+				t.Errorf("series minted for raw verb %q class %s (count %d)", verb, class, got)
+			}
+		}
+	}
+}

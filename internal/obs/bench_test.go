@@ -9,7 +9,7 @@ import (
 // "within noise", so the primitives must be a handful of nanoseconds.
 
 func BenchmarkCounterInc(b *testing.B) {
-	c := NewRegistry().Counter("bench_counter", "x")
+	c := NewRegistry().Counter("eta2_bench_counter", "x")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.Inc()
@@ -17,7 +17,7 @@ func BenchmarkCounterInc(b *testing.B) {
 }
 
 func BenchmarkCounterIncParallel(b *testing.B) {
-	c := NewRegistry().Counter("bench_counter", "x")
+	c := NewRegistry().Counter("eta2_bench_counter", "x")
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
@@ -27,7 +27,7 @@ func BenchmarkCounterIncParallel(b *testing.B) {
 }
 
 func BenchmarkGaugeAdd(b *testing.B) {
-	g := NewRegistry().Gauge("bench_gauge", "x")
+	g := NewRegistry().Gauge("eta2_bench_gauge", "x")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g.Add(1)
@@ -35,7 +35,7 @@ func BenchmarkGaugeAdd(b *testing.B) {
 }
 
 func BenchmarkHistogramObserve(b *testing.B) {
-	h := NewRegistry().Histogram("bench_hist", "x", DefBuckets)
+	h := NewRegistry().Histogram("eta2_bench_hist", "x", DefBuckets)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h.Observe(0.0042)
@@ -43,7 +43,7 @@ func BenchmarkHistogramObserve(b *testing.B) {
 }
 
 func BenchmarkHistogramObserveParallel(b *testing.B) {
-	h := NewRegistry().Histogram("bench_hist", "x", DefBuckets)
+	h := NewRegistry().Histogram("eta2_bench_hist", "x", DefBuckets)
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
@@ -55,7 +55,7 @@ func BenchmarkHistogramObserveParallel(b *testing.B) {
 // BenchmarkVecWith measures the labeled-series lookup, the only map access
 // on any hot path that has not been hoisted to registration time.
 func BenchmarkVecWith(b *testing.B) {
-	cv := NewRegistry().CounterVec("bench_vec", "x", "route", "method", "code")
+	cv := NewRegistry().CounterVec("eta2_bench_vec", "x", "route", "method", "code")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cv.With("/v1/observations", "POST", "2xx").Inc()
@@ -67,7 +67,7 @@ func BenchmarkWritePrometheus(b *testing.B) {
 	for _, name := range []string{"a_total", "b_total", "c_total"} {
 		r.Counter(name, "x").Add(123)
 	}
-	hv := r.HistogramVec("lat_seconds", "x", DefBuckets, "route")
+	hv := r.HistogramVec("eta2_lat_seconds", "x", DefBuckets, "route")
 	for _, route := range []string{"/v1/users", "/v1/tasks", "/v1/observations"} {
 		hv.With(route).Observe(0.01)
 	}

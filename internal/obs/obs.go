@@ -46,7 +46,14 @@ var disabled atomic.Bool
 // SetDisabled enables or disables all metric updates process-wide.
 func SetDisabled(d bool) { disabled.Store(d) }
 
-// nameRE is the Prometheus metric/label name charset.
+// metricNameRE enforces the project naming convention, a strict subset
+// of the Prometheus charset: every family lives under the eta2_
+// namespace in lowercase snake_case. Rejecting everything else at
+// registration time keeps the scrape output greppable by prefix and is
+// the runtime twin of the metrichygiene static check.
+var metricNameRE = regexp.MustCompile(`^eta2_[a-z0-9_]+$`)
+
+// nameRE is the Prometheus label name charset.
 var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 
 type kind int
@@ -113,8 +120,8 @@ func labelKey(values []string) string { return strings.Join(values, "\xff") }
 // register returns the family for name, creating it on first use and
 // validating that repeated registrations agree on type and schema.
 func (r *Registry) register(name, help string, k kind, labels []string, buckets []float64) *family {
-	if !nameRE.MatchString(name) {
-		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	if !metricNameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q (must match ^eta2_[a-z0-9_]+$)", name))
 	}
 	for _, l := range labels {
 		if !nameRE.MatchString(l) || strings.HasPrefix(l, "__") {
@@ -373,7 +380,7 @@ func equalFloats(a, b []float64) bool {
 		return false
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if a[i] != b[i] { //eta2:floatcmp-ok schema identity check: re-registration must supply bit-identical bucket bounds
 			return false
 		}
 	}

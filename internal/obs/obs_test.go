@@ -17,25 +17,25 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // rendering, escaping, and histogram encoding.
 func newTestRegistry() *Registry {
 	r := NewRegistry()
-	r.Counter("test_requests_total", "Requests served.").Add(42)
+	r.Counter("eta2_test_requests_total", "Requests served.").Add(42)
 
-	rv := r.CounterVec("test_routed_total", "Requests by route and code.", "route", "code")
+	rv := r.CounterVec("eta2_test_routed_total", "Requests by route and code.", "route", "code")
 	rv.With("/v1/truth", "2xx").Add(7)
 	rv.With("/v1/truth", "4xx").Inc()
 	rv.With("/v1/users", "2xx").Add(3)
 
-	g := r.Gauge("test_in_flight", "In-flight requests.")
+	g := r.Gauge("eta2_test_in_flight", "In-flight requests.")
 	g.Add(5)
 	g.Add(-2)
-	r.Gauge("test_temperature", "Signed gauge.").Set(-3.25)
-	r.GaugeVec("test_build_info", "Escaping test; value 1.", "version").
+	r.Gauge("eta2_test_temperature", "Signed gauge.").Set(-3.25)
+	r.GaugeVec("eta2_test_build_info", "Escaping test; value 1.", "version").
 		With("v1+\"quo\\te\"\nline2").Set(1)
 
-	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h := r.Histogram("eta2_test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
 	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2.5} {
 		h.Observe(v)
 	}
-	hv := r.HistogramVec("test_sizes", "Sizes by kind.", []float64{1, 2, 4}, "kind")
+	hv := r.HistogramVec("eta2_test_sizes", "Sizes by kind.", []float64{1, 2, 4}, "kind")
 	hv.With("write").Observe(3)
 	return r
 }
@@ -79,7 +79,7 @@ func TestExpositionDeterministic(t *testing.T) {
 
 func TestHistogramBucketBoundaries(t *testing.T) {
 	r := NewRegistry()
-	h := r.Histogram("h", "x", []float64{1, 2, 4})
+	h := r.Histogram("eta2_h", "x", []float64{1, 2, 4})
 
 	cases := []struct {
 		v    float64
@@ -110,11 +110,11 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{
-		`h_bucket{le="1"} 3`,
-		`h_bucket{le="2"} 5`,
-		`h_bucket{le="4"} 6`,
-		`h_bucket{le="+Inf"} 8`,
-		`h_count 8`,
+		`eta2_h_bucket{le="1"} 3`,
+		`eta2_h_bucket{le="2"} 5`,
+		`eta2_h_bucket{le="4"} 6`,
+		`eta2_h_bucket{le="+Inf"} 8`,
+		`eta2_h_count 8`,
 	} {
 		if !strings.Contains(out, want+"\n") {
 			t.Errorf("exposition missing %q:\n%s", want, out)
@@ -125,7 +125,7 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 func TestHistogramImplicitInfBucket(t *testing.T) {
 	r := NewRegistry()
 	// A trailing +Inf in the bucket spec must not create a duplicate slot.
-	h := r.Histogram("h", "x", []float64{1, math.Inf(1)})
+	h := r.Histogram("eta2_h", "x", []float64{1, math.Inf(1)})
 	if got := len(h.counts); got != 2 {
 		t.Fatalf("explicit +Inf bucket not collapsed: %d slots, want 2", got)
 	}
@@ -133,13 +133,13 @@ func TestHistogramImplicitInfBucket(t *testing.T) {
 
 func TestRegistrationIdempotent(t *testing.T) {
 	r := NewRegistry()
-	a := r.Counter("c", "x")
-	b := r.Counter("c", "other help is ignored")
+	a := r.Counter("eta2_c", "x")
+	b := r.Counter("eta2_c", "other help is ignored")
 	if a != b {
 		t.Error("re-registering the same counter returned a different instance")
 	}
-	h1 := r.HistogramVec("hv", "x", []float64{1, 2}, "l")
-	h2 := r.HistogramVec("hv", "x", []float64{1, 2}, "l")
+	h1 := r.HistogramVec("eta2_hv", "x", []float64{1, 2}, "l")
+	h2 := r.HistogramVec("eta2_hv", "x", []float64{1, 2}, "l")
 	if h1.With("v") != h2.With("v") {
 		t.Error("re-registered histogram vec returned different children")
 	}
@@ -156,23 +156,63 @@ func TestRegistrationMismatchPanics(t *testing.T) {
 		fn()
 	}
 	r := NewRegistry()
-	r.Counter("c", "x")
-	mustPanic("kind mismatch", func() { r.Gauge("c", "x") })
-	r.CounterVec("cv", "x", "a")
-	mustPanic("label mismatch", func() { r.CounterVec("cv", "x", "b") })
-	r.Histogram("h", "x", []float64{1})
-	mustPanic("bucket mismatch", func() { r.Histogram("h", "x", []float64{2}) })
+	r.Counter("eta2_c", "x")
+	mustPanic("kind mismatch", func() { r.Gauge("eta2_c", "x") })
+	r.CounterVec("eta2_cv", "x", "a")
+	mustPanic("label mismatch", func() { r.CounterVec("eta2_cv", "x", "b") })
+	r.Histogram("eta2_h", "x", []float64{1})
+	mustPanic("bucket mismatch", func() { r.Histogram("eta2_h", "x", []float64{2}) })
 	mustPanic("bad name", func() { r.Counter("bad name", "x") })
-	mustPanic("bad label", func() { r.CounterVec("ok", "x", "bad-label") })
-	mustPanic("descending buckets", func() { r.Histogram("h2", "x", []float64{2, 1}) })
-	mustPanic("wrong arity", func() { r.CounterVec("cv2", "x", "a", "b").With("only-one") })
+	mustPanic("missing prefix", func() { r.Counter("requests_total", "x") })
+	mustPanic("bad label", func() { r.CounterVec("eta2_ok", "x", "bad-label") })
+	mustPanic("descending buckets", func() { r.Histogram("eta2_h2", "x", []float64{2, 1}) })
+	mustPanic("wrong arity", func() { r.CounterVec("eta2_cv2", "x", "a", "b").With("only-one") })
+}
+
+// TestMetricNamePrefixEnforced pins the registration-time naming rule:
+// only lowercase snake_case under the eta2_ namespace is accepted.
+func TestMetricNamePrefixEnforced(t *testing.T) {
+	accepted := []string{"eta2_requests_total", "eta2_x9", "eta2_a_b_c", "eta2__private"}
+	for _, name := range accepted {
+		r := NewRegistry()
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Errorf("registering %q panicked: %v", name, p)
+				}
+			}()
+			r.Counter(name, "x")
+		}()
+	}
+	rejected := []string{
+		"requests_total", // no namespace
+		"eta2",           // bare prefix
+		"eta2_",          // empty stem
+		"eta2_Upper",     // uppercase
+		"ETA2_total",     // uppercase prefix
+		"eta2_dash-ed",   // outside [a-z0-9_]
+		"eta2_colon:ed",  // Prometheus-legal but not project-legal
+		"eta2_total ",    // trailing space
+		"other_eta2_x",   // prefix not at the start
+	}
+	for _, name := range rejected {
+		r := NewRegistry()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("registering %q did not panic", name)
+				}
+			}()
+			r.Counter(name, "x")
+		}()
+	}
 }
 
 func TestSetDisabled(t *testing.T) {
 	r := NewRegistry()
-	c := r.Counter("c", "x")
-	g := r.Gauge("g", "x")
-	h := r.Histogram("h", "x", []float64{1})
+	c := r.Counter("eta2_c", "x")
+	g := r.Gauge("eta2_g", "x")
+	h := r.Histogram("eta2_h", "x", []float64{1})
 	SetDisabled(true)
 	c.Inc()
 	g.Set(5)

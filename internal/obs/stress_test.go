@@ -12,10 +12,10 @@ import (
 // assertions at the end check that no update was lost.
 func TestConcurrentUpdatesDuringGather(t *testing.T) {
 	r := NewRegistry()
-	c := r.Counter("stress_counter", "x")
-	cv := r.CounterVec("stress_counter_vec", "x", "shard")
-	g := r.Gauge("stress_gauge", "x")
-	h := r.Histogram("stress_hist", "x", ExpBuckets(0.001, 10, 4))
+	c := r.Counter("eta2_stress_counter", "x")
+	cv := r.CounterVec("eta2_stress_counter_vec", "x", "shard")
+	g := r.Gauge("eta2_stress_gauge", "x")
+	h := r.Histogram("eta2_stress_hist", "x", ExpBuckets(0.001, 10, 4))
 
 	const (
 		writers = 8

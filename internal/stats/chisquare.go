@@ -62,7 +62,7 @@ func chiSquareNormality(sample []float64, estimatedParams int) (GOFResult, error
 	}
 	mu := Mean(sample)
 	sd := StdDev(sample)
-	if sd == 0 {
+	if sd <= 0 { // standard deviations are non-negative
 		// A constant sample: degenerate, definitely not normal noise, but a
 		// zero-variance fit trivially matches every observation. Report a
 		// perfect fit rather than dividing by zero; callers that care can

@@ -27,7 +27,9 @@ func WeightedMean(xs, ws []float64) float64 {
 		num += ws[i] * xs[i]
 		den += ws[i]
 	}
-	if den == 0 {
+	// Weights are non-negative by contract, so <= avoids an exact float
+	// equality while still guarding the division.
+	if den <= 0 {
 		return 0
 	}
 	return num / den

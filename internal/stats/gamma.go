@@ -21,7 +21,7 @@ func RegularizedGammaP(a, x float64) (float64, error) {
 	if a <= 0 || x < 0 {
 		return 0, ErrBadGammaArgs
 	}
-	if x == 0 {
+	if x == 0 { //eta2:floatcmp-ok exact domain edge: x >= 0 was checked above and P(a, 0) is exactly 0
 		return 0, nil
 	}
 	if x < a+1 {

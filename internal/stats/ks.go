@@ -58,7 +58,7 @@ func KSTest(sample []float64, cdf func(float64) float64) (KSResult, error) {
 func KSNormalityTest(sample []float64) (KSResult, error) {
 	mu := Mean(sample)
 	sd := StdDev(sample)
-	if sd == 0 {
+	if sd <= 0 { // standard deviations are non-negative
 		return KSResult{Statistic: 0, PValue: 1, N: len(sample)}, nil
 	}
 	return KSTest(sample, func(x float64) float64 {

@@ -122,7 +122,9 @@ func (st *estState) updateTaskParams(cfg Config) float64 {
 				wSum += wgt
 				wxSum += wgt * o.Value
 			}
-			if wSum == 0 {
+			// wgt = u² is non-negative, so <= covers the all-zero-weight
+			// case without an exact float equality.
+			if wSum <= 0 {
 				continue
 			}
 			newMu := wxSum / wSum

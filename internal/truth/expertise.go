@@ -47,9 +47,9 @@ func (e Expertise) Set(u core.UserID, d core.DomainID, v float64) {
 // Clone deep-copies the snapshot.
 func (e Expertise) Clone() Expertise {
 	out := make(Expertise, len(e))
-	for u, m := range e {
+	for u, m := range e { //eta2:nondeterministic-ok map-to-map copy, independent per-key write: order-independent
 		cm := make(map[core.DomainID]float64, len(m))
-		for d, v := range m {
+		for d, v := range m { //eta2:nondeterministic-ok map-to-map copy, independent per-key write: order-independent
 			cm[d] = v
 		}
 		out[u] = cm
@@ -60,7 +60,7 @@ func (e Expertise) Clone() Expertise {
 // Users returns the user IDs present in the snapshot, sorted.
 func (e Expertise) Users() []core.UserID {
 	out := make([]core.UserID, 0, len(e))
-	for u := range e {
+	for u := range e { //eta2:nondeterministic-ok collect-then-sort: the sort below fixes the order
 		out = append(out, u)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -150,8 +150,8 @@ func (s *Store) Expertise(u core.UserID, d core.DomainID) float64 {
 // Snapshot materializes the store as an Expertise map.
 func (s *Store) Snapshot() Expertise {
 	out := make(Expertise, len(s.acc))
-	for u, m := range s.acc {
-		for d, a := range m {
+	for u, m := range s.acc { //eta2:nondeterministic-ok independent per-key write into the output map: order-independent
+		for d, a := range m { //eta2:nondeterministic-ok independent per-key write into the output map: order-independent
 			out.Set(u, d, a.expertise(s.prior, s.clampLo, s.clampHi))
 		}
 	}
@@ -173,9 +173,9 @@ type Contribution struct {
 // (user, domain) accumulator decays — including those without fresh
 // evidence — so stale expertise gradually reverts toward the prior.
 func (s *Store) Commit(batch []Contribution) {
-	if s.alpha != 1 {
-		for _, m := range s.acc {
-			for d, a := range m {
+	if s.alpha != 1 { //eta2:floatcmp-ok exact sentinel: alpha is set from config once, 1 means decay disabled
+		for _, m := range s.acc { //eta2:nondeterministic-ok independent per-key scale, no cross-key accumulation: order-independent
+			for d, a := range m { //eta2:nondeterministic-ok independent per-key scale, no cross-key accumulation: order-independent
 				m[d] = accumulator{N: s.alpha * a.N, D: s.alpha * a.D}
 			}
 		}
@@ -204,9 +204,9 @@ func (s *Store) Clone() *Store {
 		clampLo: s.clampLo,
 		clampHi: s.clampHi,
 	}
-	for u, m := range s.acc {
+	for u, m := range s.acc { //eta2:nondeterministic-ok map-to-map copy, independent per-key write: order-independent
 		cm := make(map[core.DomainID]accumulator, len(m))
-		for d, a := range m {
+		for d, a := range m { //eta2:nondeterministic-ok map-to-map copy, independent per-key write: order-independent
 			cm[d] = a
 		}
 		out.acc[u] = cm
@@ -235,7 +235,7 @@ func (s *Store) MergeDomains(into, from core.DomainID) {
 	if into == from {
 		return
 	}
-	for _, m := range s.acc {
+	for _, m := range s.acc { //eta2:nondeterministic-ok each user's fold touches only that user's map entries: order-independent
 		if a, ok := m[from]; ok {
 			t := m[into]
 			t.N += a.N

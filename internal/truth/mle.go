@@ -229,7 +229,7 @@ func Contributions(obs *core.ObservationTable, domainOf func(core.TaskID) core.D
 	for u := 0; u < nUsers; u++ {
 		base := u * nDoms
 		for d := 0; d < nDoms; d++ {
-			if counts[base+d] == 0 {
+			if counts[base+d] == 0 { //eta2:floatcmp-ok integer-valued accumulator (+1 increments only): exact zero is well-defined
 				continue
 			}
 			out = append(out, Contribution{

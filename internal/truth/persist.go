@@ -27,8 +27,8 @@ type StoreEntry struct {
 // State exports the store's accumulators.
 func (s *Store) State() StoreState {
 	st := StoreState{Alpha: s.alpha, Prior: s.prior}
-	for u, m := range s.acc {
-		for d, a := range m {
+	for u, m := range s.acc { //eta2:nondeterministic-ok collect-then-sort: the sort below fixes the order
+		for d, a := range m { //eta2:nondeterministic-ok collect-then-sort: the sort below fixes the order
 			st.Entries = append(st.Entries, StoreEntry{User: u, Domain: d, N: a.N, D: a.D})
 		}
 	}

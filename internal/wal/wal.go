@@ -302,9 +302,10 @@ func (l *Log) scanSegment(seg *segment) (valid int64, lastLSN uint64, n int, err
 }
 
 // segmentReader decodes records sequentially, tracking the end offset of
-// the last fully valid record.
+// the last fully valid record. It reads from any io.Reader so the decode
+// path can be exercised on in-memory bytes (see wal_fuzz_test.go).
 type segmentReader struct {
-	f           *os.File
+	f           io.Reader
 	off         int64
 	valid       int64
 	lastLSN     uint64

@@ -244,6 +244,8 @@ func loadSnapshotFile(path string, opts []Option) (*Server, error) {
 }
 
 // applyEvent re-executes one journaled mutation during recovery.
+//
+//eta2:journalfirst-ok replay applies events already in the journal; re-journaling them would duplicate the log
 func (s *Server) applyEvent(ev walEvent) error {
 	switch ev.Type {
 	case eventAddUsers:
@@ -369,6 +371,8 @@ func (s *Server) Compact() error {
 // compactLocked is Compact with the write lock already held (the
 // auto-compaction path inside CloseTimeStep and the final snapshot in
 // Close call it directly).
+//
+//eta2:lockdiscipline-ok compaction is a deliberate stop-the-world barrier: the snapshot must capture a quiesced state, so its fsyncs run under the write lock
 func (s *Server) compactLocked() error {
 	if s.journal == nil {
 		return ErrNotDurable

@@ -280,7 +280,7 @@ func (s *Server) createTasksLocked(specs []TaskSpec) ([]TaskID, uint64, error) {
 			Cost:        spec.Cost,
 			Day:         s.day,
 		}
-		if t.Cost == 0 {
+		if t.Cost == 0 { //eta2:floatcmp-ok exact zero is the unset-field sentinel, never a computed value
 			t.Cost = 1
 		}
 		if err := t.Validate(); err != nil {

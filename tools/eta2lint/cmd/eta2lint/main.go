@@ -1,0 +1,24 @@
+// Command eta2lint runs the ETA² project-invariant analyzers, either
+// standalone (`eta2lint ./...`) or as a `go vet -vettool`.
+package main
+
+import (
+	"os"
+
+	"eta2lint/internal/multichecker"
+	"eta2lint/passes/floatcmp"
+	"eta2lint/passes/journalfirst"
+	"eta2lint/passes/lockdiscipline"
+	"eta2lint/passes/maprange"
+	"eta2lint/passes/metrichygiene"
+)
+
+func main() {
+	os.Exit(multichecker.Main(
+		maprange.Analyzer,
+		lockdiscipline.Analyzer,
+		journalfirst.Analyzer,
+		floatcmp.Analyzer,
+		metrichygiene.Analyzer,
+	))
+}

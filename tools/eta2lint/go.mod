@@ -1,0 +1,3 @@
+module eta2lint
+
+go 1.22

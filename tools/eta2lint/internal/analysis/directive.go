@@ -1,0 +1,27 @@
+package analysis
+
+import "strings"
+
+// Directive syntax: a line comment of the form
+//
+//	//eta2:<name> optional free-text justification
+//
+// placed either at the end of the offending line or alone on the line
+// directly above it. <name> is an analyzer's suppressor (for example
+// "nondeterministic-ok" for maprange) or "<analyzer>-ok" for any
+// analyzer. A justification after the name is encouraged and ignored by
+// the tooling.
+
+// ParseDirective extracts the directive name from a comment's raw text.
+func ParseDirective(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, "//eta2:")
+	if !ok {
+		return "", false
+	}
+	name, _, _ := strings.Cut(rest, " ")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "", false
+	}
+	return name, true
+}

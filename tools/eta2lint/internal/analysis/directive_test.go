@@ -1,0 +1,25 @@
+package analysis
+
+import "testing"
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		ok   bool
+	}{
+		{"//eta2:nondeterministic-ok order cannot matter", "nondeterministic-ok", true},
+		{"//eta2:floatcmp-ok", "floatcmp-ok", true},
+		{"//eta2:lockdiscipline-ok   padded justification  ", "lockdiscipline-ok", true},
+		{"// eta2:floatcmp-ok space breaks the directive", "", false},
+		{"//eta2:", "", false},
+		{"// plain comment", "", false},
+		{"//go:build linux", "", false},
+	}
+	for _, c := range cases {
+		name, ok := ParseDirective(c.text)
+		if name != c.name || ok != c.ok {
+			t.Errorf("ParseDirective(%q) = %q, %v; want %q, %v", c.text, name, ok, c.name, c.ok)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package analysistest is a stdlib-only harness in the style of
+// golang.org/x/tools/go/analysis/analysistest: it loads a package from a
+// GOPATH-shaped testdata tree (testdata/src/<importpath>), runs one
+// analyzer over it, and checks the reported diagnostics against
+// expectations written in the source as
+//
+//	code under test // want "regexp" "another regexp"
+//
+// Every diagnostic must match a want on its line, and every want must be
+// matched by a diagnostic. Imports of other testdata packages resolve
+// from source; standard-library imports resolve through the build
+// cache's export data.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"eta2lint/internal/analysis"
+	"eta2lint/internal/load"
+)
+
+// Run analyzes the package at testdata/src/<path> with a and reports
+// mismatches between diagnostics and // want expectations on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, path string) {
+	t.Helper()
+	abs, err := filepath.Abs(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := newImporter(filepath.Join(abs, "src"))
+	_, unit, err := imp.load(path)
+	if err != nil {
+		t.Fatalf("loading %s: %v", path, err)
+	}
+
+	diags, err := analysis.RunAnalyzers([]*analysis.Analyzer{a},
+		unit.fset, unit.files, unit.pkg, unit.info)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, unit.fset, unit.files)
+	matched := make([]bool, len(wants))
+
+	for _, d := range diags {
+		pos := unit.fset.Position(d.Pos)
+		ok := false
+		for i, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants parses `// want "re" ...` comments, keyed to their line.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitQuoted(t, pos, rest) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp: %v", pos, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}
+
+// splitQuoted parses a sequence of Go-quoted strings.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		prefix, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: malformed want clause %q", pos, s)
+		}
+		val, _ := strconv.Unquote(prefix)
+		out = append(out, val)
+		s = s[len(prefix):]
+	}
+}
+
+// ---- testdata package loading ------------------------------------------
+
+type unit struct {
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// importer resolves testdata import paths from source and everything
+// else (the standard library) from build-cache export data.
+type importer struct {
+	srcDir   string
+	fset     *token.FileSet
+	pkgs     map[string]*unit
+	fallback *load.ExportImporter
+}
+
+func newImporter(srcDir string) *importer {
+	fset := token.NewFileSet()
+	return &importer{
+		srcDir:   srcDir,
+		fset:     fset,
+		pkgs:     make(map[string]*unit),
+		fallback: load.NewExportImporter(fset, nil),
+	}
+}
+
+// Import implements types.Importer.
+func (i *importer) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(i.srcDir, path); isDir(dir) {
+		pkg, _, err := i.load(path)
+		return pkg, err
+	}
+	return i.fallback.Import(path)
+}
+
+// load parses and type-checks one testdata package.
+func (i *importer) load(path string) (*types.Package, *unit, error) {
+	if u, ok := i.pkgs[path]; ok {
+		return u.pkg, u, nil
+	}
+	dir := filepath.Join(i.srcDir, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(i.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: i}
+	pkg, err := conf.Check(path, i.fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	u := &unit{fset: i.fset, files: files, pkg: pkg, info: info}
+	i.pkgs[path] = u
+	return pkg, u, nil
+}
+
+func isDir(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}

@@ -1,0 +1,104 @@
+// Package multichecker is the eta2lint driver. One binary serves both
+// entry points the issue requires:
+//
+//   - standalone: `eta2lint [packages]` loads the packages itself (via
+//     go list + export data) and runs every analyzer;
+//   - go vet:     `go vet -vettool=$(which eta2lint) ./...` — cmd/go
+//     invokes the binary per compilation unit with -V=full / -flags /
+//     a JSON config file, handled by the unitchecker package.
+package multichecker
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"eta2lint/internal/analysis"
+	"eta2lint/internal/load"
+	"eta2lint/internal/unitchecker"
+)
+
+// Main dispatches between the vet protocol and the standalone driver and
+// returns the process exit code: 0 clean, 1 error, 2 findings.
+func Main(analyzers ...*analysis.Analyzer) int {
+	args := os.Args[1:]
+
+	// go vet handshake: identify the tool for the build cache. cmd/go
+	// requires the trailing buildID= field; hashing the executable makes
+	// cached vet results invalidate when the tool binary changes.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Printf("eta2lint version devel buildID=%x\n", selfHash())
+		return 0
+	}
+	// go vet handshake: declare (no) tool flags.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+	// go vet per-unit invocation: a single JSON config argument.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return unitchecker.Run(args[0], analyzers)
+	}
+
+	return standalone(args, analyzers)
+}
+
+// standalone loads the named packages (default ./...) and analyzes them.
+func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	if len(patterns) > 0 && strings.HasPrefix(patterns[0], "-") {
+		fmt.Fprintf(os.Stderr, "usage: eta2lint [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 1
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eta2lint:", err)
+		return 1
+	}
+	units, err := load.Packages(dir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eta2lint:", err)
+		return 1
+	}
+	found := false
+	for _, u := range units {
+		diags, err := analysis.RunAnalyzers(analyzers, u.Fset, u.Files, u.Pkg, u.Info)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eta2lint:", err)
+			return 1
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", u.Fset.Position(d.Pos), d.Message, d.Analyzer.Name)
+		}
+	}
+	if found {
+		return 2
+	}
+	return 0
+}
+
+// selfHash hashes the running executable for the -V=full build ID.
+func selfHash() []byte {
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	return h.Sum(nil)
+}
+
+func firstLine(s string) string {
+	line, _, _ := strings.Cut(s, "\n")
+	return line
+}

@@ -1,0 +1,167 @@
+// Package unitchecker implements the `go vet -vettool` protocol without
+// golang.org/x/tools: cmd/go hands the tool a JSON config file describing
+// one compilation unit (source files plus the export data of every
+// dependency, already built by the go command), the tool type-checks the
+// unit, runs its analyzers, writes the (empty) facts file cmd/go expects,
+// and reports diagnostics on stderr with a non-zero exit.
+//
+// The protocol, as documented in x/tools' unitchecker:
+//
+//	tool -V=full         describe the executable for the build cache
+//	tool -flags          describe the tool's flags in JSON
+//	tool foo.cfg         analyze the unit described by foo.cfg
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+
+	"eta2lint/internal/analysis"
+	"eta2lint/internal/load"
+)
+
+// Config is the JSON unit description cmd/go writes for -vettool tools.
+// Field names must match cmd/go's encoding (x/tools unitchecker.Config).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Run analyzes the unit described by cfgPath and returns the process exit
+// code: 0 clean, 1 operational error, 2 diagnostics reported.
+func Run(cfgPath string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// This suite exports no facts, so dependency units need no analysis —
+	// only the facts file cmd/go caches.
+	if cfg.VetxOnly {
+		if err := writeVetx(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	diags, fset, err := analyze(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			_ = writeVetx(cfg)
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := writeVetx(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer.Name)
+	}
+	return 2
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("eta2lint: read config: %w", err)
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("eta2lint: parse config %s: %w", path, err)
+	}
+	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		return nil, fmt.Errorf("eta2lint: unsupported compiler %q", cfg.Compiler)
+	}
+	return cfg, nil
+}
+
+// analyze parses and type-checks the unit, then runs the analyzers.
+func analyze(cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, fmt.Errorf("eta2lint: %w", err)
+		}
+		files = append(files, f)
+	}
+
+	imp := newUnitImporter(fset, cfg)
+	info := load.NewInfo()
+	conf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("eta2lint: typecheck %s: %w", cfg.ImportPath, err)
+	}
+	diags, err := analysis.RunAnalyzers(analyzers, fset, files, pkg, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("eta2lint: %w", err)
+	}
+	return diags, fset, nil
+}
+
+// newUnitImporter reads dependency export data from the files cmd/go
+// listed in the config, honoring its import-path remapping.
+func newUnitImporter(fset *token.FileSet, cfg *Config) types.Importer {
+	files := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		files[path] = file
+	}
+	// ImportMap translates source-level import paths to the canonical
+	// package paths PackageFile is keyed by.
+	for src, canonical := range cfg.ImportMap {
+		if src == canonical {
+			continue
+		}
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			files[src] = file
+		}
+	}
+	imp := load.NewExportImporter(fset, files)
+	imp.Strict = true
+	return imp
+}
+
+// writeVetx writes the facts file cmd/go caches for dependent units.
+// This suite exports no facts, so the file is empty — but it must exist.
+func writeVetx(cfg *Config) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		return fmt.Errorf("eta2lint: write facts: %w", err)
+	}
+	return nil
+}

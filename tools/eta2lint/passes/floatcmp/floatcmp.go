@@ -1,0 +1,63 @@
+// Package floatcmp flags == and != between floating-point operands
+// outside tests. Exact equality on accumulated floats is order- and
+// rounding-sensitive; use a tolerance helper, restructure the check
+// (e.g. `<= 0` for a non-negative accumulator), or — for genuine exact
+// sentinels like an untouched default — annotate:
+//
+//	//eta2:floatcmp-ok <why exact comparison is intended>
+//
+// Functions whose names mark them as tolerance helpers (approx, almost,
+// within, close, eps, tol) are exempt: they legitimately compare floats
+// while implementing the approved comparison.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"eta2lint/internal/analysis"
+)
+
+var toleranceHelper = regexp.MustCompile(`(?i)(approx|almost|within|close|eps|tol)`)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!= on floating-point values outside tests and tolerance helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				if toleranceHelper.MatchString(fn.Name.Name) || pass.FuncSuppressed(fn) {
+					continue
+				}
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if isFloat(pass.TypesInfo.TypeOf(be.X)) || isFloat(pass.TypesInfo.TypeOf(be.Y)) {
+					pass.Reportf(be.OpPos, "%s on floating-point values: use a tolerance comparison or annotate //eta2:floatcmp-ok", be.Op)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

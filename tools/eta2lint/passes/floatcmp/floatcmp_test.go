@@ -1,0 +1,11 @@
+package floatcmp
+
+import (
+	"testing"
+
+	"eta2lint/internal/analysistest"
+)
+
+func TestFloatCmp(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "floatfixture")
+}

@@ -1,0 +1,51 @@
+// Package floatfixture exercises floatcmp.
+package floatfixture
+
+type temperature float64
+
+func compare(a, b float64, i, j int, f32 float32, t temperature) bool {
+	if a == b { // want "== on floating-point values"
+		return true
+	}
+	if a != b { // want "!= on floating-point values"
+		return false
+	}
+	if i == j { // integers: exact comparison is fine
+		return true
+	}
+	if f32 == float32(a) { // want "== on floating-point values"
+		return true
+	}
+	if t == 0 { // want "== on floating-point values"
+		return true
+	}
+	if a == 0 { //eta2:floatcmp-ok exact sentinel for the test
+		return true
+	}
+	return a < b
+}
+
+// approxEqual is a tolerance helper: exact comparisons inside it
+// implement the approved pattern and are exempt by name.
+func approxEqual(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+//eta2:floatcmp-ok whole function compares exact bit patterns on purpose
+func bitIdentical(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+var packageLevel = 1.0 == 2.0 // want "== on floating-point values"

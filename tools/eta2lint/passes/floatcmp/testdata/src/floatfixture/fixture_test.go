@@ -1,0 +1,5 @@
+package floatfixture
+
+// Exact comparisons in test files are allowed: tests assert
+// bit-identical determinism on purpose.
+func exactInTest(a, b float64) bool { return a == b }

@@ -1,0 +1,11 @@
+package journalfirst
+
+import (
+	"testing"
+
+	"eta2lint/internal/analysistest"
+)
+
+func TestJournalFirst(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "eta2srv")
+}

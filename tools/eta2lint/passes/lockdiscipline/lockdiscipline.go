@@ -1,0 +1,384 @@
+// Package lockdiscipline enforces the Server locking rules from the
+// concurrent-serving design (PR 3):
+//
+//  1. An exported method on *Server that writes Server fields must
+//     acquire the write lock (s.mu.Lock), not just s.mu.RLock.
+//  2. No WAL Commit/Sync, file fsync, journalCommit, or net/http call
+//     may execute while s.mu is held (read or write): group commit
+//     waits on fsync, and holding the server lock across that wait
+//     serializes every reader behind disk latency.
+//
+// Deliberate exceptions (e.g. a stop-the-world fsync during
+// compaction) are annotated per line or per function:
+//
+//	//eta2:lockdiscipline-ok <why the wait under lock is intended>
+//
+// The lock-state walk is linear and intraprocedural; function-literal
+// bodies are skipped (they run at call time, under unknown lock state).
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"eta2lint/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "Server methods: write lock for writes; no fsync/commit/network while mu held",
+	Run:  run,
+}
+
+type lock int
+
+const (
+	unlocked lock = iota
+	rlocked
+	wlocked
+)
+
+type checker struct {
+	pass   *analysis.Pass
+	server types.Object // the Server type's *types.TypeName
+}
+
+func run(pass *analysis.Pass) error {
+	server := findServer(pass.Pkg)
+	if server == nil {
+		return nil
+	}
+	c := &checker{pass: pass, server: server}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || !c.isServerRecv(fn) {
+				continue
+			}
+			if pass.FuncSuppressed(fn) {
+				continue
+			}
+			c.checkWriteLock(fn)
+			// Convention: a method named *Locked runs with s.mu already
+			// write-held by its caller.
+			st := unlocked
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				st = wlocked
+			}
+			c.walkStmts(fn.Body.List, st)
+		}
+	}
+	return nil
+}
+
+// findServer locates a type Server struct{ mu sync.RWMutex; ... }.
+func findServer(pkg *types.Package) types.Object {
+	obj := pkg.Scope().Lookup("Server")
+	if obj == nil {
+		return nil
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "mu" && isNamed(f.Type(), "sync", "RWMutex") {
+			return obj
+		}
+	}
+	return nil
+}
+
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+func (c *checker) isServerRecv(fn *ast.FuncDecl) bool {
+	if len(fn.Recv.List) != 1 {
+		return false
+	}
+	return c.isServerExpr(fn.Recv.List[0].Type)
+}
+
+// isServerExpr reports whether e's type, pointer-stripped, is Server.
+func (c *checker) isServerExpr(e ast.Expr) bool {
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() == c.server
+}
+
+// --- rule 1: exported writers must take the write lock -------------------
+
+func (c *checker) checkWriteLock(fn *ast.FuncDecl) {
+	if !ast.IsExported(fn.Name.Name) {
+		return
+	}
+	writes := c.fieldWrites(fn.Body)
+	if len(writes) == 0 {
+		return
+	}
+	hasLock := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, ok := c.muOp(call); ok && op == "Lock" {
+				hasLock = true
+			}
+		}
+		return !hasLock
+	})
+	if !hasLock {
+		c.pass.Reportf(writes[0].pos, "exported method %s writes Server field %s without s.mu.Lock (RLock is not sufficient for writes)", fn.Name.Name, writes[0].field)
+	}
+}
+
+type fieldWrite struct {
+	pos   token.Pos
+	field string
+}
+
+// fieldWrites collects assignments to Server fields, including map/slice
+// element stores through a field and ++/--.
+func (c *checker) fieldWrites(body ast.Node) []fieldWrite {
+	var writes []fieldWrite
+	add := func(lhs ast.Expr) {
+		// Unwrap index expressions: s.users[k] = v writes field users.
+		for {
+			if ix, ok := lhs.(*ast.IndexExpr); ok {
+				lhs = ix.X
+				continue
+			}
+			break
+		}
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok || !c.isServerExpr(sel.X) {
+			return
+		}
+		writes = append(writes, fieldWrite{pos: lhs.Pos(), field: sel.Sel.Name})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				add(lhs)
+			}
+		case *ast.IncDecStmt:
+			add(s.X)
+		}
+		return true
+	})
+	return writes
+}
+
+// --- rule 2: nothing slow while mu is held -------------------------------
+
+// walkStmts tracks the s.mu state through a statement list, reporting
+// forbidden calls made while the mutex is held. Returns the state at the
+// end and whether the list always terminates (returns).
+func (c *checker) walkStmts(stmts []ast.Stmt, st lock) (lock, bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if op, ok := c.muOp(call); ok {
+					st = applyMuOp(st, op)
+					continue
+				}
+			}
+			c.checkCalls(s, st)
+		case *ast.ReturnStmt:
+			c.checkCalls(s, st)
+			return st, true
+		case *ast.DeferStmt:
+			// defer s.mu.Unlock() releases at return: state is unchanged
+			// for the statements that follow, which is exactly the linear
+			// reading. Other deferred calls run under unknown state; skip.
+		case *ast.GoStmt:
+			// New goroutine: starts unlocked; body skipped like a FuncLit.
+		case *ast.BlockStmt:
+			var term bool
+			if st, term = c.walkStmts(s.List, st); term {
+				return st, true
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				c.checkCalls(s.Init, st)
+			}
+			c.checkCalls(s.Cond, st)
+			bodyOut, bodyTerm := c.walkStmts(s.Body.List, st)
+			elseOut, elseTerm := st, false
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseOut, elseTerm = c.walkStmts(e.List, st)
+			case *ast.IfStmt:
+				elseOut, elseTerm = c.walkStmts([]ast.Stmt{e}, st)
+			}
+			switch {
+			case bodyTerm && elseTerm:
+				return st, s.Else != nil
+			case bodyTerm:
+				st = elseOut
+			case elseTerm:
+				st = bodyOut
+			default:
+				st = maxLock(bodyOut, elseOut)
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				c.checkCalls(s.Init, st)
+			}
+			if s.Cond != nil {
+				c.checkCalls(s.Cond, st)
+			}
+			c.walkStmts(s.Body.List, st)
+		case *ast.RangeStmt:
+			c.checkCalls(s.X, st)
+			c.walkStmts(s.Body.List, st)
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				c.checkCalls(s.Init, st)
+			}
+			if s.Tag != nil {
+				c.checkCalls(s.Tag, st)
+			}
+			for _, cc := range s.Body.List {
+				c.walkStmts(cc.(*ast.CaseClause).Body, st)
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cc := range s.Body.List {
+				c.walkStmts(cc.(*ast.CaseClause).Body, st)
+			}
+		case *ast.SelectStmt:
+			for _, cc := range s.Body.List {
+				c.walkStmts(cc.(*ast.CommClause).Body, st)
+			}
+		case *ast.LabeledStmt:
+			var term bool
+			if st, term = c.walkStmts([]ast.Stmt{s.Stmt}, st); term {
+				return st, true
+			}
+		default:
+			c.checkCalls(stmt, st)
+		}
+	}
+	return st, false
+}
+
+// checkCalls reports forbidden calls inside n given the lock state,
+// without descending into function literals.
+func (c *checker) checkCalls(n ast.Node, st lock) {
+	if st == unlocked || n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if why := c.forbidden(call); why != "" {
+			c.pass.Reportf(call.Pos(), "%s while s.mu is held: release the lock first or annotate //eta2:lockdiscipline-ok", why)
+		}
+		return true
+	})
+}
+
+// forbidden classifies calls that must not run under s.mu.
+func (c *checker) forbidden(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+
+	// s.journalCommit waits on the WAL group commit (and re-locks).
+	if c.isServerExpr(sel.X) && name == "journalCommit" {
+		return "journalCommit (waits on group commit)"
+	}
+
+	// Method receiver classification via type information.
+	recv := c.pass.TypesInfo.TypeOf(sel.X)
+	if recv != nil {
+		if p, ok := recv.Underlying().(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		if n, ok := recv.(*types.Named); ok {
+			obj := n.Obj()
+			pkgPath := ""
+			if obj.Pkg() != nil {
+				pkgPath = obj.Pkg().Path()
+			}
+			if strings.HasSuffix(pkgPath, "internal/wal") && (name == "Commit" || name == "Sync") {
+				return "WAL " + name + " (fsync wait)"
+			}
+			if pkgPath == "os" && obj.Name() == "File" && name == "Sync" {
+				return "file fsync"
+			}
+			if pkgPath == "net/http" {
+				return "net/http call"
+			}
+		}
+	}
+
+	// Package-level net/http functions (http.Get, http.Post, ...).
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "net/http" {
+			return "net/http call"
+		}
+	}
+	return ""
+}
+
+// muOp recognizes s.mu.Lock/RLock/Unlock/RUnlock on the Server mutex.
+func (c *checker) muOp(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", false
+	}
+	mu, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || mu.Sel.Name != "mu" || !c.isServerExpr(mu.X) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func applyMuOp(st lock, op string) lock {
+	switch op {
+	case "Lock":
+		return wlocked
+	case "RLock":
+		return rlocked
+	default: // Unlock, RUnlock
+		return unlocked
+	}
+}
+
+func maxLock(a, b lock) lock {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,11 @@
+package lockdiscipline
+
+import (
+	"testing"
+
+	"eta2lint/internal/analysistest"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "eta2srv")
+}

@@ -1,0 +1,9 @@
+// Package wal is a stub of the real WAL with the durability-facing
+// method set the analyzers classify.
+package wal
+
+type Log struct{}
+
+func (l *Log) Append(b []byte) (uint64, error) { return 0, nil }
+func (l *Log) Commit(lsn uint64) error         { return nil }
+func (l *Log) Sync() error                     { return nil }

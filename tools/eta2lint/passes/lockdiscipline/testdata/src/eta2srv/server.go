@@ -1,0 +1,121 @@
+// Package eta2srv exercises lockdiscipline against a Server shaped like
+// the real one.
+package eta2srv
+
+import (
+	"net/http"
+	"os"
+	"sync"
+
+	"eta2/internal/wal"
+)
+
+type Server struct {
+	mu      sync.RWMutex
+	journal *wal.Log
+	file    *os.File
+
+	users map[string]int
+	day   int
+}
+
+func (s *Server) journalCommit(lsn uint64) error { return s.journal.Commit(lsn) }
+
+// AddUser takes the write lock before writing: compliant.
+func (s *Server) AddUser(name string) {
+	s.mu.Lock()
+	s.users[name] = 1
+	s.day++
+	s.mu.Unlock()
+}
+
+// BadAddUser only takes the read lock around its writes.
+func (s *Server) BadAddUser(name string) {
+	s.mu.RLock()
+	s.users[name] = 1 // want "writes Server field users without s.mu.Lock"
+	s.mu.RUnlock()
+}
+
+// CommitUnderLock waits on the WAL group commit while holding the lock.
+func (s *Server) CommitUnderLock() error {
+	s.mu.Lock()
+	s.day++
+	err := s.journal.Commit(1) // want "WAL Commit .fsync wait. while s.mu is held"
+	s.mu.Unlock()
+	return err
+}
+
+// CommitAfterUnlock is the approved shape: buffer under the lock, wait
+// for durability outside it.
+func (s *Server) CommitAfterUnlock() error {
+	s.mu.Lock()
+	s.day++
+	s.mu.Unlock()
+	return s.journal.Commit(1)
+}
+
+// CommitUnderRLock: a read lock is no better for blocking operations.
+func (s *Server) CommitUnderRLock() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.journalCommit(1) // want "journalCommit .waits on group commit. while s.mu is held"
+}
+
+// syncLocked runs with the lock held by convention (name suffix).
+func (s *Server) syncLocked() error {
+	if err := s.journal.Sync(); err != nil { // want "WAL Sync .fsync wait. while s.mu is held"
+		return err
+	}
+	return s.file.Sync() // want "file fsync while s.mu is held"
+}
+
+// snapshotLocked is a deliberate stop-the-world exception.
+//
+//eta2:lockdiscipline-ok the snapshot fsync must run under the lock to capture a quiesced state
+func (s *Server) snapshotLocked() error {
+	return s.file.Sync()
+}
+
+// FetchUnderLock makes a network call with the lock held.
+func (s *Server) FetchUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	http.Get("http://localhost/") // want "net/http call while s.mu is held"
+}
+
+// BranchRelease only unlocks on the early-return path; the fall-through
+// is still locked when the commit happens.
+func (s *Server) BranchRelease(fast bool) error {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		return nil
+	}
+	s.day++
+	err := s.journal.Commit(2) // want "WAL Commit .fsync wait. while s.mu is held"
+	s.mu.Unlock()
+	return err
+}
+
+// DeferredUnlock releases at return: the body runs locked.
+func (s *Server) DeferredUnlock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.day++
+	return s.journal.Commit(3) // want "WAL Commit .fsync wait. while s.mu is held"
+}
+
+// AnnotatedCommit demonstrates the per-line escape hatch.
+func (s *Server) AnnotatedCommit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journal.Commit(4) //eta2:lockdiscipline-ok single-writer test path measures commit latency under the lock
+}
+
+// Unlocked durability work is always fine.
+func (s *Server) Flush() error {
+	if err := s.journal.Sync(); err != nil {
+		return err
+	}
+	return s.file.Sync()
+}

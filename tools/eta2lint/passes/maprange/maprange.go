@@ -1,0 +1,55 @@
+// Package maprange forbids `range` over maps in the numeric packages of
+// eta2 (internal/truth, internal/allocation, internal/cluster,
+// internal/core, internal/baselines). Map iteration order is randomized
+// per run; feeding it into float accumulation breaks the bit-identical
+// determinism the truth-analysis pipeline guarantees (PR 1). Iterate
+// sorted keys instead — `for _, k := range sortedKeys(m)` ranges over a
+// slice and is not flagged — or, where order provably cannot matter
+// (independent per-key writes), annotate the loop:
+//
+//	//eta2:nondeterministic-ok <why order cannot matter>
+package maprange
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"eta2lint/internal/analysis"
+)
+
+// numericPackages matches the import paths under determinism discipline.
+var numericPackages = regexp.MustCompile(`(^|/)internal/(truth|allocation|cluster|core|baselines)($|/)`)
+
+var Analyzer = &analysis.Analyzer{
+	Name:        "maprange",
+	Doc:         "forbid range-over-map in numeric packages (nondeterministic iteration order)",
+	Suppressors: []string{"nondeterministic-ok"},
+	Run:         run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !numericPackages.MatchString(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				pass.Reportf(rs.For, "range over map in numeric package: iteration order is nondeterministic; range over sorted keys or annotate //eta2:nondeterministic-ok")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package maprange
+
+import (
+	"testing"
+
+	"eta2lint/internal/analysistest"
+)
+
+func TestNumericPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "eta2/internal/truth/fixture")
+}
+
+func TestNonNumericPackageIsExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "eta2/internal/other")
+}

@@ -1,0 +1,11 @@
+// Package other is outside the numeric package set: map iteration is
+// allowed (ordinary server plumbing does not feed float accumulators).
+package other
+
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

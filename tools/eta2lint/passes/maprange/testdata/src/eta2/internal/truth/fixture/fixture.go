@@ -1,0 +1,52 @@
+// Package fixture exercises maprange inside a numeric package path.
+package fixture
+
+import "sort"
+
+func sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "range over map in numeric package"
+		total += v
+	}
+	return total
+}
+
+func sumKeyed(m map[string]float64) float64 {
+	total := 0.0
+	// Ranging over sorted keys is the approved pattern: the range is over
+	// a slice, so it must NOT be flagged.
+	for _, k := range sortedKeys(m) {
+		total += m[k]
+	}
+	return total
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //eta2:nondeterministic-ok collect-then-sort: the sort below fixes the order
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func scale(m map[string]float64, f float64) {
+	//eta2:nondeterministic-ok independent per-key write: order cannot matter
+	for k := range m {
+		m[k] *= f
+	}
+}
+
+type wrapped map[int]int
+
+func iterateNamedMapType(w wrapped) {
+	for range w { // want "range over map in numeric package"
+	}
+}
+
+func sliceAndChannelAreFine(xs []float64, ch chan int) {
+	for range xs {
+	}
+	for range ch {
+	}
+}

@@ -1,0 +1,17 @@
+package metrichygiene
+
+import (
+	"testing"
+
+	"eta2lint/internal/analysistest"
+)
+
+func TestMetricHygiene(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "metricsuser")
+}
+
+// The obs package itself is exempt: its registry plumbing passes names
+// through variables by construction.
+func TestObsPackageIsExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "eta2/internal/obs")
+}

@@ -1,0 +1,49 @@
+// Package obs is a stub of the real metrics registry with the same
+// registration and lookup signatures.
+package obs
+
+type Registry struct{}
+
+func NewRegistry() *Registry { return &Registry{} }
+func Default() *Registry     { return &Registry{} }
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type Gauge struct{}
+
+func (g *Gauge) Set(v float64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64) {}
+
+type CounterVec struct{}
+
+func (v *CounterVec) With(values ...string) *Counter { return &Counter{} }
+
+type GaugeVec struct{}
+
+func (v *GaugeVec) With(values ...string) *Gauge { return &Gauge{} }
+
+type HistogramVec struct{}
+
+func (v *HistogramVec) With(values ...string) *Histogram { return &Histogram{} }
+
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{}
+}
+func (r *Registry) Gauge(name, help string) *Gauge { return &Gauge{} }
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{}
+}
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return &Histogram{}
+}
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{}
+}
+
+var DefBuckets = []float64{0.001, 0.01, 0.1, 1}

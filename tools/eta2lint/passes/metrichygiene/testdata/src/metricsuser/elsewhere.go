@@ -1,0 +1,6 @@
+package metricsuser
+
+import "eta2/internal/obs"
+
+// Registrations outside metrics.go scatter the metric surface.
+var mMisplaced = obs.Default().Counter("eta2_misplaced_total", "Wrong file.") // want "metric registered outside metrics.go"

@@ -1,0 +1,38 @@
+// Package metricsuser exercises metrichygiene: registration rules in
+// this file, label-value boundedness in use.go, misplaced registrations
+// in elsewhere.go.
+package metricsuser
+
+import "eta2/internal/obs"
+
+var dynamicName = "eta2_runtime_chosen"
+
+var (
+	mGood = obs.Default().CounterVec("eta2_requests_total",
+		"Requests served.", "route", "method")
+	mGoodGauge = obs.Default().Gauge("eta2_day", "Current day.")
+	mGoodHist  = obs.Default().HistogramVec("eta2_latency_seconds",
+		"Latency.", obs.DefBuckets, "route")
+
+	mBadPrefix = obs.Default().Counter("requests_total", "No namespace.") // want `metric name "requests_total" does not match`
+
+	mBadCase = obs.Default().Counter("eta2_Requests", "Upper case.") // want `metric name "eta2_Requests" does not match`
+
+	mDynamic = obs.Default().Counter(dynamicName, "Computed name.") // want "metric name must be a string literal"
+
+	mBadLabel = obs.Default().GaugeVec("eta2_queue_depth", "Depth.", labelName()) // want "label name must be a string literal"
+)
+
+func labelName() string { return "queue" }
+
+// registerLate is flagged: registration must happen at package scope.
+func registerLate() *obs.Counter {
+	return obs.Default().Counter("eta2_late_total", "Late.") // want "metric registered inside a function"
+}
+
+// registerExempt shows the function-level escape hatch.
+//
+//eta2:metrichygiene-ok build-info style registration resolved at start-up
+func registerExempt() *obs.Counter {
+	return obs.Default().Counter("eta2_exempt_total", "Exempt.")
+}

@@ -1,0 +1,60 @@
+package metricsuser
+
+import "net/http"
+
+const constRoute = "/v1/const"
+
+// Literal, const, and chained-bounded label values all pass.
+func boundedUses(ok bool) {
+	mGood.With("/v1/users", "GET").Inc()
+	mGood.With(constRoute, "POST").Inc()
+
+	verb := "GET"
+	if ok {
+		verb = "POST"
+	}
+	mGood.With("/v1/users", verb).Inc() // local assigned only literals
+
+	mGood.With("/v1/users", classify(204)).Inc() // function returning literals
+}
+
+// classify returns only literals, so its result is a bounded label.
+func classify(code int) string {
+	if code >= 400 {
+		return "error"
+	}
+	return "ok"
+}
+
+// instrument's route parameter is bounded because every intra-package
+// call site passes a bounded value.
+func instrument(route string) {
+	mGoodHist.With(route).Observe(1)
+}
+
+func wireRoutes() {
+	routes := map[string]int{
+		"/v1/users": 1,
+		"/v1/tasks": 2,
+	}
+	for pattern := range routes {
+		_ = pattern
+		instrument(pattern) // range over a literal-keyed map: bounded
+	}
+	instrument("/v1/extra")
+}
+
+// Unbounded values are the cardinality explosion the check exists for.
+func recordRequest(r *http.Request) {
+	mGood.With("/v1/users", r.Method).Inc() // want "unbounded label value r.Method"
+
+	leaked := r.URL.Path
+	mGoodHist.With(leaked).Observe(1) // want "unbounded label value leaked"
+
+	mGoodHist.With(r.Header.Get("X-Tenant")).Observe(1) // want "unbounded label value"
+}
+
+// Annotation acknowledges a reviewed exception.
+func recordAnnotated(r *http.Request) {
+	mGoodHist.With(r.Method).Observe(1) //eta2:metrichygiene-ok single-binary experiment, series GC'd on restart
+}
