@@ -10,6 +10,7 @@
 //	eta2loadgen -fsync always -baseline      # also run the single-mutex baseline
 //	eta2loadgen -addr http://host:8080       # drive an external server
 //	eta2loadgen -clients 8 -duration 2s -out bench.json
+//	eta2loadgen -preset read-mostly          # 95% reads, up to 1024 clients
 //
 // In self-hosted mode (the default) each scenario gets a fresh durable
 // server on a fresh data directory, so scenarios do not contaminate each
@@ -74,9 +75,29 @@ func run() error {
 		fsyncDelay = flag.Duration("fsync-delay", 0, "artificial latency added to every WAL fsync (self-hosted only) — emulates network block storage on dev machines with write-back caches")
 		baseline   = flag.Bool("baseline", false, "also run each scenario against a single-mutex serialized handler (self-hosted only)")
 		out        = flag.String("out", "", "write the JSON report to this file (default: stdout)")
+		preset     = flag.String("preset", "", `scenario preset; "read-mostly" = -read-fraction 0.95 -clients 1,8,64,256,512,1024 (explicitly set flags win)`)
 		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	// A preset only fills in flags the user did not set themselves.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	switch *preset {
+	case "":
+	case "read-mostly":
+		// The read-path scaling measurement: mostly lock-free reads, with
+		// enough writers mixed in to keep snapshots churning, across client
+		// counts far above the core count. Flat read p50/p99 from 8 to 1024
+		// clients is the acceptance signal (BENCH_PR6.json).
+		if !explicit["read-fraction"] {
+			*readFrac = 0.95
+		}
+		if !explicit["clients"] {
+			*clients = "1,8,64,256,512,1024"
+		}
+	default:
+		return fmt.Errorf("unknown -preset %q (have: read-mostly)", *preset)
+	}
 	if *version {
 		fmt.Printf("eta2loadgen %s %s\n", obs.Version(), runtime.Version())
 		return nil
@@ -120,6 +141,7 @@ func run() error {
 
 	rep := report{
 		Generated:    time.Now().UTC().Format(time.RFC3339),
+		Preset:       *preset,
 		Fsync:        cfg.fsync,
 		FsyncDelayMs: float64(cfg.fsyncDelay) / float64(time.Millisecond),
 		DurationS:    cfg.duration.Seconds(),
@@ -159,6 +181,7 @@ func run() error {
 // report is the machine-readable benchmark output (BENCH_*.json).
 type report struct {
 	Generated string `json:"generated"`
+	Preset    string `json:"preset,omitempty"`
 	Fsync     string `json:"fsync"`
 	// FsyncDelayMs is the artificial per-fsync latency (-fsync-delay)
 	// the scenarios ran with; 0 means raw hardware fsyncs.

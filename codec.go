@@ -1,0 +1,502 @@
+package eta2
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"eta2/internal/cluster"
+	"eta2/internal/core"
+	"eta2/internal/truth"
+)
+
+// Binary snapshot codec. Compaction snapshots used to be JSON; at 10k+
+// tasks the JSON encode dominated the cost of a compaction cycle, so the
+// durable path now writes this length-prefixed binary format instead
+// (legacy JSON snapshots keep loading — decodeState sniffs the format).
+//
+// The framing mirrors internal/wal's record framing: a fixed magic, a
+// uvarint codec version, a uvarint body length, the body, and a CRC-32C
+// (Castagnoli) of the body. Inside the body every integer is a varint (or
+// uvarint for counts), every float64 is its IEEE-754 bit pattern
+// little-endian, and every string or slice is length-prefixed. Maps are
+// encoded sorted by key, so encoding is deterministic: the same state
+// always produces the same bytes.
+//
+//	magic   8 bytes  "ETA2SNAP"
+//	version uvarint  snapshotCodecVersion
+//	length  uvarint  body length in bytes
+//	body    ...      sections in persistStateLocked field order
+//	crc     4 bytes  little-endian CRC-32C of body
+//
+// A version above snapshotCodecVersion fails with ErrBadState — loudly,
+// exactly like a future JSON stateVersion — while a bad magic, truncated
+// file, or CRC mismatch is an ordinary decode error, letting recovery
+// fall back to an older snapshot.
+
+// snapshotMagic opens every binary snapshot. The first byte ('E')
+// distinguishes it from a JSON object's '{'.
+const snapshotMagic = "ETA2SNAP"
+
+// snapshotCodecVersion is the newest binary framing this build writes and
+// the newest it accepts.
+const snapshotCodecVersion = 1
+
+var snapshotCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeStateBinary writes one binary snapshot.
+func encodeStateBinary(w io.Writer, st snapshotState) error {
+	e := &snapEncoder{}
+	e.uvarint(uint64(st.Version))
+	e.f64(st.Alpha)
+	e.f64(st.Gamma)
+	e.f64(st.Epsilon)
+
+	// Users, in userOrder order (the decoder rebuilds UserOrder from it).
+	e.uvarint(uint64(len(st.Users)))
+	for _, u := range st.Users {
+		e.varint(int64(u.ID))
+		e.f64(u.Capacity)
+	}
+
+	e.uvarint(uint64(len(st.Tasks)))
+	for _, t := range st.Tasks {
+		e.varint(int64(t.ID))
+		e.str(t.Description)
+		e.varint(int64(t.Domain))
+		e.f64(t.ProcTime)
+		e.f64(t.Cost)
+		e.varint(int64(t.Day))
+		e.f64(t.Truth)
+		e.f64(t.Base)
+	}
+
+	e.uvarint(uint64(len(st.DomainOf)))
+	for _, tid := range sortedTaskIDs(st.DomainOf) {
+		e.varint(int64(tid))
+		e.varint(int64(st.DomainOf[tid]))
+	}
+
+	e.uvarint(uint64(len(st.Pending)))
+	for _, id := range st.Pending {
+		e.varint(int64(id))
+	}
+
+	e.uvarint(uint64(len(st.Truths)))
+	for _, tid := range sortedTaskIDs(st.Truths) {
+		t := st.Truths[tid]
+		e.varint(int64(t.Task))
+		e.f64(t.Value)
+		e.f64(t.Base)
+		e.varint(int64(t.Observations))
+	}
+
+	e.varint(int64(st.Day))
+
+	e.uvarint(uint64(len(st.Observations)))
+	for _, o := range st.Observations {
+		e.varint(int64(o.Task))
+		e.varint(int64(o.User))
+		e.f64(o.Value)
+		e.varint(int64(o.Day))
+	}
+
+	e.f64(st.Store.Alpha)
+	e.f64(st.Store.Prior)
+	e.uvarint(uint64(len(st.Store.Entries)))
+	for _, en := range st.Store.Entries {
+		e.varint(int64(en.User))
+		e.varint(int64(en.Domain))
+		e.f64(en.N)
+		e.f64(en.D)
+	}
+
+	if st.Cluster == nil {
+		e.buf = append(e.buf, 0)
+	} else {
+		e.buf = append(e.buf, 1)
+		c := st.Cluster
+		e.f64(c.Gamma)
+		e.f64(c.DStar)
+		e.varint(int64(c.NItems))
+		e.varint(int64(c.NextDomain))
+		e.uvarint(uint64(len(c.Domains)))
+		for _, d := range c.Domains {
+			e.varint(int64(d))
+		}
+		e.uvarint(uint64(len(c.Members)))
+		for _, m := range c.Members {
+			e.uvarint(uint64(len(m)))
+			for _, it := range m {
+				e.varint(int64(it))
+			}
+		}
+		e.uvarint(uint64(len(c.DMat)))
+		for _, row := range c.DMat {
+			e.uvarint(uint64(len(row)))
+			for _, v := range row {
+				e.f64(v)
+			}
+		}
+		e.uvarint(uint64(len(c.ItemSlot)))
+		for _, s := range c.ItemSlot {
+			e.varint(int64(s))
+		}
+	}
+
+	e.uvarint(uint64(len(st.Vectors)))
+	for _, v := range st.Vectors {
+		e.floats(v.Query)
+		e.floats(v.Target)
+	}
+	e.uvarint(uint64(len(st.ItemToTask)))
+	for _, id := range st.ItemToTask {
+		e.varint(int64(id))
+	}
+
+	var head []byte
+	head = append(head, snapshotMagic...)
+	head = binary.AppendUvarint(head, snapshotCodecVersion)
+	head = binary.AppendUvarint(head, uint64(len(e.buf)))
+	if _, err := w.Write(head); err != nil {
+		return fmt.Errorf("eta2: save state: %w", err)
+	}
+	if _, err := w.Write(e.buf); err != nil {
+		return fmt.Errorf("eta2: save state: %w", err)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(e.buf, snapshotCRCTable))
+	if _, err := w.Write(crc[:]); err != nil {
+		return fmt.Errorf("eta2: save state: %w", err)
+	}
+	mSnapshotBytesBinary.Observe(float64(len(head) + len(e.buf) + 4))
+	return nil
+}
+
+// decodeStateBinary parses a binary snapshot, verifying magic, version,
+// length and checksum before touching the body.
+func decodeStateBinary(r io.Reader) (snapshotState, error) {
+	fail := func(err error) (snapshotState, error) {
+		return snapshotState{}, fmt.Errorf("eta2: load state: %w", err)
+	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return fail(err)
+	}
+	if len(raw) < len(snapshotMagic) || string(raw[:len(snapshotMagic)]) != snapshotMagic {
+		return fail(fmt.Errorf("bad snapshot magic"))
+	}
+	rest := raw[len(snapshotMagic):]
+	version, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return fail(fmt.Errorf("truncated snapshot header"))
+	}
+	rest = rest[n:]
+	if version > snapshotCodecVersion {
+		return snapshotState{}, fmt.Errorf("%w: snapshot uses binary codec version %d, but this build supports up to %d",
+			ErrBadState, version, snapshotCodecVersion)
+	}
+	bodyLen, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return fail(fmt.Errorf("truncated snapshot header"))
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) < bodyLen+4 {
+		return fail(fmt.Errorf("truncated snapshot: %d body bytes declared, %d present", bodyLen, len(rest)))
+	}
+	body, tail := rest[:bodyLen], rest[bodyLen:]
+	if len(tail) != 4 {
+		return fail(fmt.Errorf("trailing garbage after snapshot checksum"))
+	}
+	if got, want := crc32.Checksum(body, snapshotCRCTable), binary.LittleEndian.Uint32(tail); got != want {
+		return fail(fmt.Errorf("snapshot checksum mismatch: computed %08x, stored %08x", got, want))
+	}
+
+	d := &snapDecoder{buf: body}
+	var st snapshotState
+	st.Version = int(d.uvarint())
+	if d.err == nil && st.Version != stateVersion {
+		return snapshotState{}, fmt.Errorf("%w: snapshot has version %d, but this build supports version %d",
+			ErrBadState, st.Version, stateVersion)
+	}
+	st.Alpha = d.f64()
+	st.Gamma = d.f64()
+	st.Epsilon = d.f64()
+
+	if n := d.count(); n > 0 {
+		st.Users = make([]core.User, n)
+		st.UserOrder = make([]core.UserID, n)
+		for i := range st.Users {
+			st.Users[i] = core.User{ID: core.UserID(d.varint()), Capacity: d.f64()}
+			st.UserOrder[i] = st.Users[i].ID
+		}
+	}
+
+	if n := d.count(); n > 0 {
+		st.Tasks = make([]core.Task, n)
+		for i := range st.Tasks {
+			st.Tasks[i] = core.Task{
+				ID:          core.TaskID(d.varint()),
+				Description: d.str(),
+				Domain:      core.DomainID(d.varint()),
+				ProcTime:    d.f64(),
+				Cost:        d.f64(),
+				Day:         int(d.varint()),
+				Truth:       d.f64(),
+				Base:        d.f64(),
+			}
+		}
+	}
+
+	st.DomainOf = make(map[TaskID]DomainID)
+	for i, n := 0, d.count(); i < n; i++ {
+		tid := TaskID(d.varint())
+		st.DomainOf[tid] = DomainID(d.varint())
+	}
+
+	if n := d.count(); n > 0 {
+		st.Pending = make([]TaskID, n)
+		for i := range st.Pending {
+			st.Pending[i] = TaskID(d.varint())
+		}
+	}
+
+	st.Truths = make(map[TaskID]TruthEstimate)
+	for i, n := 0, d.count(); i < n; i++ {
+		t := TruthEstimate{
+			Task:         TaskID(d.varint()),
+			Value:        d.f64(),
+			Base:         d.f64(),
+			Observations: int(d.varint()),
+		}
+		st.Truths[t.Task] = t
+	}
+
+	st.Day = int(d.varint())
+
+	if n := d.count(); n > 0 {
+		st.Observations = make([]Observation, n)
+		for i := range st.Observations {
+			st.Observations[i] = Observation{
+				Task:  core.TaskID(d.varint()),
+				User:  core.UserID(d.varint()),
+				Value: d.f64(),
+				Day:   int(d.varint()),
+			}
+		}
+	}
+
+	st.Store.Alpha = d.f64()
+	st.Store.Prior = d.f64()
+	if n := d.count(); n > 0 {
+		st.Store.Entries = make([]truth.StoreEntry, n)
+		for i := range st.Store.Entries {
+			st.Store.Entries[i] = truth.StoreEntry{
+				User:   core.UserID(d.varint()),
+				Domain: core.DomainID(d.varint()),
+				N:      d.f64(),
+				D:      d.f64(),
+			}
+		}
+	}
+
+	if d.byte() == 1 {
+		c := &cluster.EngineState{
+			Gamma:      d.f64(),
+			DStar:      d.f64(),
+			NItems:     int(d.varint()),
+			NextDomain: core.DomainID(d.varint()),
+		}
+		if n := d.count(); n > 0 {
+			c.Domains = make([]core.DomainID, n)
+			for i := range c.Domains {
+				c.Domains[i] = core.DomainID(d.varint())
+			}
+		}
+		if n := d.count(); n > 0 {
+			c.Members = make([][]int, n)
+			for i := range c.Members {
+				if m := d.count(); m > 0 {
+					c.Members[i] = make([]int, m)
+					for j := range c.Members[i] {
+						c.Members[i][j] = int(d.varint())
+					}
+				}
+			}
+		}
+		if n := d.count(); n > 0 {
+			c.DMat = make([][]float64, n)
+			for i := range c.DMat {
+				if m := d.count(); m > 0 {
+					c.DMat[i] = make([]float64, m)
+					for j := range c.DMat[i] {
+						c.DMat[i][j] = d.f64()
+					}
+				}
+			}
+		}
+		if n := d.count(); n > 0 {
+			c.ItemSlot = make([]int, n)
+			for i := range c.ItemSlot {
+				c.ItemSlot[i] = int(d.varint())
+			}
+		}
+		st.Cluster = c
+	}
+
+	if n := d.count(); n > 0 {
+		st.Vectors = make([]taskVectorState, n)
+		for i := range st.Vectors {
+			st.Vectors[i] = taskVectorState{Query: d.floats(), Target: d.floats()}
+		}
+	}
+	if n := d.count(); n > 0 {
+		st.ItemToTask = make([]TaskID, n)
+		for i := range st.ItemToTask {
+			st.ItemToTask[i] = TaskID(d.varint())
+		}
+	}
+
+	if d.err != nil {
+		return fail(d.err)
+	}
+	if len(d.buf) != 0 {
+		return fail(fmt.Errorf("%d unconsumed bytes in snapshot body", len(d.buf)))
+	}
+	return st, nil
+}
+
+// sortedTaskIDs returns the map's keys sorted ascending, fixing the
+// encoding order so identical state yields identical bytes.
+func sortedTaskIDs[V any](m map[TaskID]V) []TaskID {
+	out := make([]TaskID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// snapEncoder appends primitives to a growing buffer.
+type snapEncoder struct{ buf []byte }
+
+func (e *snapEncoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *snapEncoder) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+
+func (e *snapEncoder) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+func (e *snapEncoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *snapEncoder) floats(v []float64) {
+	e.uvarint(uint64(len(v)))
+	for _, f := range v {
+		e.f64(f)
+	}
+}
+
+// snapDecoder consumes primitives from a buffer, latching the first
+// error: after a failure every read returns zero values, and the caller
+// checks err once at the end.
+type snapDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *snapDecoder) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("corrupt snapshot body: %s", msg)
+	}
+}
+
+func (d *snapDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *snapDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// count reads a length prefix, bounding it by the bytes left so corrupt
+// lengths cannot drive huge allocations (every element is ≥ 1 byte).
+func (d *snapDecoder) count() int {
+	v := d.uvarint()
+	if d.err == nil && v > uint64(len(d.buf)) {
+		d.fail("length prefix exceeds remaining bytes")
+		return 0
+	}
+	return int(v)
+}
+
+func (d *snapDecoder) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.fail("truncated float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf))
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *snapDecoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 1 {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *snapDecoder) str() string {
+	n := d.count()
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *snapDecoder) floats() []float64 {
+	n := d.count()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package eta2
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// richServer builds an in-memory server with every persistable feature
+// populated: users, described (clustered) tasks, hinted tasks, buffered
+// and folded observations, allocations, and multiple closed steps.
+func richServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer(WithEmbedder(rootTestEmbedder(t)), WithAlpha(0.7), WithGamma(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range durableScript(t) {
+		if err := op(s); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	return s
+}
+
+// TestBinaryCodecRoundTrip checks that the binary codec carries exactly
+// the information the JSON codec does: a server restored from its binary
+// snapshot re-serializes to the bit-identical JSON snapshot.
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	s := richServer(t)
+	wantJSON := saveBytes(t, s)
+
+	var bin bytes.Buffer
+	if err := s.SaveStateBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= len(wantJSON) {
+		t.Errorf("binary snapshot (%d bytes) not smaller than JSON (%d bytes)", bin.Len(), len(wantJSON))
+	}
+	t.Logf("snapshot size: json=%d binary=%d (%.2fx)", len(wantJSON), bin.Len(), float64(len(wantJSON))/float64(bin.Len()))
+
+	r, err := LoadServer(bytes.NewReader(bin.Bytes()), WithEmbedder(rootTestEmbedder(t)))
+	if err != nil {
+		t.Fatalf("LoadServer(binary): %v", err)
+	}
+	if got := saveBytes(t, r); !bytes.Equal(got, wantJSON) {
+		t.Errorf("binary round trip diverged from JSON snapshot (%d vs %d bytes)", len(got), len(wantJSON))
+	}
+
+	// The restored server must stay fully usable.
+	if _, err := r.CreateTasks(TaskSpec{Description: "What is the noise level around the train station?", ProcTime: 1}); err != nil {
+		t.Fatalf("restored server cannot create tasks: %v", err)
+	}
+}
+
+// TestBinaryCodecDeterministic: identical state must encode to identical
+// bytes (maps are serialized in sorted key order).
+func TestBinaryCodecDeterministic(t *testing.T) {
+	s := richServer(t)
+	var a, b bytes.Buffer
+	if err := s.SaveStateBinary(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveStateBinary(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two binary encodings of the same state differ")
+	}
+}
+
+// TestBinaryCodecCorruption flips every byte of a binary snapshot in turn
+// and truncates it at several lengths: decoding must fail with a plain
+// error (recovery falls back to an older snapshot), never ErrBadState
+// (which recovery treats as fatal) and never a panic or silent success.
+func TestBinaryCodecCorruption(t *testing.T) {
+	s, err := NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddUsers(User{ID: 0, Capacity: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTasks(TaskSpec{DomainHint: 1, ProcTime: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitObservations(Observation{Task: 0, User: 0, Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.SaveStateBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	for i := range good {
+		mut := bytes.Clone(good)
+		mut[i] ^= 0xff
+		if _, err := LoadServer(bytes.NewReader(mut)); err == nil {
+			// A flip inside the varint-coded header lengths can still
+			// produce a structurally valid file only if the CRC also
+			// matches — astronomically unlikely, so any success is a bug.
+			t.Fatalf("byte %d flipped: decode succeeded on corrupt snapshot", i)
+		}
+	}
+	for _, cut := range []int{0, 1, len(snapshotMagic), len(good) / 2, len(good) - 1} {
+		if _, err := LoadServer(bytes.NewReader(good[:cut])); err == nil {
+			t.Errorf("truncation at %d bytes: decode succeeded", cut)
+		}
+	}
+}
+
+// TestBinaryCodecFutureVersion: a snapshot from a newer binary codec must
+// fail loudly with ErrBadState, not fall back or misparse.
+func TestBinaryCodecFutureVersion(t *testing.T) {
+	// Hand-built header: magic + codec version 9 + empty body + its CRC.
+	raw := []byte(snapshotMagic)
+	raw = append(raw, 9) // uvarint codec version
+	if _, err := LoadServer(bytes.NewReader(raw)); !errors.Is(err, ErrBadState) {
+		t.Errorf("future codec version: err = %v, want ErrBadState", err)
+	}
+}
+
+// TestDurableRecoveryLegacyJSONSnapshot: data directories compacted by
+// older builds hold snapshot-<lsn>.json files; recovery must keep reading
+// them, and a .bin snapshot at the same LSN must win over the .json one.
+func TestDurableRecoveryLegacyJSONSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	pol := DurabilityPolicy{Fsync: FsyncNever, CompactAt: -1}
+	s, err := NewServer(WithDurability(dir, pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddUsers(User{ID: 0, Capacity: 5}, User{ID: 1, Capacity: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTasks(TaskSpec{DomainHint: 1, ProcTime: 1}, TaskSpec{DomainHint: 2, ProcTime: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitObservations(
+		Observation{Task: 0, User: 0, Value: 1},
+		Observation{Task: 1, User: 1, Value: 2},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CloseTimeStep(); err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytes(t, s)
+	lsn := s.DurabilityStats().LastLSN
+	s.journal.Close()
+
+	// Plant the snapshot the legacy JSON compactor would have written. The
+	// WAL stays in place: recovery starts from the snapshot and replays
+	// nothing (it covers the frontier).
+	legacy := filepath.Join(dir, fmt.Sprintf("snapshot-%020d.json", lsn))
+	if err := os.WriteFile(legacy, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewServer(WithDurability(dir, pol))
+	if err != nil {
+		t.Fatalf("recovery from legacy JSON snapshot: %v", err)
+	}
+	if got := saveBytes(t, r); !bytes.Equal(got, want) {
+		t.Error("recovery from legacy JSON snapshot diverged")
+	}
+	if rst := r.DurabilityStats(); rst.SnapshotLSN != lsn {
+		t.Errorf("recovered SnapshotLSN = %d, want %d", rst.SnapshotLSN, lsn)
+	}
+	r.journal.Close()
+
+	// Same-LSN tiebreak: plant a binary snapshot of DIFFERENT state at the
+	// same LSN and check the .bin file is preferred.
+	s2, err := NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.AddUsers(User{ID: 7, Capacity: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := s2.SaveStateBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(dir, fmt.Sprintf("snapshot-%020d.bin", lsn))
+	if err := os.WriteFile(binPath, bin.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewServer(WithDurability(dir, pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.journal.Close()
+	if n := r2.NumUsers(); n != 1 {
+		t.Errorf("same-LSN tiebreak: recovered %d users, want 1 (the .bin snapshot)", n)
+	}
+}

@@ -116,14 +116,16 @@ func (p *DurabilityPolicy) applyDefaults() {
 	}
 }
 
-// snapshotFile is one snapshot-<lsn>.json in the data directory.
+// snapshotFile is one snapshot-<lsn>.bin (or legacy snapshot-<lsn>.json)
+// in the data directory.
 type snapshotFile struct {
 	path string
 	lsn  uint64
 }
 
 // listSnapshots returns the snapshot files in dir, newest (highest LSN)
-// first.
+// first. Both the binary codec's .bin files and legacy .json snapshots
+// are listed; at equal LSN the binary one sorts first.
 func listSnapshots(dir string) ([]snapshotFile, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -135,16 +137,30 @@ func listSnapshots(dir string) ([]snapshotFile, error) {
 	var snaps []snapshotFile
 	for _, e := range entries {
 		name := e.Name()
-		if !strings.HasPrefix(name, "snapshot-") || !strings.HasSuffix(name, ".json") {
+		if !strings.HasPrefix(name, "snapshot-") {
 			continue
 		}
-		lsn, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snapshot-"), ".json"), 10, 64)
+		var body string
+		switch {
+		case strings.HasSuffix(name, ".bin"):
+			body = strings.TrimSuffix(name, ".bin")
+		case strings.HasSuffix(name, ".json"):
+			body = strings.TrimSuffix(name, ".json")
+		default:
+			continue
+		}
+		lsn, err := strconv.ParseUint(strings.TrimPrefix(body, "snapshot-"), 10, 64)
 		if err != nil {
 			continue
 		}
 		snaps = append(snaps, snapshotFile{path: filepath.Join(dir, name), lsn: lsn})
 	}
-	sort.Slice(snaps, func(i, j int) bool { return snaps[i].lsn > snaps[j].lsn })
+	sort.Slice(snaps, func(i, j int) bool {
+		if snaps[i].lsn != snaps[j].lsn {
+			return snaps[i].lsn > snaps[j].lsn
+		}
+		return strings.HasSuffix(snaps[i].path, ".bin") && !strings.HasSuffix(snaps[j].path, ".bin")
+	})
 	return snaps, nil
 }
 
@@ -225,6 +241,9 @@ func openDurableServer(cfg config, opts []Option) (*Server, error) {
 	s.journalPolicy = d.policy
 	s.snapLSN = snapLSN
 	s.lastLSN = lastLSN
+	// Not yet shared; publish so the lock-free query surface sees the
+	// attached journal and recovered LSN frontier.
+	s.publishLocked()
 	return s, nil
 }
 
@@ -310,17 +329,16 @@ func (s *Server) journalBufferedPayload(payload []byte) (uint64, error) {
 
 // journalCommit blocks until the record at lsn is durable per the fsync
 // policy. Called with no server lock held: concurrent committers are
-// batched by the WAL's group commit into a single fsync. An LSN of 0
-// (in-memory server) is a no-op, and so is a journal detached by a
-// concurrent Close — Close syncs the log before detaching, so the record
-// is already durable.
+// batched by the WAL's group commit into a single fsync. The journal is
+// read from the published snapshot, so the wait involves no server lock
+// at all. An LSN of 0 (in-memory server) is a no-op, and so is a journal
+// detached by a concurrent Close — Close syncs the log before detaching,
+// so the record is already durable.
 func (s *Server) journalCommit(lsn uint64) error {
 	if lsn == 0 {
 		return nil
 	}
-	s.mu.RLock()
-	j := s.journal
-	s.mu.RUnlock()
+	j := s.loadState().journal
 	if j == nil {
 		return nil
 	}
@@ -333,8 +351,11 @@ func (s *Server) journalCommit(lsn uint64) error {
 // closeStepDurability runs the per-step durability work after a committed
 // CloseTimeStep: force a WAL flush under the interval policy (a closed
 // step is the natural commit point; fsync-never callers keep their
-// explicit no-sync contract), then compact once the log has outgrown the
-// policy threshold. Called with the write lock held.
+// explicit no-sync contract), then kick off a background compaction once
+// the log has outgrown the policy threshold. Called with the write lock
+// held — the compaction itself runs off the write path (see
+// backgroundCompact), so closing a step never pays the snapshot encode
+// or its fsyncs.
 func (s *Server) closeStepDurability() error {
 	if s.journal == nil {
 		return nil
@@ -345,9 +366,7 @@ func (s *Server) closeStepDurability() error {
 		}
 	}
 	if s.journalPolicy.CompactAt > 0 && s.journal.Stats().Bytes >= s.journalPolicy.CompactAt {
-		if err := s.compactLocked(); err != nil {
-			return err
-		}
+		s.startBackgroundCompactionLocked()
 	}
 	return nil
 }
@@ -356,38 +375,55 @@ func (s *Server) closeStepDurability() error {
 // without WithDurability.
 var ErrNotDurable = errors.New("eta2: server has no durable data directory")
 
-// Compact writes a snapshot of the current state covering every journaled
-// mutation, then truncates the WAL prefix the snapshot covers. Crash-safe
-// at every point: the snapshot lands via write-temp + fsync + rename, old
-// snapshots are removed only after the new one is durable, and WAL
-// records are only deleted once a snapshot with their LSN exists —
-// recovery at any intermediate state replays to the same result.
-func (s *Server) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.compactLocked()
+// compactionCapture is everything one compaction cycle needs after the
+// write lock is released: the fully materialized persistable state (all
+// of it immutable or append-frozen — see persistStateLocked), the LSN
+// frontier the snapshot will cover, and the journal/directory to compact.
+type compactionCapture struct {
+	st      snapshotState
+	lsn     uint64
+	journal *wal.Log
+	dir     string
 }
 
-// compactLocked is Compact with the write lock already held (the
-// auto-compaction path inside CloseTimeStep and the final snapshot in
-// Close call it directly).
-//
-//eta2:lockdiscipline-ok compaction is a deliberate stop-the-world barrier: the snapshot must capture a quiesced state, so its fsyncs run under the write lock
-func (s *Server) compactLocked() error {
+// captureCompactionLocked materializes a compaction capture under the
+// write lock. This is the only part of a compaction cycle that runs on
+// the write path, and it is cheap: map references (copy-on-write keeps
+// them frozen), slice headers (append-only backing arrays), and one deep
+// copy of the clustering engine state. The expensive work — encoding,
+// file writes, fsyncs, WAL truncation — happens off-lock in
+// writeSnapshot. Returns ok=false on a server without a journal.
+func (s *Server) captureCompactionLocked() (compactionCapture, bool) {
 	if s.journal == nil {
-		return ErrNotDurable
+		return compactionCapture{}, false
 	}
-	if err := s.journal.Sync(); err != nil {
+	return compactionCapture{
+		st:      s.persistStateLocked(),
+		lsn:     s.lastLSN,
+		journal: s.journal,
+		dir:     s.journalDir,
+	}, true
+}
+
+// writeSnapshot runs the off-lock portion of a compaction cycle: sync the
+// WAL through the captured frontier, encode the captured state with the
+// binary codec into a temp file, fsync, rename it into place, drop
+// superseded snapshots, and truncate the WAL prefix the new snapshot
+// covers. Crash-safe at every point: the snapshot lands via write-temp +
+// fsync + rename, old snapshots are removed only after the new one is
+// durable, and WAL records are only deleted once a snapshot with their
+// LSN exists — recovery at any intermediate state replays to the same
+// result. Plain function on purpose: it must not touch live Server state.
+func writeSnapshot(cap compactionCapture) error {
+	if err := cap.journal.Sync(); err != nil {
 		return fmt.Errorf("eta2: journal sync: %w", err)
 	}
-	lsn := s.lastLSN
-
-	tmp := filepath.Join(s.journalDir, "snapshot.tmp")
+	tmp := filepath.Join(cap.dir, fmt.Sprintf("snapshot-%020d.tmp", cap.lsn))
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("eta2: compact: %w", err)
 	}
-	if err := s.saveStateLocked(f); err != nil {
+	if err := encodeStateBinary(f, cap.st); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -401,65 +437,184 @@ func (s *Server) compactLocked() error {
 		os.Remove(tmp)
 		return fmt.Errorf("eta2: compact: %w", err)
 	}
-	final := filepath.Join(s.journalDir, fmt.Sprintf("snapshot-%020d.json", lsn))
+	final := filepath.Join(cap.dir, fmt.Sprintf("snapshot-%020d.bin", cap.lsn))
 	if err := os.Rename(tmp, final); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("eta2: compact: %w", err)
 	}
-	syncDir(s.journalDir)
+	syncDir(cap.dir)
 
-	if snaps, err := listSnapshots(s.journalDir); err == nil {
+	if snaps, err := listSnapshots(cap.dir); err == nil {
 		for _, sn := range snaps {
-			if sn.lsn < lsn {
+			if sn.lsn < cap.lsn {
 				_ = os.Remove(sn.path)
 			}
 		}
 	}
-	if err := s.journal.TruncateThrough(lsn); err != nil {
+	if err := cap.journal.TruncateThrough(cap.lsn); err != nil {
 		return fmt.Errorf("eta2: compact: %w", err)
 	}
-	s.snapLSN = lsn
-	s.compactions++
-	s.lastCompaction = time.Now()
 	return nil
 }
 
+// finishCompactionLocked records a completed compaction cycle's
+// bookkeeping and publishes it. Skipped if the journal was detached (a
+// racing Close already wrote a newer final snapshot) or a newer snapshot
+// was already recorded.
+func (s *Server) finishCompactionLocked(cap compactionCapture) {
+	if s.journal != cap.journal || cap.lsn < s.snapLSN {
+		return
+	}
+	s.snapLSN = cap.lsn
+	s.compactions++
+	s.lastCompaction = time.Now()
+	s.publishLocked()
+}
+
+// Compact writes a snapshot of the current state covering every journaled
+// mutation, then truncates the WAL prefix the snapshot covers. The write
+// lock is held only while capturing state; encoding and fsyncs run with
+// no server lock held, so concurrent mutations and reads proceed
+// unimpeded. Compaction cycles (explicit, automatic, and the final one in
+// Close) are serialized by compactMu.
+func (s *Server) Compact() error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	start := time.Now()
+	s.mu.Lock()
+	cap, ok := s.captureCompactionLocked()
+	s.mu.Unlock()
+	if !ok {
+		return ErrNotDurable
+	}
+	if err := writeSnapshot(cap); err != nil {
+		mCompactionsFailed.Inc()
+		return err
+	}
+	s.mu.Lock()
+	s.finishCompactionLocked(cap)
+	s.mu.Unlock()
+	mCompactionForeground.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// startBackgroundCompactionLocked spawns one background compaction cycle
+// if none is in flight and the server is not closing. Called with the
+// write lock held; it only flips a flag and starts a goroutine.
+func (s *Server) startBackgroundCompactionLocked() {
+	if s.closing.Load() || !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go s.backgroundCompact()
+}
+
+// backgroundCompact runs compaction cycles until the log is back under
+// the policy threshold. Threshold triggers that fire while a cycle is in
+// flight are dropped by the CAS in startBackgroundCompactionLocked, so
+// after each cycle this re-checks the condition and reclaims the flag —
+// otherwise a trigger racing an in-flight cycle could leave the frontier
+// permanently uncovered. Consecutive cycles coalesce: writes during a
+// cycle are picked up by the next one, not compacted one-by-one.
+func (s *Server) backgroundCompact() {
+	for {
+		s.compactCycle()
+		s.compacting.Store(false)
+		if s.closing.Load() || !s.compactionOwed() || !s.compacting.CompareAndSwap(false, true) {
+			return
+		}
+	}
+}
+
+// compactionOwed reports whether the WAL is still over the compaction
+// threshold with journaled mutations the newest snapshot does not cover.
+// Lock-free: the policy is immutable after open and the frontier comes
+// from the published snapshot.
+func (s *Server) compactionOwed() bool {
+	st := s.loadState()
+	if st.journal == nil || s.journalPolicy.CompactAt <= 0 {
+		return false
+	}
+	return st.lastLSN > st.snapLSN && st.journal.Stats().Bytes >= s.journalPolicy.CompactAt
+}
+
+// compactCycle is one LSN-coordinated compaction cycle off the write
+// path: serialize behind compactMu, briefly take the write lock to
+// capture state and the covered LSN, then encode/fsync/truncate with no
+// server lock held, and finally re-lock to record the bookkeeping. A
+// failure only skips the cycle — the threshold check at the next closed
+// step retries. Lock order everywhere: compactMu before mu, never inside.
+func (s *Server) compactCycle() {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	start := time.Now()
+	s.mu.Lock()
+	cap, ok := s.captureCompactionLocked()
+	s.mu.Unlock()
+	if !ok {
+		return // journal detached: a racing Close won
+	}
+	if err := writeSnapshot(cap); err != nil {
+		mCompactionsFailed.Inc()
+		return
+	}
+	s.mu.Lock()
+	s.finishCompactionLocked(cap)
+	s.mu.Unlock()
+	mCompactionBackground.Observe(time.Since(start).Seconds())
+}
+
 // Close writes a final snapshot (so the next start recovers without any
-// replay) and detaches the journal. The server itself stays usable as a
-// purely in-memory instance; Close is idempotent and a no-op for servers
-// built without WithDurability.
+// replay) and detaches the journal. Any in-flight background compaction
+// is drained first. The server itself stays usable as a purely in-memory
+// instance; Close is idempotent and a no-op for servers built without
+// WithDurability.
 func (s *Server) Close() error {
+	s.closing.Store(true)
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.journal == nil {
 		return nil
 	}
-	err := s.compactLocked()
-	if cerr := s.journal.Close(); err == nil {
+	// The final snapshot deliberately runs under the write lock: nothing
+	// may journal between it and the journal detach, so the next start
+	// recovers without replay.
+	start := time.Now()
+	cap, _ := s.captureCompactionLocked()
+	err := writeSnapshot(cap)
+	if err == nil {
+		s.finishCompactionLocked(cap)
+		mCompactionForeground.Observe(time.Since(start).Seconds())
+	}
+	j := s.journal
+	s.journal = nil
+	s.publishLocked()
+	if cerr := j.Close(); err == nil {
 		err = cerr
 	}
-	s.journal = nil
 	return err
 }
 
 // DurabilityStats reports the state of the durable mode. Enabled is false
-// for in-memory servers (every other field is then zero).
+// for in-memory servers (every other field is then zero). Lock-free: the
+// LSN frontier comes from the published snapshot and the WAL shape from
+// the log's own internal accounting.
 func (s *Server) DurabilityStats() DurabilityStats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.journal == nil {
+	st := s.loadState()
+	if st.journal == nil {
 		return DurabilityStats{}
 	}
-	wst := s.journal.Stats()
+	wst := st.journal.Stats()
 	return DurabilityStats{
 		Enabled:        true,
-		Dir:            s.journalDir,
+		Dir:            st.journalDir,
 		Segments:       wst.Segments,
 		WALBytes:       wst.Bytes,
-		LastLSN:        s.lastLSN,
-		SnapshotLSN:    s.snapLSN,
-		Compactions:    s.compactions,
-		LastCompaction: s.lastCompaction,
+		LastLSN:        st.lastLSN,
+		SnapshotLSN:    st.snapLSN,
+		Compactions:    st.compactions,
+		LastCompaction: st.lastCompaction,
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"testing"
+	"time"
 )
 
 // saveBytes captures the canonical snapshot of s as bytes.
@@ -54,11 +55,33 @@ func walSegments(t *testing.T, dir string) []string {
 
 func countSnapshots(t *testing.T, dir string) int {
 	t.Helper()
-	matches, err := filepath.Glob(filepath.Join(dir, "snapshot-*.json"))
-	if err != nil {
-		t.Fatal(err)
+	n := 0
+	for _, pat := range []string{"snapshot-*.bin", "snapshot-*.json"} {
+		matches, err := filepath.Glob(filepath.Join(dir, pat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += len(matches)
 	}
-	return len(matches)
+	return n
+}
+
+// waitDurable polls DurabilityStats until pred holds. Compaction runs off
+// the write path, so tests rendezvous with it here before inspecting the
+// data directory.
+func waitDurable(t *testing.T, s *Server, pred func(DurabilityStats) bool) DurabilityStats {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.DurabilityStats()
+		if pred(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for background compaction; stats: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // durableScript returns a deterministic op sequence exercising every
@@ -303,12 +326,14 @@ func TestDurableAutoCompaction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	st := s.DurabilityStats()
-	if st.Compactions < 3 {
-		t.Errorf("compactions = %d, want one per step at CompactAt=1", st.Compactions)
-	}
-	if st.SnapshotLSN != st.LastLSN {
-		t.Errorf("snapshot covers LSN %d, last is %d", st.SnapshotLSN, st.LastLSN)
+	// Compaction is asynchronous: rendezvous with the background compactor
+	// catching up to the write frontier. Cycles coalesce, so the count is
+	// at least one, not one per step.
+	st := waitDurable(t, s, func(st DurabilityStats) bool {
+		return st.SnapshotLSN == st.LastLSN
+	})
+	if st.Compactions < 1 {
+		t.Errorf("compactions = %d, want at least one at CompactAt=1", st.Compactions)
 	}
 	if st.LastCompaction.IsZero() {
 		t.Error("LastCompaction not stamped")

@@ -23,6 +23,30 @@ var (
 		"Time steps closed across the process lifetime (replay included).")
 )
 
+// Read-snapshot publication and compaction metrics (DESIGN.md §13). The
+// publish counter ticks once per committed mutation batch; the timestamp
+// gauge turns into snapshot age with `time() -
+// eta2_server_snapshot_publish_timestamp_seconds` in PromQL.
+var (
+	mSnapshotPublishes = obs.Default().Counter("eta2_server_snapshot_publishes_total",
+		"Immutable read-state snapshots published (one per committed mutation batch).")
+	mSnapshotPublishTS = obs.Default().Gauge("eta2_server_snapshot_publish_timestamp_seconds",
+		"Unix time of the newest published read-state snapshot; time() minus this is the snapshot age.")
+	mSnapshotBytes = obs.Default().HistogramVec("eta2_server_snapshot_bytes",
+		"Encoded size of persisted state snapshots, by codec.",
+		obs.ExpBuckets(4096, 4, 10), "codec")
+	mSnapshotBytesBinary = mSnapshotBytes.With("binary")
+	mSnapshotBytesJSON   = mSnapshotBytes.With("json")
+
+	mCompactionDuration = obs.Default().HistogramVec("eta2_server_compaction_duration_seconds",
+		"Wall time of one snapshot+truncate compaction cycle, by where it ran.",
+		obs.ExpBuckets(0.001, 2, 14), "mode")
+	mCompactionBackground = mCompactionDuration.With("background")
+	mCompactionForeground = mCompactionDuration.With("foreground")
+	mCompactionsFailed    = obs.Default().Counter("eta2_server_compactions_failed_total",
+		"Compaction cycles that aborted on an error (the size threshold retries at the next closed step).")
+)
+
 // publishMetricsLocked refreshes the server-shape gauges. Callers hold
 // s.mu (read or write); every store is a single atomic, so the cost is a
 // handful of nanoseconds on the mutation path.

@@ -1,6 +1,7 @@
 package eta2
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,10 +17,13 @@ import (
 // stateVersion guards against loading snapshots from incompatible builds.
 const stateVersion = 1
 
-// serverState is the JSON snapshot of a Server. The embedding model itself
-// is not serialized — only the task vectors derived from it — so a restored
-// server needs WithEmbedder again only to create NEW described tasks.
-type serverState struct {
+// snapshotState is the serializable snapshot of a Server, written either
+// as JSON (SaveState, legacy snapshot-<lsn>.json files) or with the binary
+// codec in codec.go (SaveStateBinary, compaction's snapshot-<lsn>.bin
+// files). The embedding model itself is not serialized — only the task
+// vectors derived from it — so a restored server needs WithEmbedder again
+// only to create NEW described tasks.
+type snapshotState struct {
 	Version int `json:"version"`
 
 	Alpha   float64 `json:"alpha"`
@@ -52,17 +56,42 @@ type taskVectorState struct {
 
 // SaveState serializes the server's full state (tasks, domains, learned
 // expertise, clustering structure, pending observations) as JSON. The
-// embedding model is not included; see LoadServer.
+// embedding model is not included; see LoadServer. SaveStateBinary writes
+// the same state with the compact binary codec; LoadServer reads both.
 func (s *Server) SaveState(w io.Writer) error {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.saveStateLocked(w)
+	st := s.persistStateLocked()
+	s.mu.RUnlock()
+	cw := &countingWriter{w: w}
+	enc := json.NewEncoder(cw)
+	if err := enc.Encode(st); err != nil {
+		return fmt.Errorf("eta2: save state: %w", err)
+	}
+	mSnapshotBytesJSON.Observe(float64(cw.n))
+	return nil
 }
 
-// saveStateLocked is SaveState with the server lock (read or write)
-// already held — the compactor snapshots under the write lock.
-func (s *Server) saveStateLocked(w io.Writer) error {
-	st := serverState{
+// SaveStateBinary serializes the server's full state with the
+// length-prefixed, CRC-checked binary codec — the format compaction uses
+// for its snapshot files. It carries exactly the information SaveState
+// does, at a fraction of the encode cost and size; LoadServer detects the
+// format automatically.
+func (s *Server) SaveStateBinary(w io.Writer) error {
+	s.mu.RLock()
+	st := s.persistStateLocked()
+	s.mu.RUnlock()
+	return encodeStateBinary(w, st)
+}
+
+// persistStateLocked materializes the serializable snapshot struct.
+// Callers hold s.mu (read or write). The result remains valid after the
+// lock is released: the maps it references are copy-on-write (writers
+// swap in fresh copies, never mutate published ones), the slices are
+// append-only (their captured headers freeze a consistent prefix), the
+// truth store is replace-on-write, and the clustering engine state is a
+// deep copy — so compaction can encode it with no lock held.
+func (s *Server) persistStateLocked() snapshotState {
+	st := snapshotState{
 		Version:      stateVersion,
 		Alpha:        s.cfg.alpha,
 		Gamma:        s.cfg.gamma,
@@ -87,22 +116,31 @@ func (s *Server) saveStateLocked(w io.Writer) error {
 			st.Vectors = append(st.Vectors, taskVectorState{Query: v.Query, Target: v.Target})
 		}
 	}
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(st); err != nil {
-		return fmt.Errorf("eta2: save state: %w", err)
-	}
-	return nil
+	return st
+}
+
+// countingWriter counts bytes for the snapshot-size metrics.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // ErrBadState is returned when a snapshot cannot be restored.
 var ErrBadState = errors.New("eta2: invalid server state")
 
-// LoadServer restores a Server from a SaveState snapshot. Pass WithEmbedder
-// if the server should be able to create new described tasks after the
-// restore; the snapshot's own task vectors are reused either way, so
-// clustering state survives even across embedder retrains (new tasks are
-// then placed with the NEW embedder's geometry — retrain with the same
-// corpus and seed to keep distances consistent).
+// LoadServer restores a Server from a SaveState or SaveStateBinary
+// snapshot (the format is detected from the first bytes). Pass
+// WithEmbedder if the server should be able to create new described tasks
+// after the restore; the snapshot's own task vectors are reused either
+// way, so clustering state survives even across embedder retrains (new
+// tasks are then placed with the NEW embedder's geometry — retrain with
+// the same corpus and seed to keep distances consistent).
 //
 // WithDurability has no effect here: LoadServer restores exactly the
 // supplied snapshot and nothing else. To restore from a durable data
@@ -116,15 +154,26 @@ func LoadServer(r io.Reader, opts ...Option) (*Server, error) {
 	return restoreServer(st, opts...)
 }
 
-// decodeState parses and version-checks a snapshot.
-func decodeState(r io.Reader) (serverState, error) {
-	var st serverState
-	dec := json.NewDecoder(r)
+// decodeState parses and version-checks a snapshot in either codec. The
+// binary codec's magic and a JSON object's '{' are disjoint, so one
+// peeked byte picks the decoder; legacy JSON snapshots therefore keep
+// loading forever.
+func decodeState(r io.Reader) (snapshotState, error) {
+	br := bufio.NewReader(r)
+	first, err := br.Peek(1)
+	if err != nil {
+		return snapshotState{}, fmt.Errorf("eta2: load state: %w", err)
+	}
+	if first[0] == snapshotMagic[0] {
+		return decodeStateBinary(br)
+	}
+	var st snapshotState
+	dec := json.NewDecoder(br)
 	if err := dec.Decode(&st); err != nil {
-		return serverState{}, fmt.Errorf("eta2: load state: %w", err)
+		return snapshotState{}, fmt.Errorf("eta2: load state: %w", err)
 	}
 	if st.Version != stateVersion {
-		return serverState{}, fmt.Errorf("%w: snapshot has version %d, but this build supports version %d",
+		return snapshotState{}, fmt.Errorf("%w: snapshot has version %d, but this build supports version %d",
 			ErrBadState, st.Version, stateVersion)
 	}
 	return st, nil
@@ -133,7 +182,7 @@ func decodeState(r io.Reader) (serverState, error) {
 // restoreServer materializes a decoded snapshot. The snapshot's own
 // alpha/gamma/epsilon are the base configuration; the caller's options
 // are applied on top and win.
-func restoreServer(st serverState, opts ...Option) (*Server, error) {
+func restoreServer(st snapshotState, opts ...Option) (*Server, error) {
 	allOpts := append([]Option{
 		WithAlpha(st.Alpha),
 		WithGamma(st.Gamma),
@@ -153,10 +202,11 @@ func restoreServer(st serverState, opts ...Option) (*Server, error) {
 	if len(st.Users) != len(st.UserOrder) {
 		return nil, fmt.Errorf("%w: %d users, %d order entries", ErrBadState, len(st.Users), len(st.UserOrder))
 	}
-	for _, u := range st.Users {
-		if err := s.AddUsers(u); err != nil {
-			return nil, err
-		}
+	// One batch, not per-user calls: AddUsers copies the user map per call
+	// (copy-on-write for the lock-free readers), so per-user restores
+	// would be quadratic in the user count.
+	if err := s.AddUsers(st.Users...); err != nil {
+		return nil, err
 	}
 
 	s.tasks = st.Tasks
@@ -201,7 +251,7 @@ func restoreServer(st serverState, opts ...Option) (*Server, error) {
 		}
 	}
 	// Not yet shared with other goroutines, so publishing without the lock
-	// is safe; brings the server-shape gauges in line with restored state.
-	s.publishMetricsLocked()
+	// is safe; installs the restored state for the lock-free query surface.
+	s.publishLocked()
 	return s, nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eta2/internal/allocation"
@@ -16,18 +17,27 @@ import (
 
 // Server is the crowdsourcing server: it owns task/domain state, learned
 // user expertise, and the allocation and truth-analysis machinery. It is
-// safe for concurrent use: reads (Truth, Expertise, Day, NumUsers,
-// DurabilityStats, SaveState, ...) share a read lock and run in parallel,
-// while mutations serialize behind the write lock. In durable mode a
-// mutation's critical section covers only the in-memory apply and the
-// buffered journal write; the fsync wait happens outside the lock, where
-// the WAL's group commit batches concurrent callers into a single flush
-// (see DESIGN.md §10).
+// safe for concurrent use. The query surface (Truth, Expertise,
+// ExpertiseInDomain, Domain, NumUsers, NumDomains, Day, DurabilityStats)
+// is lock-free: it reads an immutable state snapshot published through an
+// atomic pointer, so reads never wait on writers — not even on a writer
+// parked in an fsync. Mutations serialize behind mu (a writer-writer lock)
+// and publish a fresh snapshot per committed batch (copy-on-write; see
+// DESIGN.md §13). In durable mode a mutation's critical section covers
+// only the in-memory apply and the buffered journal write; the fsync wait
+// happens outside the lock, where the WAL's group commit batches
+// concurrent callers into a single flush (see DESIGN.md §10).
 type Server struct {
-	// mu is the server-wide reader/writer split. Lock ordering: mu is
-	// always taken before any internal/wal lock, never the other way
-	// around, and the fsync wait (journalCommit) runs with mu released.
+	// mu serializes writers against each other (and against SaveState,
+	// which reads master state directly under RLock). The query surface
+	// never touches it. Lock ordering: mu is always taken before any
+	// internal/wal lock, never the other way around, and the fsync wait
+	// (journalCommit) runs with mu released.
 	mu sync.RWMutex
+
+	// state is the published immutable read snapshot; see state.go. Stored
+	// only by publishLocked, loaded freely by the query surface.
+	state atomic.Pointer[serverState]
 
 	cfg config
 
@@ -61,6 +71,15 @@ type Server struct {
 	snapLSN        uint64
 	compactions    int
 	lastCompaction time.Time
+
+	// Background compaction coordination; see journal.go. compactMu
+	// serializes whole compaction cycles (capture → write → bookkeeping)
+	// and is always taken before mu, never while holding it. compacting
+	// keeps CloseTimeStep from piling up trigger goroutines; closing stops
+	// new auto-compactions once Close has begun.
+	compactMu  sync.Mutex
+	compacting atomic.Bool
+	closing    atomic.Bool
 }
 
 type config struct {
@@ -197,6 +216,9 @@ func newServer(cfg config) (*Server, error) {
 		}
 		s.clusterer = eng
 	}
+	// Not yet shared, so publishing without the lock is safe; the query
+	// surface relies on the state pointer never being nil.
+	s.publishLocked()
 	return s, nil
 }
 
@@ -218,22 +240,27 @@ func (s *Server) AddUsers(users ...User) error {
 		s.mu.Unlock()
 		return err
 	}
+	// Copy-on-write: the published snapshot shares the current map, so the
+	// batch lands in a fresh copy and readers keep a frozen view.
+	next := make(map[UserID]User, len(s.users)+len(users))
+	for id, u := range s.users {
+		next[id] = u
+	}
 	for _, u := range users {
-		if _, ok := s.users[u.ID]; !ok {
+		if _, ok := next[u.ID]; !ok {
 			s.userOrder = append(s.userOrder, u.ID)
 		}
-		s.users[u.ID] = u
+		next[u.ID] = u
 	}
-	s.publishMetricsLocked()
+	s.users = next
+	s.publishLocked()
 	s.mu.Unlock()
 	return s.journalCommit(lsn)
 }
 
 // NumUsers returns the number of registered users.
 func (s *Server) NumUsers() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.users)
+	return len(s.loadState().users)
 }
 
 // ErrNoEmbedder is returned when a described task is created on a server
@@ -312,7 +339,13 @@ func (s *Server) createTasksLocked(specs []TaskSpec) ([]TaskID, uint64, error) {
 		return nil, 0, err
 	}
 
-	// Phase 2: commit.
+	// Phase 2: commit. domainOf is copy-on-write (readers hold the
+	// published map), so the whole batch — hints and clustering
+	// assignments alike — lands in a fresh copy swapped in at the end.
+	domainOf := make(map[TaskID]DomainID, len(s.domainOf)+len(specs))
+	for k, v := range s.domainOf {
+		domainOf[k] = v
+	}
 	ids := make([]TaskID, 0, len(specs))
 	clusterItems := 0
 	for i, p := range preps {
@@ -321,7 +354,7 @@ func (s *Server) createTasksLocked(specs []TaskSpec) ([]TaskID, uint64, error) {
 			s.itemToTask = append(s.itemToTask, p.task.ID)
 			clusterItems++
 		} else {
-			s.domainOf[p.task.ID] = specs[i].DomainHint
+			domainOf[p.task.ID] = specs[i].DomainHint
 		}
 		s.tasks = append(s.tasks, p.task)
 		s.pending = append(s.pending, p.task.ID)
@@ -335,33 +368,37 @@ func (s *Server) createTasksLocked(specs []TaskSpec) ([]TaskID, uint64, error) {
 		if err != nil {
 			return nil, 0, fmt.Errorf("eta2: clustering: %w", err)
 		}
-		for _, m := range up.Merges {
-			s.store.MergeDomains(m.Into, m.From)
+		if len(up.Merges) > 0 {
+			// The published snapshot shares s.store; fold the merges into
+			// a clone and swap, keeping the published store frozen.
+			store := s.store.Clone()
+			for _, m := range up.Merges {
+				store.MergeDomains(m.Into, m.From)
+			}
+			s.store = store
 		}
 		for item, dom := range up.Assigned {
-			s.domainOf[s.itemToTask[item]] = dom
+			domainOf[s.itemToTask[item]] = dom
 		}
 		s.lastNewDomains = up.NewDomains
 		s.lastMerges = len(up.Merges)
 	}
-	s.publishMetricsLocked()
+	s.domainOf = domainOf
+	s.publishLocked()
 	return ids, lsn, nil
 }
 
 // Domain returns the expertise domain assigned to a task.
 func (s *Server) Domain(id TaskID) DomainID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.domainOf[id]
+	return s.loadState().domainOf[id]
 }
 
 // NumDomains returns the number of discovered domains (clustered servers
 // only; hinted domains are counted by their distinct hints).
 func (s *Server) NumDomains() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	st := s.loadState()
 	seen := make(map[DomainID]struct{})
-	for _, d := range s.domainOf {
+	for _, d := range st.domainOf {
 		seen[d] = struct{}{}
 	}
 	return len(seen)
@@ -370,16 +407,13 @@ func (s *Server) NumDomains() int {
 // Expertise returns the learned expertise of user u for task t (via the
 // task's domain). Unobserved pairs return DefaultExpertise.
 func (s *Server) Expertise(u UserID, t TaskID) float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.store.Expertise(u, s.domainOf[t])
+	st := s.loadState()
+	return st.store.Expertise(u, st.domainOf[t])
 }
 
 // ExpertiseInDomain returns the learned expertise of user u in a domain.
 func (s *Server) ExpertiseInDomain(u UserID, d DomainID) float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.store.Expertise(u, d)
+	return s.loadState().store.Expertise(u, d)
 }
 
 // pendingTasks materializes the pending task structs.
@@ -429,6 +463,9 @@ func (s *Server) AllocateMaxQuality() (*Allocation, error) {
 		return nil, fmt.Errorf("eta2: %w", err)
 	}
 	lsn, err := s.journalBuffered(walEvent{Type: eventAllocate, Pairs: res.Allocation.Pairs})
+	if err == nil {
+		s.publishLocked() // journaling advanced lastLSN; refresh DurabilityStats
+	}
 	s.mu.Unlock()
 	if err != nil {
 		return nil, err
@@ -455,6 +492,9 @@ func (s *Server) AllocateMaxQualityBudgeted(budget float64) (*Allocation, error)
 		return nil, fmt.Errorf("eta2: %w", err)
 	}
 	lsn, err := s.journalBuffered(walEvent{Type: eventAllocate, Pairs: res.Allocation.Pairs})
+	if err == nil {
+		s.publishLocked() // journaling advanced lastLSN; refresh DurabilityStats
+	}
 	s.mu.Unlock()
 	if err != nil {
 		return nil, err
@@ -527,7 +567,7 @@ func (s *Server) AllocateMinCost(params MinCostParams, collect Collector) (MinCo
 		}
 		s.observations = append(s.observations, obs...)
 		mObsAccepted.Add(uint64(len(obs)))
-		s.publishMetricsLocked()
+		s.publishLocked()
 		table.AddAll(obs)
 		// Only users that actually responded contribute information to the
 		// confidence interval; allocated-but-silent users must not count.
@@ -562,6 +602,9 @@ func (s *Server) AllocateMinCost(params MinCostParams, collect Collector) (MinCo
 		return MinCostOutcome{}, fmt.Errorf("eta2: %w", err)
 	}
 	lsn, jerr := s.journalBuffered(walEvent{Type: eventAllocate, Pairs: res.Allocation.Pairs})
+	if jerr == nil {
+		s.publishLocked() // journaling advanced lastLSN; refresh DurabilityStats
+	}
 	s.mu.Unlock()
 	if jerr != nil {
 		return MinCostOutcome{}, jerr
@@ -582,42 +625,38 @@ func (s *Server) AllocateMinCost(params MinCostParams, collect Collector) (MinCo
 // write — rejects the whole call with no state change.
 //
 // This is the serving hot path: validation, day-stamping, and the journal
-// payload encoding all run under the shared read lock, so concurrent
-// submitters only serialize for the slice append and the buffered journal
-// write. The fsync wait happens with no server lock held at all, letting
-// the WAL group-commit one flush per batch of concurrent submitters.
+// payload encoding all run against the lock-free read snapshot, so
+// concurrent submitters only serialize for the slice append and the
+// buffered journal write. The fsync wait happens with no server lock held
+// at all, letting the WAL group-commit one flush per batch of concurrent
+// submitters.
 func (s *Server) SubmitObservations(obs ...Observation) error {
 	if len(obs) == 0 {
 		return nil
 	}
-	s.mu.RLock()
-	nTasks := len(s.tasks)
-	day := s.day
+	st := s.loadState()
 	stamped := make([]Observation, 0, len(obs))
 	for _, o := range obs {
-		if int(o.Task) < 0 || int(o.Task) >= nTasks {
-			s.mu.RUnlock()
+		if int(o.Task) < 0 || int(o.Task) >= st.numTasks {
 			return fmt.Errorf("eta2: observation for unknown task %d", o.Task)
 		}
-		if _, ok := s.users[o.User]; !ok {
-			s.mu.RUnlock()
+		if _, ok := st.users[o.User]; !ok {
 			return fmt.Errorf("eta2: observation from unknown user %d", o.User)
 		}
-		o.Day = day
+		o.Day = st.day
 		stamped = append(stamped, o)
 	}
-	s.mu.RUnlock()
 	payload, err := encodeEvent(walEvent{Type: eventObservations, Observations: stamped})
 	if err != nil {
 		return err
 	}
 
 	s.mu.Lock()
-	// Tasks and users only grow, so the validation above cannot be
-	// invalidated between the locks — but a concurrent CloseTimeStep may
-	// have advanced the clock, in which case the batch is re-stamped (and
-	// re-encoded) with the current day.
-	if s.day != day {
+	// Tasks and users only grow, so the snapshot validation above cannot
+	// be invalidated by the time the lock is held — but a concurrent
+	// CloseTimeStep may have advanced the clock, in which case the batch
+	// is re-stamped (and re-encoded) with the current day.
+	if s.day != st.day {
 		for i := range stamped {
 			stamped[i].Day = s.day
 		}
@@ -633,7 +672,7 @@ func (s *Server) SubmitObservations(obs ...Observation) error {
 	}
 	s.observations = append(s.observations, stamped...)
 	mObsAccepted.Add(uint64(len(stamped)))
-	s.publishMetricsLocked()
+	s.publishLocked()
 	s.mu.Unlock()
 	return s.journalCommit(lsn)
 }
@@ -694,6 +733,12 @@ func (s *Server) CloseTimeStep() (StepReport, error) {
 		NewDomains:    s.lastNewDomains,
 		MergedDomains: s.lastMerges,
 	}
+	// Copy-on-write: readers hold the published truths map, so the step's
+	// estimates land in a fresh copy swapped in with the cloned store.
+	truths := make(map[TaskID]TruthEstimate, len(s.truths)+len(mu))
+	for k, v := range s.truths {
+		truths[k] = v
+	}
 	for _, tid := range table.Tasks() {
 		est := TruthEstimate{
 			Task:         tid,
@@ -701,15 +746,16 @@ func (s *Server) CloseTimeStep() (StepReport, error) {
 			Base:         sigma[tid],
 			Observations: len(table.ForTask(tid)),
 		}
-		s.truths[tid] = est
+		truths[tid] = est
 		report.Estimates = append(report.Estimates, est)
 	}
+	s.truths = truths
 
 	s.observations = nil
 	s.pending = nil
 	s.day++
 	mStepsClosed.Inc()
-	s.publishMetricsLocked()
+	s.publishLocked()
 	derr := s.closeStepDurability()
 	s.mu.Unlock()
 	if derr != nil {
@@ -723,15 +769,11 @@ func (s *Server) CloseTimeStep() (StepReport, error) {
 
 // Truth returns the latest truth estimate for a task.
 func (s *Server) Truth(id TaskID) (TruthEstimate, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	est, ok := s.truths[id]
+	est, ok := s.loadState().truths[id]
 	return est, ok
 }
 
 // Day returns the server's current time-step index.
 func (s *Server) Day() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.day
+	return s.loadState().day
 }

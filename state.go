@@ -1,0 +1,73 @@
+package eta2
+
+import (
+	"time"
+
+	"eta2/internal/truth"
+	"eta2/internal/wal"
+)
+
+// serverState is the immutable read snapshot behind the server's lock-free
+// query surface (DESIGN.md §13). Every committed mutation publishes a fresh
+// serverState via publishLocked; readers load the pointer once and read
+// freely — nothing reachable from a published serverState is ever mutated
+// again:
+//
+//   - users, domainOf and truths are copy-on-write: the writers that change
+//     them (AddUsers, CreateTasks, CloseTimeStep) build a fresh map and swap
+//     it in, so the map a reader holds is frozen.
+//   - store is replace-on-write: CloseTimeStep commits into a Clone and
+//     swaps the pointer, and CreateTasks clones before folding domain
+//     merges. The published *truth.Store is only ever read.
+//   - the scalar fields are plain copies.
+//
+// The journal pointer is included so DurabilityStats and journalCommit run
+// without touching s.mu; wal.Log has its own internal synchronization and
+// tolerates Stats/Commit after Close.
+type serverState struct {
+	users    map[UserID]User
+	domainOf map[TaskID]DomainID
+	truths   map[TaskID]TruthEstimate
+	store    *truth.Store
+	day      int
+	numTasks int
+
+	journal        *wal.Log
+	journalDir     string
+	lastLSN        uint64
+	snapLSN        uint64
+	compactions    int
+	lastCompaction time.Time
+}
+
+// publishLocked installs the current master state as the new immutable read
+// snapshot and refreshes the server-shape gauges. It is the ONLY place that
+// may store to s.state (enforced by the lockdiscipline analyzer): every
+// writer calls it exactly once per committed mutation batch, with s.mu
+// write-held — or before the server is shared, during construction and
+// recovery, where no lock is needed.
+func (s *Server) publishLocked() {
+	s.state.Store(&serverState{
+		users:          s.users,
+		domainOf:       s.domainOf,
+		truths:         s.truths,
+		store:          s.store,
+		day:            s.day,
+		numTasks:       len(s.tasks),
+		journal:        s.journal,
+		journalDir:     s.journalDir,
+		lastLSN:        s.lastLSN,
+		snapLSN:        s.snapLSN,
+		compactions:    s.compactions,
+		lastCompaction: s.lastCompaction,
+	})
+	mSnapshotPublishes.Inc()
+	mSnapshotPublishTS.Set(float64(time.Now().UnixNano()) / 1e9)
+	s.publishMetricsLocked()
+}
+
+// loadState returns the current read snapshot. The pointer is never nil:
+// newServer and restoreServer publish before the server escapes.
+func (s *Server) loadState() *serverState {
+	return s.state.Load()
+}

@@ -7,6 +7,12 @@
 //     may execute while s.mu is held (read or write): group commit
 //     waits on fsync, and holding the server lock across that wait
 //     serializes every reader behind disk latency.
+//  3. Query-surface methods (Truth, Expertise, Domain, ...) must not
+//     touch s.mu at all — the read path is lock-free by construction
+//     (PR 6) and reads only the published immutable state snapshot.
+//  4. The state snapshot pointer is published (Store/Swap/CompareAndSwap
+//     on s.state) only inside the single publishLocked helper, so every
+//     publication carries the same bookkeeping and ordering.
 //
 // Deliberate exceptions (e.g. a stop-the-world fsync during
 // compaction) are annotated per line or per function:
@@ -57,13 +63,20 @@ func run(pass *analysis.Pass) error {
 		}
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Recv == nil || fn.Body == nil || !c.isServerRecv(fn) {
+			if !ok || fn.Body == nil {
 				continue
 			}
 			if pass.FuncSuppressed(fn) {
 				continue
 			}
+			// Rule 4 applies to plain functions too (anything can hold a
+			// *Server); the method-only rules follow the receiver check.
+			c.checkPublish(fn)
+			if fn.Recv == nil || !c.isServerRecv(fn) {
+				continue
+			}
 			c.checkWriteLock(fn)
+			c.checkReadPath(fn)
 			// Convention: a method named *Locked runs with s.mu already
 			// write-held by its caller.
 			st := unlocked
@@ -184,6 +197,72 @@ func (c *checker) fieldWrites(body ast.Node) []fieldWrite {
 		return true
 	})
 	return writes
+}
+
+// --- rule 3: the query surface is lock-free ------------------------------
+
+// querySurface lists the read-path methods that serve queries from the
+// published immutable snapshot. They must not reference s.mu in any way:
+// not even a transient RLock, or one writer parked on the lock stalls
+// every reader behind it.
+var querySurface = map[string]bool{
+	"Truth":             true,
+	"Expertise":         true,
+	"ExpertiseInDomain": true,
+	"Domain":            true,
+	"NumUsers":          true,
+	"NumDomains":        true,
+	"Day":               true,
+	"DurabilityStats":   true,
+}
+
+func (c *checker) checkReadPath(fn *ast.FuncDecl) {
+	if !querySurface[fn.Name.Name] {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name == "mu" && c.isServerExpr(sel.X) {
+			c.pass.Reportf(sel.Pos(), "query-surface method %s touches s.mu: the read path is lock-free, serve from the published state snapshot", fn.Name.Name)
+		}
+		return true
+	})
+}
+
+// --- rule 4: one publication point ---------------------------------------
+
+// checkPublish flags Store/Swap/CompareAndSwap on the Server's state
+// pointer anywhere outside publishLocked. Concentrating publication in
+// one helper keeps the metrics, ordering, and copy-on-write obligations
+// in one reviewed place.
+func (c *checker) checkPublish(fn *ast.FuncDecl) {
+	if fn.Name.Name == "publishLocked" {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Store", "Swap", "CompareAndSwap":
+		default:
+			return true
+		}
+		field, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || field.Sel.Name != "state" || !c.isServerExpr(field.X) {
+			return true
+		}
+		c.pass.Reportf(call.Pos(), "state snapshot published outside publishLocked: route all publications through the single publish helper")
+		return true
+	})
 }
 
 // --- rule 2: nothing slow while mu is held -------------------------------

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"eta2/internal/wal"
 )
@@ -17,6 +18,8 @@ type Server struct {
 
 	users map[string]int
 	day   int
+
+	state atomic.Pointer[serverState]
 }
 
 func (s *Server) journalCommit(lsn uint64) error { return s.journal.Commit(lsn) }
@@ -118,4 +121,58 @@ func (s *Server) Flush() error {
 		return err
 	}
 	return s.file.Sync()
+}
+
+// serverState is the immutable read snapshot (PR 6 shape).
+type serverState struct {
+	users map[string]int
+	day   int
+}
+
+// publishLocked is the single allowed publication point for s.state.
+func (s *Server) publishLocked() {
+	s.state.Store(&serverState{users: s.users, day: s.day})
+}
+
+// Day serves from the published snapshot without locks: compliant.
+func (s *Server) Day() int {
+	return s.state.Load().day
+}
+
+// NumUsers is on the query surface but still goes through the lock.
+func (s *Server) NumUsers() int {
+	s.mu.RLock()         // want "query-surface method NumUsers touches s.mu"
+	defer s.mu.RUnlock() // want "query-surface method NumUsers touches s.mu"
+	return len(s.users)
+}
+
+// DurabilityStats even touching the write lock on the read path is wrong.
+func (s *Server) DurabilityStats() int {
+	s.mu.Lock()         // want "query-surface method DurabilityStats touches s.mu"
+	defer s.mu.Unlock() // want "query-surface method DurabilityStats touches s.mu"
+	return s.day
+}
+
+// SaveState is NOT on the query surface: locking there is allowed.
+func (s *Server) SaveState() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.users)
+}
+
+// RoguePublish stores the snapshot pointer outside publishLocked.
+func (s *Server) RoguePublish() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state.Store(&serverState{}) // want "state snapshot published outside publishLocked"
+}
+
+// restoreHelper is a plain function; rule 4 still applies to it.
+func restoreHelper(s *Server) {
+	s.state.Store(&serverState{}) // want "state snapshot published outside publishLocked"
+}
+
+// CompareAndSwapPublish: every atomic publication primitive is covered.
+func (s *Server) CompareAndSwapPublish(old *serverState) {
+	s.state.CompareAndSwap(old, &serverState{}) // want "state snapshot published outside publishLocked"
 }
