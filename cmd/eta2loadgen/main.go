@@ -11,6 +11,7 @@
 //	eta2loadgen -addr http://host:8080       # drive an external server
 //	eta2loadgen -clients 8 -duration 2s -out bench.json
 //	eta2loadgen -preset read-mostly          # 95% reads, up to 1024 clients
+//	eta2loadgen -preset replica-read         # reads served by a follower replica
 //
 // In self-hosted mode (the default) each scenario gets a fresh durable
 // server on a fresh data directory, so scenarios do not contaminate each
@@ -60,6 +61,7 @@ type config struct {
 	batch        int
 	fsyncDelay   time.Duration
 	baseline     bool
+	replica      bool
 	out          string
 }
 
@@ -75,10 +77,11 @@ func run() error {
 		fsyncDelay = flag.Duration("fsync-delay", 0, "artificial latency added to every WAL fsync (self-hosted only) — emulates network block storage on dev machines with write-back caches")
 		baseline   = flag.Bool("baseline", false, "also run each scenario against a single-mutex serialized handler (self-hosted only)")
 		out        = flag.String("out", "", "write the JSON report to this file (default: stdout)")
-		preset     = flag.String("preset", "", `scenario preset; "read-mostly" = -read-fraction 0.95 -clients 1,8,64,256,512,1024 (explicitly set flags win)`)
+		preset     = flag.String("preset", "", `scenario preset; "read-mostly" = -read-fraction 0.95 -clients 1,8,64,256,512,1024, "replica-read" = the same mix with reads served by a replication follower (explicitly set flags win)`)
 		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	replica := false
 	// A preset only fills in flags the user did not set themselves.
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -95,8 +98,21 @@ func run() error {
 		if !explicit["clients"] {
 			*clients = "1,8,64,256,512,1024"
 		}
+	case "replica-read":
+		// The replication measurement: the same mostly-read mix as
+		// read-mostly, but every read is served by a follower replica while
+		// writes keep hitting the primary. Read latency at parity with
+		// read-mostly plus bounded replication lag is the acceptance signal
+		// (BENCH_PR7.json).
+		replica = true
+		if !explicit["read-fraction"] {
+			*readFrac = 0.95
+		}
+		if !explicit["clients"] {
+			*clients = "1,8,64,256,512,1024"
+		}
 	default:
-		return fmt.Errorf("unknown -preset %q (have: read-mostly)", *preset)
+		return fmt.Errorf("unknown -preset %q (have: read-mostly, replica-read)", *preset)
 	}
 	if *version {
 		fmt.Printf("eta2loadgen %s %s\n", obs.Version(), runtime.Version())
@@ -112,6 +128,7 @@ func run() error {
 		batch:        *batch,
 		fsyncDelay:   *fsyncDelay,
 		baseline:     *baseline,
+		replica:      replica,
 		out:          *out,
 	}
 	for _, part := range strings.Split(*clients, ",") {
@@ -123,6 +140,9 @@ func run() error {
 	}
 	if cfg.addr != "" && cfg.baseline {
 		return fmt.Errorf("-baseline needs a self-hosted server (drop -addr)")
+	}
+	if cfg.replica && (cfg.addr != "" || cfg.baseline) {
+		return fmt.Errorf("-preset replica-read needs a self-hosted server without -baseline")
 	}
 	if cfg.addr != "" && cfg.fsyncDelay > 0 {
 		return fmt.Errorf("-fsync-delay needs a self-hosted server (drop -addr)")
@@ -196,17 +216,33 @@ type report struct {
 }
 
 type scenario struct {
-	Mode    string  `json:"mode"` // concurrent | serialized
+	Mode    string  `json:"mode"` // concurrent | serialized | replica
 	Clients int     `json:"clients"`
 	Writes  opStats `json:"writes"`
 	Reads   opStats `json:"reads"`
 	Errors  int     `json:"errors"`
+	// Replication describes the follower that served the reads (preset
+	// replica-read only).
+	Replication *replicationReport `json:"replication,omitempty"`
 	// MetricsDelta is the change in every eta2_* series scraped from
 	// /metrics across the measured window (after minus before), giving
 	// server-side counts — WAL fsyncs, group-commit batches, HTTP status
 	// classes — alongside the client-side latency numbers. Empty when the
 	// target exposes no /metrics endpoint.
 	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
+}
+
+// replicationReport is the follower's view at the end of a replica-read
+// scenario: where it converged to, the worst lag a 100ms sampler saw
+// during the measured window, and how long full convergence took after
+// the load stopped.
+type replicationReport struct {
+	PrimaryFrontier    uint64  `json:"primary_frontier"`
+	AppliedLSN         uint64  `json:"applied_lsn"`
+	MaxLagRecords      uint64  `json:"max_lag_records"`
+	ConvergeMs         float64 `json:"converge_ms"`
+	Reconnects         uint64  `json:"reconnects"`
+	SnapshotBootstraps uint64  `json:"snapshot_bootstraps"`
 }
 
 type opStats struct {
@@ -233,6 +269,7 @@ func (s *serializedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 	baseURL := cfg.addr
+	readURL := cfg.addr
 	httpClient := http.DefaultClient
 	if cfg.addr == "" {
 		dir := filepath.Join(cfg.dataDir, fmt.Sprintf("c%d-%s", clients, map[bool]string{false: "conc", true: "ser"}[serialized]))
@@ -257,7 +294,26 @@ func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 		defer ts.Close()
 		defer srv.Close()
 		baseURL = ts.URL
+		readURL = ts.URL
 		httpClient = ts.Client()
+
+		if cfg.replica {
+			// Reads go to a follower replicating this primary over its real
+			// HTTP endpoint — the full log-shipping path, not a shortcut.
+			follower, err := eta2.OpenFollower(baseURL, eta2.FollowerOptions{
+				DataDir:  dir + "-replica",
+				Policy:   eta2.DurabilityPolicy{Fsync: eta2.FsyncPolicy(cfg.fsync), CompactAt: -1},
+				PollWait: time.Second,
+				RetryMin: 20 * time.Millisecond,
+			})
+			if err != nil {
+				return scenario{}, err
+			}
+			fts := httptest.NewServer(httpapi.NewFollower(follower))
+			defer fts.Close()
+			defer follower.Close()
+			readURL = fts.URL
+		}
 	}
 	// The default transport keeps only 2 idle conns per host; at 64
 	// clients that would measure connection churn, not the server.
@@ -268,6 +324,10 @@ func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 		httpClient = &http.Client{Transport: t, Timeout: 30 * time.Second}
 	}
 	client := httpapi.NewClient(baseURL, httpClient)
+	readClient := client
+	if readURL != baseURL {
+		readClient = httpapi.NewClient(readURL, httpClient)
+	}
 	ctx := context.Background()
 
 	// Seed the server so reads have something to read: users, one batch
@@ -300,6 +360,13 @@ func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 	if _, err := client.CloseStep(ctx); err != nil {
 		return scenario{}, err
 	}
+	if cfg.replica {
+		// Let the follower catch up with the seed data before the clock
+		// starts, so early reads measure serving, not initial sync.
+		if err := waitCaughtUp(ctx, client, readClient, 30*time.Second); err != nil {
+			return scenario{}, err
+		}
+	}
 
 	before, scrapeErr := scrapeMetrics(httpClient, baseURL)
 	if scrapeErr != nil {
@@ -312,6 +379,32 @@ func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 	}
 	workers := make([]worker, clients)
 	deadline := time.Now().Add(cfg.duration)
+
+	// In replica mode a sampler tracks the worst replication lag the
+	// follower reports while the load runs.
+	var maxLag uint64
+	samplerDone := make(chan struct{})
+	stopSampler := make(chan struct{})
+	if cfg.replica {
+		go func() {
+			defer close(samplerDone)
+			tick := time.NewTicker(100 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopSampler:
+					return
+				case <-tick.C:
+					if rs, err := readClient.Replication(ctx); err == nil && rs.LagRecords > maxLag {
+						maxLag = rs.LagRecords
+					}
+				}
+			}
+		}()
+	} else {
+		close(samplerDone)
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < clients; w++ {
 		wg.Add(1)
@@ -325,11 +418,11 @@ func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 					start := time.Now()
 					switch rng.Intn(3) {
 					case 0:
-						_, err = client.Truth(ctx, tasks[rng.Intn(len(tasks))])
+						_, err = readClient.Truth(ctx, tasks[rng.Intn(len(tasks))])
 					case 1:
-						_, err = client.Expertise(ctx, rng.Intn(nUsers), 1+rng.Intn(nDomains))
+						_, err = readClient.Expertise(ctx, rng.Intn(nUsers), 1+rng.Intn(nDomains))
 					default:
-						_, err = client.Durability(ctx)
+						_, err = readClient.Durability(ctx)
 					}
 					me.reads = append(me.reads, time.Since(start))
 					if err != nil {
@@ -355,6 +448,28 @@ func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 		}(w)
 	}
 	wg.Wait()
+	close(stopSampler)
+	<-samplerDone
+
+	var replRep *replicationReport
+	if cfg.replica {
+		convergeStart := time.Now()
+		if err := waitCaughtUp(ctx, client, readClient, 30*time.Second); err != nil {
+			return scenario{}, err
+		}
+		rs, err := readClient.Replication(ctx)
+		if err != nil {
+			return scenario{}, err
+		}
+		replRep = &replicationReport{
+			PrimaryFrontier:    rs.PrimaryFrontier,
+			AppliedLSN:         rs.AppliedLSN,
+			MaxLagRecords:      maxLag,
+			ConvergeMs:         float64(time.Since(convergeStart)) / float64(time.Millisecond),
+			Reconnects:         rs.Reconnects,
+			SnapshotBootstraps: rs.SnapshotBootstraps,
+		}
+	}
 
 	var delta map[string]float64
 	if scrapeErr == nil {
@@ -370,14 +485,37 @@ func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 		writes = append(writes, workers[i].writes...)
 		errors += workers[i].errors
 	}
+	mode := map[bool]string{false: "concurrent", true: "serialized"}[serialized]
+	if cfg.replica {
+		mode = "replica"
+	}
 	return scenario{
-		Mode:         map[bool]string{false: "concurrent", true: "serialized"}[serialized],
+		Mode:         mode,
 		Clients:      clients,
 		Writes:       summarize(writes, cfg.duration),
 		Reads:        summarize(reads, cfg.duration),
 		Errors:       errors,
+		Replication:  replRep,
 		MetricsDelta: delta,
 	}, nil
+}
+
+// waitCaughtUp polls both sides' replication status until the reader's
+// applied LSN reaches the writer's committed frontier.
+func waitCaughtUp(ctx context.Context, primary, follower *httpapi.Client, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		p, perr := primary.Replication(ctx)
+		f, ferr := follower.Replication(ctx)
+		if perr == nil && ferr == nil && f.AppliedLSN >= p.CommittedLSN {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("follower did not converge within %v (applied %d, frontier %d)",
+				timeout, f.AppliedLSN, p.CommittedLSN)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }
 
 // scrapeMetrics fetches and parses /metrics into a flat series -> value

@@ -6,11 +6,17 @@
 //	eta2server -addr :8080 -semantic     # train embeddings for described tasks
 //	eta2server -data-dir /var/lib/eta2   # durable: WAL + crash recovery
 //	eta2server -data-dir d -fsync interval
+//	eta2server -data-dir d -follow http://primary:8080   # read replica
 //
 // With -data-dir, every mutation is journaled to a write-ahead log and
 // the full server state is recovered from the directory on the next
 // start; a final snapshot is written on SIGTERM/SIGINT. Without it, all
 // state lives in memory and dies with the process.
+//
+// With -follow, the process runs as a replication follower of the named
+// primary: it serves the full read surface from continuously replicated
+// state, answers writes with 503 + the primary's address, and becomes a
+// writable primary on POST /v1/admin/promote (see DESIGN.md §14).
 //
 // Endpoints (JSON over HTTP, versioned under /v1):
 //
@@ -24,6 +30,10 @@
 //	GET  /v1/healthz
 //	GET  /v1/admin/durability      WAL segments/bytes, snapshot coverage
 //	POST /v1/admin/compact         force a snapshot+truncate cycle
+//	GET  /v1/admin/replication     role, LSN frontiers, replication lag
+//	POST /v1/admin/promote         follower only: become a writable primary
+//	GET  /v1/repl/log              primary only: ship committed WAL records
+//	GET  /v1/repl/snapshot         primary only: snapshot bootstrap stream
 //	GET  /metrics                  Prometheus text exposition (all subsystems)
 //	GET  /debug/pprof/...          runtime profiles (opt-in via -pprof)
 package main
@@ -64,6 +74,7 @@ func run() error {
 		dataDir    = flag.String("data-dir", "", "durable data directory (write-ahead log + snapshots); empty keeps all state in memory")
 		fsyncMode  = flag.String("fsync", "always", "WAL fsync policy with -data-dir: always | interval | never")
 		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "max time between WAL fsyncs with -fsync interval")
+		follow     = flag.String("follow", "", "run as a read replica of the primary at this base URL (requires -data-dir)")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 		shutdownTO = flag.Duration("shutdown-timeout", 10*time.Second, "max time to drain in-flight requests on SIGTERM/SIGINT before the final snapshot")
 		version    = flag.Bool("version", false, "print version and exit")
@@ -82,30 +93,59 @@ func run() error {
 		}
 		opts = append(opts, eta2.WithEmbedder(model))
 	}
-	if *dataDir != "" {
-		opts = append(opts, eta2.WithDurability(*dataDir, eta2.DurabilityPolicy{
-			Fsync:      eta2.FsyncPolicy(*fsyncMode),
-			FsyncEvery: *fsyncEvery,
-		}))
-	} else {
-		log.Println("warning: no -data-dir set; all state is in memory and lost on exit")
+	policy := eta2.DurabilityPolicy{
+		Fsync:      eta2.FsyncPolicy(*fsyncMode),
+		FsyncEvery: *fsyncEvery,
 	}
 
-	server, err := eta2.NewServer(opts...)
-	if err != nil {
-		return err
-	}
-	if *dataDir != "" {
+	// closer tears down the node on shutdown: Server.Close for a primary
+	// (final snapshot + journal detach), Follower.Close for a replica
+	// (stop the pull loop, final local snapshot).
+	var api http.Handler
+	var closer func() error
+	switch {
+	case *follow != "":
+		if *dataDir == "" {
+			return errors.New("-follow requires -data-dir for the local log copy")
+		}
+		follower, err := eta2.OpenFollower(*follow, eta2.FollowerOptions{
+			DataDir: *dataDir,
+			Policy:  policy,
+		}, opts...)
+		if err != nil {
+			return err
+		}
+		st := follower.DurabilityStats()
+		log.Printf("follower mode: primary=%s dir=%s fsync=%s resuming from LSN %d (snapshot covers %d)",
+			*follow, *dataDir, *fsyncMode, st.LastLSN, st.SnapshotLSN)
+		api = httpapi.NewFollower(follower)
+		closer = follower.Close
+	case *dataDir != "":
+		opts = append(opts, eta2.WithDurability(*dataDir, policy))
+		server, err := eta2.NewServer(opts...)
+		if err != nil {
+			return err
+		}
 		st := server.DurabilityStats()
 		log.Printf("durable mode: dir=%s fsync=%s recovered through LSN %d (snapshot covers %d)",
 			*dataDir, *fsyncMode, st.LastLSN, st.SnapshotLSN)
+		api = httpapi.New(server)
+		closer = server.Close
+	default:
+		log.Println("warning: no -data-dir set; all state is in memory and lost on exit")
+		server, err := eta2.NewServer(opts...)
+		if err != nil {
+			return err
+		}
+		api = httpapi.New(server)
+		closer = server.Close
 	}
 
 	// The business API owns every path except the observability endpoints:
 	// /metrics serves the process-wide registry, /debug/pprof/ is opt-in.
 	obs.RegisterBuildInfo(obs.Default())
 	mux := http.NewServeMux()
-	mux.Handle("/", httpapi.New(server))
+	mux.Handle("/", api)
 	mux.Handle("/metrics", obs.Default().Handler())
 	if *pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -136,7 +176,7 @@ func run() error {
 	if *dataDir != "" {
 		log.Println("writing final snapshot...")
 	}
-	if err := server.Close(); err != nil {
+	if err := closer(); err != nil {
 		return fmt.Errorf("final snapshot: %w", err)
 	}
 	if *dataDir != "" {

@@ -1,0 +1,619 @@
+package eta2
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"eta2/internal/cluster"
+	"eta2/internal/repl"
+	"eta2/internal/semantic"
+	"eta2/internal/wal"
+)
+
+// This file implements the follower side of replication (DESIGN.md §14).
+// A Follower wraps a journal-detached Server plus its own local WAL: a
+// pull loop fetches committed records from the primary's /v1/repl/log,
+// appends each payload verbatim to the local log (same LSNs, same bytes),
+// and applies it through applyEvent — the exact code path startup
+// recovery replays — under the copy-on-write + publishLocked discipline,
+// so follower reads stay lock-free and follower state is bit-identical
+// to the primary's at the same LSN. The local WAL copy means a follower
+// restart resumes from its own disk instead of refetching history, and
+// promotion just attaches that log as the write journal.
+
+// errLSNGap reports a hole in the shipped stream (the primary compacted
+// past our cursor, or lost a tail across a restart). The follower
+// responds by re-bootstrapping from a full snapshot.
+var errLSNGap = errors.New("eta2: gap in replication stream")
+
+// FollowerOptions tunes OpenFollower. Only DataDir is required.
+type FollowerOptions struct {
+	// DataDir is the follower's own durable directory: its WAL copy and
+	// local snapshots live here, exactly like a primary's data directory
+	// (a promoted follower keeps using it as one).
+	DataDir string
+	// Policy tunes the local log like DurabilityPolicy does on a primary.
+	// The fsync policy bounds what a power loss can force the follower to
+	// refetch — it never affects correctness.
+	Policy DurabilityPolicy
+	// PollWait is the long-poll duration sent with each fetch when caught
+	// up (default 5s, capped by the primary at repl.MaxWait).
+	PollWait time.Duration
+	// BatchMax caps records per fetch (default repl.DefaultMaxRecords).
+	BatchMax int
+	// RetryMin/RetryMax bound the exponential backoff between failed
+	// fetches (defaults 100ms and 5s).
+	RetryMin time.Duration
+	RetryMax time.Duration
+	// HTTPClient overrides the client used to reach the primary.
+	HTTPClient *http.Client
+}
+
+func (o *FollowerOptions) applyDefaults() {
+	if o.PollWait <= 0 {
+		o.PollWait = 5 * time.Second
+	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = repl.DefaultMaxRecords
+	}
+	if o.RetryMin <= 0 {
+		o.RetryMin = 100 * time.Millisecond
+	}
+	if o.RetryMax < o.RetryMin {
+		o.RetryMax = 5 * time.Second
+		if o.RetryMax < o.RetryMin {
+			o.RetryMax = o.RetryMin
+		}
+	}
+}
+
+// Follower is a read replica: a Server kept in sync with a primary by
+// pulling its committed WAL records. The embedded server answers the
+// full query surface (lock-free, from published snapshots) and rejects
+// mutations with *FollowerWriteError; Promote turns it into a writable
+// primary in place.
+type Follower struct {
+	s          *Server
+	cli        *repl.Client
+	wlog       *wal.Log
+	dir        string
+	policy     DurabilityPolicy
+	primaryURL string
+	restoreOpt []Option
+	opts       FollowerOptions
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	// mu guards the pull-loop bookkeeping below. Lock ordering: never
+	// held while calling into f.s or f.wlog methods that block (apply,
+	// commit, snapshot) — those run between short mu critical sections.
+	mu             sync.Mutex
+	applied        uint64 // newest LSN applied to f.s (== local log tail)
+	snapLSN        uint64 // newest local snapshot frontier
+	frontier       uint64 // primary's committed frontier at last fetch
+	behindSince    time.Time
+	connected      bool
+	reconnects     uint64
+	bootstraps     uint64
+	compactions    int
+	lastCompaction time.Time
+	promoted       bool
+	fatalErr       error
+}
+
+// OpenFollower starts a read replica of the primary at primaryURL (base
+// URL, e.g. "http://10.0.0.1:8080"). dataDir state from a previous run
+// is recovered first — local snapshot plus local WAL replay — and the
+// pull loop resumes from that frontier, so restarts never refetch
+// history they already hold. opts configure the server exactly like
+// NewServer (embedder, tuning knobs); WithDurability is rejected — the
+// follower's local log is configured by FollowerOptions instead.
+func OpenFollower(primaryURL string, fopts FollowerOptions, opts ...Option) (*Follower, error) {
+	if primaryURL == "" {
+		return nil, errors.New("eta2: follower requires a primary URL")
+	}
+	if fopts.DataDir == "" {
+		return nil, errors.New("eta2: follower requires a data directory")
+	}
+	cfg, err := buildConfig(opts...)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.durable != nil {
+		return nil, errors.New("eta2: WithDurability conflicts with OpenFollower; use FollowerOptions.DataDir")
+	}
+	policy := fopts.Policy
+	if err := policy.validate(); err != nil {
+		return nil, err
+	}
+	policy.applyDefaults()
+	fopts.applyDefaults()
+
+	// Same recovery core as a primary, but the journal stays detached:
+	// the local log is written by the apply loop (verbatim primary
+	// payloads at primary LSNs), never by mutations.
+	s, wlog, snapLSN, lastLSN, err := recoverDurableState(cfg, opts, fopts.DataDir, policy)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.role = roleFollower
+	s.primaryAddr = primaryURL
+	s.journalDir = fopts.DataDir
+	s.journalPolicy = policy
+	s.snapLSN = snapLSN
+	s.lastLSN = lastLSN
+	s.publishLocked()
+	s.mu.Unlock()
+
+	f := &Follower{
+		s:          s,
+		cli:        repl.NewClient(primaryURL, fopts.HTTPClient),
+		wlog:       wlog,
+		dir:        fopts.DataDir,
+		policy:     policy,
+		primaryURL: primaryURL,
+		restoreOpt: opts,
+		opts:       fopts,
+		done:       make(chan struct{}),
+		applied:    lastLSN,
+		snapLSN:    snapLSN,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	go f.run(ctx)
+	return f, nil
+}
+
+// Server returns the embedded server for its query surface. Mutations on
+// it fail with *FollowerWriteError until Promote.
+func (f *Follower) Server() *Server { return f.s }
+
+// Err returns the error that permanently halted the pull loop, if any
+// (apply divergence or a local disk failure). A healthy or merely
+// disconnected follower returns nil.
+func (f *Follower) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fatalErr
+}
+
+// run is the pull loop: fetch a batch from the applied frontier, apply
+// it, commit the local log, repeat — long-polling when caught up,
+// backing off on errors, and re-bootstrapping from a full snapshot when
+// the primary has compacted past our cursor.
+func (f *Follower) run(ctx context.Context) {
+	defer close(f.done)
+	backoff := f.opts.RetryMin
+	for ctx.Err() == nil {
+		f.mu.Lock()
+		from := f.applied + 1
+		f.mu.Unlock()
+		frontier, n, err := f.cli.FetchLog(ctx, from, f.opts.PollWait, f.opts.BatchMax, f.applyRecord)
+		if ctx.Err() != nil {
+			return
+		}
+		if f.Err() != nil {
+			return // applyRecord recorded a fatal halt
+		}
+		switch {
+		case err == nil:
+			if !f.finishBatch(frontier, n) {
+				return
+			}
+			backoff = f.opts.RetryMin
+		case errors.Is(err, wal.ErrCompacted) || errors.Is(err, errLSNGap):
+			if berr := f.bootstrap(ctx); berr != nil {
+				if ctx.Err() != nil || f.Err() != nil {
+					return
+				}
+				f.noteDisconnect()
+				if !sleepCtx(ctx, backoff) {
+					return
+				}
+				backoff = nextBackoff(backoff, f.opts.RetryMax)
+			} else {
+				backoff = f.opts.RetryMin
+			}
+		default:
+			f.noteDisconnect()
+			if !sleepCtx(ctx, backoff) {
+				return
+			}
+			backoff = nextBackoff(backoff, f.opts.RetryMax)
+		}
+	}
+}
+
+// applyRecord handles one shipped record, streamed by FetchLog in LSN
+// order: check contiguity, append the payload verbatim to the local log
+// (journal-before-apply, same as a primary), then apply through the
+// recovery replay path. A failure after the local append would mean
+// local disk and memory disagree about the record, so it halts the loop
+// permanently rather than retrying into divergence.
+func (f *Follower) applyRecord(lsn uint64, payload []byte) error {
+	f.mu.Lock()
+	applied := f.applied
+	f.mu.Unlock()
+	if lsn != applied+1 {
+		return errLSNGap
+	}
+	var ev walEvent
+	if err := json.Unmarshal(payload, &ev); err != nil {
+		return f.fail(fmt.Errorf("eta2: decode shipped record %d: %w", lsn, err))
+	}
+	if err := f.wlog.AppendBufferedAt(lsn, payload); err != nil {
+		return f.fail(fmt.Errorf("eta2: journal shipped record %d: %w", lsn, err))
+	}
+	if err := f.s.applyEvent(ev); err != nil {
+		return f.fail(fmt.Errorf("eta2: apply shipped record %d (%s): %w", lsn, ev.Type, err))
+	}
+	f.mu.Lock()
+	f.applied = lsn
+	f.mu.Unlock()
+	mReplApplied.Inc()
+	mReplAppliedLSN.Set(float64(lsn))
+	return nil
+}
+
+// fail records a permanent pull-loop halt and returns the error (which
+// also aborts the in-flight fetch).
+func (f *Follower) fail(err error) error {
+	f.mu.Lock()
+	if f.fatalErr == nil {
+		f.fatalErr = err
+	}
+	f.mu.Unlock()
+	return err
+}
+
+// finishBatch commits the local log through the batch tail, refreshes
+// the server's published LSN frontier, and updates lag bookkeeping.
+// Returns false if the local commit failed (fatal halt).
+func (f *Follower) finishBatch(frontier uint64, n int) bool {
+	f.mu.Lock()
+	applied := f.applied
+	f.frontier = frontier
+	f.connected = true
+	lag := uint64(0)
+	if frontier > applied {
+		if f.behindSince.IsZero() {
+			f.behindSince = time.Now()
+		}
+		lag = frontier - applied
+	} else {
+		f.behindSince = time.Time{}
+	}
+	behindSince := f.behindSince
+	f.mu.Unlock()
+
+	mReplPrimaryFrontier.Set(float64(frontier))
+	mReplLagRecords.Set(float64(lag))
+	if behindSince.IsZero() {
+		mReplLagSeconds.Set(0)
+	} else {
+		mReplLagSeconds.Set(time.Since(behindSince).Seconds())
+	}
+
+	if n == 0 {
+		return true
+	}
+	if err := f.wlog.Commit(applied); err != nil {
+		f.fail(fmt.Errorf("eta2: commit local log through %d: %w", applied, err))
+		return false
+	}
+	// Refresh the published frontier so DurabilityStats / replication
+	// status on the embedded server report the applied LSN.
+	s := f.s
+	s.mu.Lock()
+	s.lastLSN = applied
+	s.publishLocked()
+	s.mu.Unlock()
+
+	if f.policy.CompactAt > 0 && f.wlog.Stats().Bytes >= f.policy.CompactAt {
+		f.compactLocal()
+	}
+	return true
+}
+
+// noteDisconnect flips the connection state and counts the reconnect.
+func (f *Follower) noteDisconnect() {
+	f.mu.Lock()
+	f.connected = false
+	f.reconnects++
+	f.mu.Unlock()
+	mReplReconnects.Inc()
+}
+
+// bootstrap replaces the follower's state with a full snapshot fetched
+// from the primary — first sync into an empty directory when the
+// primary has already compacted, or recovery from a mid-stream gap.
+// The snapshot lands on disk first (temp + fsync + rename, like a
+// compaction snapshot) so a crash mid-bootstrap recovers from it
+// instead of refetching.
+func (f *Follower) bootstrap(ctx context.Context) error {
+	lsn, body, err := f.cli.FetchSnapshot(ctx)
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	f.mu.Lock()
+	applied := f.applied
+	f.mu.Unlock()
+	if lsn <= applied {
+		return fmt.Errorf("eta2: bootstrap snapshot at LSN %d does not advance past applied %d", lsn, applied)
+	}
+
+	tmp := filepath.Join(f.dir, fmt.Sprintf("snapshot-%020d.tmp", lsn))
+	out, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("eta2: bootstrap: %w", err)
+	}
+	if _, err := io.Copy(out, body); err != nil {
+		out.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("eta2: bootstrap: %w", err)
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("eta2: bootstrap: %w", err)
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("eta2: bootstrap: %w", err)
+	}
+	final := filepath.Join(f.dir, fmt.Sprintf("snapshot-%020d.bin", lsn))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("eta2: bootstrap: %w", err)
+	}
+	syncDir(f.dir)
+
+	restored, err := loadSnapshotFile(final, f.restoreOpt)
+	if err != nil {
+		os.Remove(final) // torn transfer; refetch next round
+		return err
+	}
+	if err := f.s.adoptRestored(restored, lsn); err != nil {
+		return f.fail(err)
+	}
+	// Drop superseded local snapshots and the WAL prefix the new
+	// snapshot covers (usually everything).
+	if snaps, err := listSnapshots(f.dir); err == nil {
+		for _, sn := range snaps {
+			if sn.lsn < lsn {
+				_ = os.Remove(sn.path)
+			}
+		}
+	}
+	if err := f.wlog.TruncateThrough(lsn); err != nil {
+		return f.fail(fmt.Errorf("eta2: bootstrap truncate: %w", err))
+	}
+
+	f.mu.Lock()
+	f.applied = lsn
+	f.snapLSN = lsn
+	f.bootstraps++
+	f.mu.Unlock()
+	mReplBootstraps.Inc()
+	mReplAppliedLSN.Set(float64(lsn))
+	return nil
+}
+
+// compactLocal writes a local snapshot at the applied frontier and
+// truncates the covered WAL prefix, bounding both the local disk
+// footprint and restart replay time. Runs only from the pull loop (or
+// Close, after the loop has stopped), so the captured state is exactly
+// the applied frontier.
+func (f *Follower) compactLocal() {
+	s := f.s
+	s.mu.RLock()
+	st := s.persistStateLocked()
+	s.mu.RUnlock()
+	f.mu.Lock()
+	lsn := f.applied
+	f.mu.Unlock()
+	cap := compactionCapture{st: st, lsn: lsn, journal: f.wlog, dir: f.dir}
+	if err := writeSnapshot(cap); err != nil {
+		mCompactionsFailed.Inc()
+		return
+	}
+	f.mu.Lock()
+	f.snapLSN = lsn
+	f.compactions++
+	f.lastCompaction = time.Now()
+	f.mu.Unlock()
+	s.mu.Lock()
+	if lsn > s.snapLSN {
+		s.snapLSN = lsn
+		s.publishLocked()
+	}
+	s.mu.Unlock()
+}
+
+// Promote stops the pull loop and turns the follower into a writable
+// primary in place: the local log — already at the applied frontier —
+// becomes the write journal, and the published role flips so the
+// lock-free write gate opens. The promoted node is a full primary: it
+// journals, compacts, and can serve its own followers. Everything the
+// old primary committed past our applied frontier is abandoned (that is
+// the failover contract: promote the most caught-up replica).
+func (f *Follower) Promote() error {
+	f.cancel()
+	<-f.done
+	f.mu.Lock()
+	if f.promoted {
+		f.mu.Unlock()
+		return errors.New("eta2: already promoted")
+	}
+	applied, snapLSN := f.applied, f.snapLSN
+	f.mu.Unlock()
+
+	// Seal the local log: every applied record durable before we accept
+	// the first write of our own.
+	if err := f.wlog.Sync(); err != nil {
+		return fmt.Errorf("eta2: promote: %w", err)
+	}
+
+	s := f.s
+	s.mu.Lock()
+	s.journal = f.wlog
+	s.journalDir = f.dir
+	s.journalPolicy = f.policy
+	s.lastLSN = applied
+	s.snapLSN = snapLSN
+	s.role = rolePrimary
+	s.primaryAddr = ""
+	s.publishLocked()
+	s.mu.Unlock()
+
+	f.mu.Lock()
+	f.promoted = true
+	f.mu.Unlock()
+	mReplPromotions.Inc()
+	return nil
+}
+
+// Close stops the pull loop and releases the local log. A not-promoted
+// follower writes a final local snapshot first so the next OpenFollower
+// recovers without replay; a promoted one closes as the primary it now
+// is (Server.Close writes the final snapshot and detaches the journal).
+func (f *Follower) Close() error {
+	f.cancel()
+	<-f.done
+	f.mu.Lock()
+	promoted := f.promoted
+	f.mu.Unlock()
+	if promoted {
+		return f.s.Close()
+	}
+	f.compactLocal()
+	return f.wlog.Close()
+}
+
+// ReplicationStatus reports the follower's replication position,
+// overlaying the pull loop's view of the primary on the server's own
+// frontier. After promotion it delegates to the promoted server.
+func (f *Follower) ReplicationStatus() ReplicationStatus {
+	f.mu.Lock()
+	if f.promoted {
+		f.mu.Unlock()
+		return f.s.ReplicationStatus()
+	}
+	defer f.mu.Unlock()
+	rs := ReplicationStatus{
+		Role:               roleFollower.String(),
+		Primary:            f.primaryURL,
+		AppliedLSN:         f.applied,
+		CommittedLSN:       f.wlog.CommittedLSN(),
+		PrimaryFrontier:    f.frontier,
+		Connected:          f.connected,
+		Reconnects:         f.reconnects,
+		SnapshotBootstraps: f.bootstraps,
+	}
+	if f.frontier > f.applied {
+		rs.LagRecords = f.frontier - f.applied
+		if !f.behindSince.IsZero() {
+			rs.LagSeconds = time.Since(f.behindSince).Seconds()
+		}
+	}
+	return rs
+}
+
+// DurabilityStats reports the follower's local log the way a primary's
+// DurabilityStats reports its journal (the embedded server's own method
+// reports disabled while the journal is detached).
+func (f *Follower) DurabilityStats() DurabilityStats {
+	f.mu.Lock()
+	if f.promoted {
+		f.mu.Unlock()
+		return f.s.DurabilityStats()
+	}
+	defer f.mu.Unlock()
+	wst := f.wlog.Stats()
+	return DurabilityStats{
+		Enabled:        true,
+		Dir:            f.dir,
+		Segments:       wst.Segments,
+		WALBytes:       wst.Bytes,
+		LastLSN:        f.applied,
+		CommittedLSN:   f.wlog.CommittedLSN(),
+		SnapshotLSN:    f.snapLSN,
+		Compactions:    f.compactions,
+		LastCompaction: f.lastCompaction,
+	}
+}
+
+// adoptRestored replaces the server's state with a restored snapshot
+// server's (follower bootstrap). The clustering engine is rebuilt so its
+// distance closure reads the live server's vectors, not the temporary
+// restore target's. One publish makes the swap atomic for readers.
+//
+//eta2:journalfirst-ok adopts a snapshot of state the primary already journaled; nothing new to journal
+func (s *Server) adoptRestored(r *Server, lsn uint64) error {
+	var eng *cluster.Engine
+	if r.clusterer != nil {
+		var err error
+		eng, err = cluster.Restore(r.clusterer.State(), func(a, b int) float64 {
+			return semantic.Distance(s.vectors[a], s.vectors[b])
+		})
+		if err != nil {
+			return fmt.Errorf("eta2: bootstrap restore clusterer: %w", err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg = r.cfg
+	s.users = r.users
+	s.userOrder = r.userOrder
+	s.tasks = r.tasks
+	s.domainOf = r.domainOf
+	s.pending = r.pending
+	s.store = r.store
+	s.vectors = r.vectors
+	s.itemToTask = r.itemToTask
+	s.observations = r.observations
+	s.truths = r.truths
+	s.day = r.day
+	s.lastNewDomains = r.lastNewDomains
+	s.lastMerges = r.lastMerges
+	s.clusterer = eng
+	if s.vectorizer == nil {
+		s.vectorizer = r.vectorizer
+	}
+	s.lastLSN = lsn
+	s.snapLSN = lsn
+	s.publishLocked()
+	return nil
+}
+
+// sleepCtx sleeps for d unless ctx is canceled first; reports whether
+// the full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func nextBackoff(cur, max time.Duration) time.Duration {
+	cur *= 2
+	if cur > max {
+		cur = max
+	}
+	return cur
+}

@@ -115,6 +115,26 @@ func (c *Client) Durability(ctx context.Context) (DurabilityJSON, error) {
 	return resp, nil
 }
 
+// Replication fetches the node's replication status (role, LSN
+// frontiers, lag).
+func (c *Client) Replication(ctx context.Context) (ReplicationJSON, error) {
+	var resp ReplicationJSON
+	if err := c.get(ctx, "/v1/admin/replication", &resp); err != nil {
+		return ReplicationJSON{}, err
+	}
+	return resp, nil
+}
+
+// Promote asks a follower node to become a writable primary, returning
+// its post-promotion replication status.
+func (c *Client) Promote(ctx context.Context) (ReplicationJSON, error) {
+	var resp ReplicationJSON
+	if err := c.post(ctx, "/v1/admin/promote", struct{}{}, &resp); err != nil {
+		return ReplicationJSON{}, err
+	}
+	return resp, nil
+}
+
 // Compact asks the server to snapshot its state and truncate the
 // write-ahead log, returning the post-compaction durability state.
 func (c *Client) Compact(ctx context.Context) (DurabilityJSON, error) {

@@ -27,13 +27,17 @@ import (
 	"time"
 
 	"eta2"
+	"eta2/internal/repl"
 )
 
 // Handler serves the ETA² HTTP API. It is a thin concurrent front: all
 // synchronization lives in eta2.Server.
 type Handler struct {
 	server *eta2.Server
-	mux    *http.ServeMux
+	// follower is set by NewFollower: admin endpoints then report the
+	// follower's replication view and promote acts on it.
+	follower *eta2.Follower
+	mux      *http.ServeMux
 }
 
 var _ http.Handler = (*Handler)(nil)
@@ -55,6 +59,10 @@ func New(server *eta2.Server) *Handler {
 		"/v1/expertise":            h.handleExpertise,
 		"/v1/admin/durability":     h.handleDurability,
 		"/v1/admin/compact":        h.handleCompact,
+		"/v1/admin/replication":    h.handleReplication,
+		"/v1/admin/promote":        h.handlePromote,
+		repl.LogPath:               h.handleReplLog,
+		repl.SnapshotPath:          h.handleReplSnapshot,
 	}
 	for pattern, fn := range routes {
 		h.mux.HandleFunc(pattern, instrument(pattern, fn))
@@ -128,7 +136,10 @@ type DurabilityJSON struct {
 	WALBytes    int64  `json:"wal_bytes"`
 	LastLSN     uint64 `json:"last_lsn"`
 	SnapshotLSN uint64 `json:"snapshot_lsn"`
-	Compactions int    `json:"compactions"`
+	// CommittedLSN is the WAL acknowledgement frontier — what replication
+	// ships; LastLSN minus a follower's applied_lsn is its lag in records.
+	CommittedLSN uint64 `json:"committed_lsn"`
+	Compactions  int    `json:"compactions"`
 	// LastCompaction is RFC 3339, empty if no compaction ran this process.
 	LastCompaction string `json:"last_compaction,omitempty"`
 }
@@ -326,7 +337,7 @@ func (h *Handler) handleDurability(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	st := h.server.DurabilityStats()
+	st := h.durabilityStats()
 	writeJSON(w, http.StatusOK, durabilityJSON(st))
 }
 
@@ -352,13 +363,14 @@ func (h *Handler) handleCompact(w http.ResponseWriter, r *http.Request) {
 
 func durabilityJSON(st eta2.DurabilityStats) DurabilityJSON {
 	out := DurabilityJSON{
-		Enabled:     st.Enabled,
-		Dir:         st.Dir,
-		Segments:    st.Segments,
-		WALBytes:    st.WALBytes,
-		LastLSN:     st.LastLSN,
-		SnapshotLSN: st.SnapshotLSN,
-		Compactions: st.Compactions,
+		Enabled:      st.Enabled,
+		Dir:          st.Dir,
+		Segments:     st.Segments,
+		WALBytes:     st.WALBytes,
+		LastLSN:      st.LastLSN,
+		SnapshotLSN:  st.SnapshotLSN,
+		CommittedLSN: st.CommittedLSN,
+		Compactions:  st.Compactions,
 	}
 	if !st.LastCompaction.IsZero() {
 		out.LastCompaction = st.LastCompaction.Format(time.RFC3339)
@@ -419,7 +431,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError writes the JSON error envelope. A *eta2.FollowerWriteError
+// overrides the caller's status with 503 Service Unavailable — the
+// mutation reached a read replica; the message names the primary to
+// write to instead.
 func writeError(w http.ResponseWriter, status int, err error) {
+	var fw *eta2.FollowerWriteError
+	if errors.As(err, &fw) {
+		status = http.StatusServiceUnavailable
+	}
 	writeJSON(w, status, errorJSON{Error: err.Error()})
 }
 

@@ -1,0 +1,109 @@
+package repl
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"eta2/internal/wal"
+)
+
+// Client is the follower-side HTTP client for the replication protocol.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient talks to the primary at base (scheme://host[:port]). A nil
+// hc uses a client with no overall timeout — long-poll requests bound
+// themselves via the wait parameter plus a grace margin per request.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// FetchLog pulls one batch of committed records with LSN >= from,
+// invoking fn for each decoded frame in order, and returns the primary's
+// committed frontier at serve time plus the record count. A compacted
+// cursor surfaces as wal.ErrCompacted — the caller must bootstrap from a
+// snapshot. fn's payload slice is reused between calls.
+func (c *Client) FetchLog(ctx context.Context, from uint64, wait time.Duration, max int, fn func(lsn uint64, payload []byte) error) (frontier uint64, n int, err error) {
+	q := url.Values{}
+	q.Set("from", strconv.FormatUint(from, 10))
+	if wait > 0 {
+		q.Set("wait", wait.String())
+	}
+	if max > 0 {
+		q.Set("max", strconv.Itoa(max))
+	}
+	// Bound the whole request: the primary parks at most wait, so
+	// anything much longer means a wedged connection, not a quiet log.
+	rctx, cancel := context.WithTimeout(ctx, wait+MaxWait)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, c.base+LogPath+"?"+q.Encode(), nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		io.Copy(io.Discard, resp.Body)
+		return 0, 0, wal.ErrCompacted
+	default:
+		return 0, 0, &statusError{code: resp.StatusCode, msg: readErrorBody(resp)}
+	}
+	frontier, err = strconv.ParseUint(resp.Header.Get(HeaderFrontier), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("repl: bad %s header: %w", HeaderFrontier, err)
+	}
+	fr := wal.NewFrameReader(resp.Body, from-1)
+	for {
+		lsn, payload, err := fr.Next()
+		if err == io.EOF {
+			return frontier, n, nil
+		}
+		if err != nil {
+			return frontier, n, err
+		}
+		if err := fn(lsn, payload); err != nil {
+			return frontier, n, err
+		}
+		n++
+	}
+}
+
+// FetchSnapshot requests the primary's latest snapshot for bootstrap.
+// The caller owns body and must Close it; the snapshot's own framing
+// (length prefix + CRC32C) authenticates the bytes end to end.
+func (c *Client) FetchSnapshot(ctx context.Context) (lsn uint64, body io.ReadCloser, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+SnapshotPath, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return 0, nil, &statusError{code: resp.StatusCode, msg: readErrorBody(resp)}
+	}
+	lsn, err = strconv.ParseUint(resp.Header.Get(HeaderSnapshotLSN), 10, 64)
+	if err != nil {
+		resp.Body.Close()
+		return 0, nil, fmt.Errorf("repl: bad %s header: %w", HeaderSnapshotLSN, err)
+	}
+	return lsn, resp.Body, nil
+}

@@ -1,0 +1,15 @@
+package repl
+
+import "eta2/internal/obs"
+
+// Primary-side shipping metrics. The follower-side apply/lag metrics
+// live with the follower implementation in the root package; the split
+// mirrors which process actually moves each number.
+var (
+	mShippedRecords = obs.Default().Counter("eta2_repl_shipped_records_total",
+		"WAL records shipped to replication log readers.")
+	mShippedBytes = obs.Default().Counter("eta2_repl_shipped_bytes_total",
+		"Framed bytes shipped to replication log readers.")
+	mSnapshotsServed = obs.Default().Counter("eta2_repl_snapshots_served_total",
+		"Bootstrap snapshots served to followers.")
+)

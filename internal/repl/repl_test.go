@@ -1,0 +1,182 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"eta2/internal/wal"
+)
+
+// logSource adapts a raw wal.Log plus a fixed snapshot to the Source
+// interface, standing in for the server.
+type logSource struct {
+	l        *wal.Log
+	snapLSN  uint64
+	snapshot []byte
+}
+
+func (s *logSource) CommittedLSN() (uint64, error) { return s.l.CommittedLSN(), nil }
+func (s *logSource) WaitCommitted(after uint64, timeout time.Duration) (uint64, error) {
+	return s.l.WaitCommitted(after, timeout), nil
+}
+func (s *logSource) ReadCommitted(from uint64, max int, fn func(uint64, []byte) error) (int, error) {
+	return s.l.ReadCommitted(from, max, fn)
+}
+func (s *logSource) CaptureReplicationSnapshot() (uint64, func(io.Writer) error, error) {
+	return s.snapLSN, func(w io.Writer) error {
+		_, err := w.Write(s.snapshot)
+		return err
+	}, nil
+}
+
+func newTestPrimary(t *testing.T) (*logSource, *Client) {
+	t.Helper()
+	l, err := wal.Open(t.TempDir(), wal.Options{Sync: wal.SyncNever, SegmentSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	src := &logSource{l: l, snapLSN: 7, snapshot: []byte("snapshot-bytes")}
+	mux := http.NewServeMux()
+	mux.HandleFunc(LogPath, func(w http.ResponseWriter, r *http.Request) { ServeLog(src, w, r) })
+	mux.HandleFunc(SnapshotPath, func(w http.ResponseWriter, r *http.Request) { ServeSnapshot(src, w, r) })
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return src, NewClient(ts.URL, ts.Client())
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	src, cli := newTestPrimary(t)
+	var want []string
+	for i := 0; i < 25; i++ {
+		p := fmt.Sprintf("payload-%02d", i)
+		if _, err := src.l.Append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, p)
+	}
+
+	var got []string
+	cursor := uint64(0)
+	for {
+		frontier, n, err := cli.FetchLog(context.Background(), cursor+1, 0, 10, func(lsn uint64, payload []byte) error {
+			got = append(got, string(payload))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frontier != 25 {
+			t.Fatalf("frontier = %d, want 25", frontier)
+		}
+		if n == 0 {
+			break
+		}
+		if n > 10 {
+			t.Fatalf("batch of %d exceeds max 10", n)
+		}
+		cursor += uint64(n)
+	}
+	if len(got) != 25 {
+		t.Fatalf("fetched %d records, want 25", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLogLongPollWakesOnCommit(t *testing.T) {
+	src, cli := newTestPrimary(t)
+	if _, err := src.l.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		n   int
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		_, n, err := cli.FetchLog(context.Background(), 2, 10*time.Second, 0, func(uint64, []byte) error { return nil })
+		done <- result{n, err}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if _, err := src.l.Append([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-done:
+		if r.err != nil || r.n != 1 {
+			t.Fatalf("long poll: n=%d err=%v, want 1 record", r.n, r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long poll did not wake on commit")
+	}
+
+	// A zero-wait poll at the frontier returns immediately and empty.
+	start := time.Now()
+	_, n, err := cli.FetchLog(context.Background(), 3, 0, 0, func(uint64, []byte) error { return nil })
+	if err != nil || n != 0 {
+		t.Fatalf("caught-up poll: n=%d err=%v", n, err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("zero-wait poll blocked")
+	}
+}
+
+func TestLogCompactedCursor(t *testing.T) {
+	src, cli := newTestPrimary(t)
+	for i := 0; i < 20; i++ {
+		if _, err := src.l.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.l.TruncateThrough(10); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := cli.FetchLog(context.Background(), 1, 0, 0, func(uint64, []byte) error { return nil })
+	if !errors.Is(err, wal.ErrCompacted) {
+		t.Fatalf("pruned cursor: err = %v, want wal.ErrCompacted", err)
+	}
+	first := src.l.Stats().FirstLSN
+	_, n, err := cli.FetchLog(context.Background(), first, 0, 0, func(uint64, []byte) error { return nil })
+	if err != nil || n != int(20-first+1) {
+		t.Fatalf("post-compaction cursor %d: n=%d err=%v", first, n, err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src, cli := newTestPrimary(t)
+	lsn, body, err := cli.FetchSnapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer body.Close()
+	if lsn != src.snapLSN {
+		t.Fatalf("snapshot lsn = %d, want %d", lsn, src.snapLSN)
+	}
+	data, err := io.ReadAll(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(src.snapshot) {
+		t.Fatalf("snapshot body = %q", data)
+	}
+}
+
+func TestLogBadParams(t *testing.T) {
+	_, cli := newTestPrimary(t)
+	for _, from := range []uint64{0} {
+		if _, _, err := cli.FetchLog(context.Background(), from, 0, 0, func(uint64, []byte) error { return nil }); err == nil {
+			t.Fatalf("from=%d accepted", from)
+		}
+	}
+}

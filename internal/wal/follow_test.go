@@ -1,0 +1,338 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+)
+
+// collect drains ReadCommitted into a map of copied payloads.
+func collect(t *testing.T, l *Log, from uint64, max int) (map[uint64]string, int) {
+	t.Helper()
+	got := map[uint64]string{}
+	n, err := l.ReadCommitted(from, max, func(lsn uint64, payload []byte) error {
+		got[lsn] = string(payload)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReadCommitted(from=%d): %v", from, err)
+	}
+	return got, n
+}
+
+func TestReadCommittedNeverSurfacesBufferedRecords(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	committed, err := l.Append([]byte("durable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffered, err := l.AppendBuffered([]byte("page-cache only"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.CommittedLSN(); got != committed {
+		t.Fatalf("CommittedLSN = %d, want %d", got, committed)
+	}
+	got, n := collect(t, l, 1, 0)
+	if n != 1 || got[committed] != "durable" {
+		t.Fatalf("read %d records %v, want only lsn %d", n, got, committed)
+	}
+	if _, ok := got[buffered]; ok {
+		t.Fatalf("buffered-only record %d surfaced to a reader", buffered)
+	}
+	// Commit makes it visible.
+	if err := l.Commit(buffered); err != nil {
+		t.Fatal(err)
+	}
+	got, n = collect(t, l, 1, 0)
+	if n != 2 || got[buffered] != "page-cache only" {
+		t.Fatalf("after Commit: read %d records %v", n, got)
+	}
+}
+
+func TestReadCommittedTailFollow(t *testing.T) {
+	// A reader parked at the live tail must see each record exactly once,
+	// in order, as Commits land — across policies where the committed
+	// frontier is and is not the durable frontier.
+	for _, pol := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		t.Run(fmt.Sprintf("policy=%d", pol), func(t *testing.T) {
+			l, err := Open(t.TempDir(), Options{Sync: pol, SyncEvery: time.Hour})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			cursor := uint64(0)
+			for i := 0; i < 20; i++ {
+				want := fmt.Sprintf("rec-%d", i)
+				lsn, err := l.Append([]byte(want))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, n := collect(t, l, cursor+1, 0)
+				if n != 1 || got[lsn] != want {
+					t.Fatalf("tail read after commit %d: got %d records %v", lsn, n, got)
+				}
+				cursor = lsn
+			}
+			if _, n := collect(t, l, cursor+1, 0); n != 0 {
+				t.Fatalf("read past the frontier returned %d records", n)
+			}
+		})
+	}
+}
+
+func TestReadCommittedSurvivesRotationAndTruncate(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncNever, SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var last uint64
+	for i := 0; i < 30; i++ {
+		lsn, err := l.Append([]byte(fmt.Sprintf("record-%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = lsn
+	}
+	if st := l.Stats(); st.Segments < 3 {
+		t.Fatalf("want rotation across >=3 segments, got %d", st.Segments)
+	}
+	got, n := collect(t, l, 1, 0)
+	if n != 30 {
+		t.Fatalf("read %d records across segments, want 30", n)
+	}
+	for i := 0; i < 30; i++ {
+		if got[uint64(i+1)] != fmt.Sprintf("record-%02d", i) {
+			t.Fatalf("lsn %d: got %q", i+1, got[uint64(i+1)])
+		}
+	}
+
+	// Prune the fully-shipped prefix: a cursor inside it must get
+	// ErrCompacted, a cursor past it must keep working.
+	cut := last - 10
+	if err := l.TruncateThrough(cut); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ReadCommitted(1, 0, func(uint64, []byte) error { return nil }); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("cursor below truncation: err = %v, want ErrCompacted", err)
+	}
+	first := l.Stats().FirstLSN
+	got, n = collect(t, l, first, 0)
+	if want := int(last - first + 1); n != want {
+		t.Fatalf("post-truncate read %d records from %d, want %d", n, first, want)
+	}
+	if got[last] != "record-29" {
+		t.Fatalf("lsn %d: got %q", last, got[last])
+	}
+	// The tail keeps extending after truncation.
+	lsn, err := l.Append([]byte("after-truncate"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = collect(t, l, lsn, 0)
+	if got[lsn] != "after-truncate" {
+		t.Fatalf("tail read after truncate: %v", got)
+	}
+}
+
+func TestReadCommittedMaxAndResume(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var cursor uint64
+	total := 0
+	for {
+		_, n := collect(t, l, cursor+1, 3)
+		if n == 0 {
+			break
+		}
+		if n > 3 {
+			t.Fatalf("batch returned %d > max 3", n)
+		}
+		cursor += uint64(n)
+		total += n
+	}
+	if total != 10 || cursor != 10 {
+		t.Fatalf("resumed batches read %d records to cursor %d", total, cursor)
+	}
+}
+
+func TestWaitCommitted(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	lsn1, err := l.Append([]byte("one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Already-covered waits return immediately.
+	if got := l.WaitCommitted(0, time.Hour); got != lsn1 {
+		t.Fatalf("WaitCommitted(0) = %d, want %d", got, lsn1)
+	}
+	// Timeout with no progress returns the unchanged frontier.
+	start := time.Now()
+	if got := l.WaitCommitted(lsn1, 30*time.Millisecond); got != lsn1 {
+		t.Fatalf("WaitCommitted timeout = %d, want %d", got, lsn1)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("WaitCommitted returned before its timeout with no progress")
+	}
+	// A parked waiter wakes on the next commit.
+	done := make(chan uint64, 1)
+	go func() { done <- l.WaitCommitted(lsn1, 10*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	lsn2, err := l.Append([]byte("two"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-done:
+		if got < lsn2 {
+			t.Fatalf("woken waiter saw frontier %d, want >= %d", got, lsn2)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitCommitted did not wake on commit")
+	}
+	// Close seals the frontier: waiters return instead of sleeping out
+	// their timeout.
+	go func() { done <- l.WaitCommitted(lsn2, 10*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitCommitted did not wake on Close")
+	}
+}
+
+func TestAppendBufferedAtPreservesLSNsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A follower persisting shipped records: contiguous, then a gap (as
+	// after a snapshot bootstrap skipped pruned history).
+	for _, rec := range []struct {
+		lsn     uint64
+		payload string
+	}{{5, "five"}, {6, "six"}, {40, "forty"}, {41, "forty-one"}} {
+		if err := l.AppendBufferedAt(rec.lsn, []byte(rec.payload)); err != nil {
+			t.Fatalf("AppendBufferedAt(%d): %v", rec.lsn, err)
+		}
+	}
+	if err := l.AppendBufferedAt(41, []byte("dup")); err == nil {
+		t.Fatal("AppendBufferedAt accepted an already-assigned LSN")
+	}
+	if err := l.AppendBufferedAt(0, []byte("zero")); err == nil {
+		t.Fatal("AppendBufferedAt accepted LSN 0")
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.NextLSN(); got != 42 {
+		t.Fatalf("reopened NextLSN = %d, want 42", got)
+	}
+	var lsns []uint64
+	var payloads []string
+	if err := l2.Replay(func(lsn uint64, payload []byte) error {
+		lsns = append(lsns, lsn)
+		payloads = append(payloads, string(payload))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wantLSNs := []uint64{5, 6, 40, 41}
+	wantPayloads := []string{"five", "six", "forty", "forty-one"}
+	if len(lsns) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(lsns))
+	}
+	for i := range wantLSNs {
+		if lsns[i] != wantLSNs[i] || payloads[i] != wantPayloads[i] {
+			t.Fatalf("record %d: (%d,%q), want (%d,%q)", i, lsns[i], payloads[i], wantLSNs[i], wantPayloads[i])
+		}
+	}
+	// Recovery resumes the committed frontier at the recovered tail.
+	if got := l2.CommittedLSN(); got != 41 {
+		t.Fatalf("reopened CommittedLSN = %d, want 41", got)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	records := []struct {
+		lsn     uint64
+		payload string
+	}{{3, "alpha"}, {4, ""}, {9, "gamma with a longer payload"}}
+	for _, rec := range records {
+		if err := WriteFrame(&buf, rec.lsn, []byte(rec.payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(bytes.NewReader(buf.Bytes()), 2)
+	for i, rec := range records {
+		lsn, payload, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if lsn != rec.lsn || string(payload) != rec.payload {
+			t.Fatalf("frame %d: (%d,%q), want (%d,%q)", i, lsn, payload, rec.lsn, rec.payload)
+		}
+	}
+	if _, _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("clean end: err = %v, want io.EOF", err)
+	}
+
+	// A torn stream (cut mid-frame) is an error, not EOF.
+	torn := NewFrameReader(bytes.NewReader(buf.Bytes()[:buf.Len()-3]), 2)
+	torn.Next()
+	torn.Next()
+	if _, _, err := torn.Next(); err == nil || err == io.EOF {
+		t.Fatalf("torn frame: err = %v, want decode error", err)
+	}
+
+	// A flipped payload byte fails the checksum.
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[len(raw)-1] ^= 0x40
+	bad := NewFrameReader(bytes.NewReader(raw), 2)
+	bad.Next()
+	bad.Next()
+	if _, _, err := bad.Next(); err == nil || err == io.EOF {
+		t.Fatalf("corrupt frame: err = %v, want decode error", err)
+	}
+
+	// Stale LSNs (at or below the cursor) are rejected.
+	stale := NewFrameReader(bytes.NewReader(buf.Bytes()), 3)
+	if _, _, err := stale.Next(); err == nil || err == io.EOF {
+		t.Fatalf("stale frame lsn: err = %v, want decode error", err)
+	}
+}

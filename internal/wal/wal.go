@@ -167,6 +167,16 @@ type Log struct {
 	syncing  bool   // a commit leader's fsync is in flight
 	durable  uint64 // highest LSN known to be on stable storage
 	lastSync time.Time
+
+	// Replication shipping frontier: the highest LSN acknowledged to a
+	// committer per the sync policy. Under SyncAlways it tracks durable;
+	// under SyncInterval/SyncNever it can run ahead of durable, because a
+	// record is acknowledged (and may be shipped to followers) as soon as
+	// Commit returns. Guarded by syncMu; commitWatch is closed and
+	// replaced each time the frontier advances so pollers can park.
+	committed    uint64
+	commitWatch  chan struct{}
+	commitSealed bool // Close ran: the frontier will never advance again
 }
 
 // Open opens (or creates) the log in dir, validates every segment, and
@@ -184,6 +194,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	l := &Log{dir: dir, opts: opts, next: 1}
 	l.syncCond = sync.NewCond(&l.syncMu)
+	l.commitWatch = make(chan struct{})
 
 	segs, err := listSegments(dir)
 	if err != nil {
@@ -221,6 +232,11 @@ func Open(dir string, opts Options) (*Log, error) {
 			break
 		}
 	}
+	// Every record that survived recovery was acknowledged before the
+	// previous process exited (or was torn-truncated away above), so the
+	// shipping frontier resumes at the recovered tail — before any LSN
+	// floor bump, which names records that do NOT exist in this log.
+	l.committed = l.next - 1
 	if opts.NextLSNFloor > l.next {
 		l.next = opts.NextLSNFloor
 	}
@@ -412,6 +428,26 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 // order even under concurrency: both happen under the same mutex. The
 // record is not durable until a later Commit/Sync covers its LSN.
 func (l *Log) AppendBuffered(payload []byte) (uint64, error) {
+	return l.appendAt(0, payload)
+}
+
+// AppendBufferedAt writes a record carrying a caller-supplied LSN instead
+// of assigning the next one — the replication follower's entry point for
+// persisting records shipped from a primary under their original LSNs.
+// The LSN must be at least the log's next LSN (gaps are allowed: a
+// follower that bootstrapped from a snapshot resumes past the records the
+// snapshot covers); reusing an already-assigned LSN is refused.
+func (l *Log) AppendBufferedAt(lsn uint64, payload []byte) error {
+	if lsn == 0 {
+		return fmt.Errorf("wal: AppendBufferedAt: lsn must be nonzero")
+	}
+	_, err := l.appendAt(lsn, payload)
+	return err
+}
+
+// appendAt is the shared append body: at == 0 assigns the next LSN,
+// otherwise the record is written under LSN at (which must be >= next).
+func (l *Log) appendAt(at uint64, payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -423,6 +459,9 @@ func (l *Log) AppendBuffered(payload []byte) (uint64, error) {
 	if len(payload) > maxPayload {
 		return 0, fmt.Errorf("wal: payload %d bytes exceeds limit %d", len(payload), maxPayload)
 	}
+	if at != 0 && at < l.next {
+		return 0, fmt.Errorf("wal: AppendBufferedAt: lsn %d already assigned (next is %d)", at, l.next)
+	}
 	active := &l.segs[len(l.segs)-1]
 	recLen := int64(headerSize + len(payload))
 	if active.size > 0 && active.size+recLen > l.opts.SegmentSize {
@@ -433,19 +472,10 @@ func (l *Log) AppendBuffered(payload []byte) (uint64, error) {
 	}
 
 	lsn := l.next
-	var header [headerSize]byte
-	binary.BigEndian.PutUint32(header[0:4], uint32(frameOverhead+len(payload)))
-	binary.BigEndian.PutUint64(header[8:16], lsn)
-	header[16] = recordVersion
-	crc := crc32.Update(0, castagnoli, header[8:headerSize])
-	crc = crc32.Update(crc, castagnoli, payload)
-	binary.BigEndian.PutUint32(header[4:8], crc)
-
-	if _, err := l.active.Write(header[:]); err != nil {
-		l.rewind(active)
-		return 0, fmt.Errorf("wal: append: %w", err)
+	if at != 0 {
+		lsn = at
 	}
-	if _, err := l.active.Write(payload); err != nil {
+	if err := WriteFrame(l.active, lsn, payload); err != nil {
 		l.rewind(active)
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
@@ -482,10 +512,18 @@ func (l *Log) rewind(active *segment) {
 func (l *Log) Commit(lsn uint64) error {
 	switch l.opts.Sync {
 	case SyncNever:
+		l.syncMu.Lock()
+		l.advanceCommittedLocked(lsn)
+		l.syncMu.Unlock()
 		return nil
 	case SyncInterval:
 		l.syncMu.Lock()
 		due := time.Since(l.lastSync) >= l.opts.SyncEvery
+		if !due {
+			// Acknowledged without an fsync: the record may ship to
+			// followers even though it is not yet on stable storage.
+			l.advanceCommittedLocked(lsn)
+		}
 		l.syncMu.Unlock()
 		if !due {
 			return nil
@@ -542,6 +580,7 @@ func (l *Log) syncThrough(lsn uint64) error {
 	if err == nil && frontier > l.durable {
 		mBatchRecords.Observe(float64(frontier - l.durable))
 		l.durable = frontier
+		l.advanceCommittedLocked(frontier)
 	}
 	l.lastSync = time.Now()
 	l.syncing = false
@@ -695,7 +734,13 @@ func (l *Log) Close() error {
 	l.syncMu.Lock()
 	if err == nil && frontier > l.durable {
 		l.durable = frontier
+		l.advanceCommittedLocked(frontier)
 	}
+	// Seal the shipping frontier and wake pollers parked in WaitCommitted
+	// so they observe the final value instead of waiting out their timeout.
+	l.commitSealed = true
+	close(l.commitWatch)
+	l.commitWatch = make(chan struct{})
 	l.syncCond.Broadcast()
 	l.syncMu.Unlock()
 	return err

@@ -170,15 +170,40 @@ func listSnapshots(dir string) ([]snapshotFile, error) {
 // journaling new mutations.
 func openDurableServer(cfg config, opts []Option) (*Server, error) {
 	d := cfg.durable
-	if err := os.MkdirAll(d.dir, 0o755); err != nil {
-		return nil, fmt.Errorf("eta2: %w", err)
+	s, wlog, snapLSN, lastLSN, err := recoverDurableState(cfg, opts, d.dir, d.policy)
+	if err != nil {
+		return nil, err
+	}
+
+	// Journal attaches only after replay, so replayed mutations are never
+	// re-journaled.
+	s.journal = wlog
+	s.journalDir = d.dir
+	s.journalPolicy = d.policy
+	s.snapLSN = snapLSN
+	s.lastLSN = lastLSN
+	// Not yet shared; publish so the lock-free query surface sees the
+	// attached journal and recovered LSN frontier.
+	s.publishLocked()
+	return s, nil
+}
+
+// recoverDurableState is the shared recovery core: load the newest
+// readable snapshot under dir, open the WAL, and replay the records past
+// the snapshot. The returned server has NO journal attached — the primary
+// path (openDurableServer) attaches it for write journaling, while a
+// replication follower keeps it detached (the follower's log is a copy of
+// the primary's, written verbatim by the apply loop, not by mutations).
+func recoverDurableState(cfg config, opts []Option, dir string, policy DurabilityPolicy) (*Server, *wal.Log, uint64, uint64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, 0, 0, fmt.Errorf("eta2: %w", err)
 	}
 
 	var s *Server
 	var snapLSN uint64
-	snaps, err := listSnapshots(d.dir)
+	snaps, err := listSnapshots(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, 0, err
 	}
 	for _, sn := range snaps {
 		restored, err := loadSnapshotFile(sn.path, opts)
@@ -187,7 +212,7 @@ func openDurableServer(cfg config, opts []Option) (*Server, error) {
 				// A snapshot this build cannot ever read (e.g. a future
 				// version) must fail loudly, not silently fall back to
 				// stale state.
-				return nil, err
+				return nil, nil, 0, 0, err
 			}
 			// Unreadable/garbage snapshot: fall back to the next older one
 			// (the compactor keeps the previous snapshot until the new one
@@ -199,19 +224,19 @@ func openDurableServer(cfg config, opts []Option) (*Server, error) {
 	}
 	if s == nil {
 		if s, err = newServer(cfg); err != nil {
-			return nil, err
+			return nil, nil, 0, 0, err
 		}
 	}
 
-	wlog, err := wal.Open(d.dir, wal.Options{
-		SegmentSize:  d.policy.SegmentSize,
-		Sync:         d.policy.Fsync.walSync(),
-		SyncEvery:    d.policy.FsyncEvery,
-		SyncDelay:    d.policy.FsyncDelay,
+	wlog, err := wal.Open(dir, wal.Options{
+		SegmentSize:  policy.SegmentSize,
+		Sync:         policy.Fsync.walSync(),
+		SyncEvery:    policy.FsyncEvery,
+		SyncDelay:    policy.FsyncDelay,
 		NextLSNFloor: snapLSN + 1,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("eta2: %w", err)
+		return nil, nil, 0, 0, fmt.Errorf("eta2: %w", err)
 	}
 
 	lastLSN := snapLSN
@@ -231,20 +256,9 @@ func openDurableServer(cfg config, opts []Option) (*Server, error) {
 	})
 	if replayErr != nil {
 		wlog.Close()
-		return nil, replayErr
+		return nil, nil, 0, 0, replayErr
 	}
-
-	// Journal attaches only after replay, so replayed mutations are never
-	// re-journaled.
-	s.journal = wlog
-	s.journalDir = d.dir
-	s.journalPolicy = d.policy
-	s.snapLSN = snapLSN
-	s.lastLSN = lastLSN
-	// Not yet shared; publish so the lock-free query surface sees the
-	// attached journal and recovered LSN frontier.
-	s.publishLocked()
-	return s, nil
+	return s, wlog, snapLSN, lastLSN, nil
 }
 
 // loadSnapshotFile restores a server from one snapshot file, applying the
@@ -262,15 +276,21 @@ func loadSnapshotFile(path string, opts []Option) (*Server, error) {
 	return restoreServer(st, opts...)
 }
 
-// applyEvent re-executes one journaled mutation during recovery.
+// applyEvent re-executes one journaled mutation — during startup
+// recovery, and for every record a replication follower applies from the
+// shipped stream. It goes through the ungated internals (addUsers, not
+// AddUsers) because a follower rejects public writes while still applying
+// the primary's. With s.journal == nil (replay before attach; followers
+// keep it nil until promotion) journalBuffered no-ops, so applied events
+// are never re-journaled.
 //
 //eta2:journalfirst-ok replay applies events already in the journal; re-journaling them would duplicate the log
 func (s *Server) applyEvent(ev walEvent) error {
 	switch ev.Type {
 	case eventAddUsers:
-		return s.AddUsers(ev.Users...)
+		return s.addUsers(ev.Users...)
 	case eventCreateTasks:
-		_, err := s.CreateTasks(ev.Specs...)
+		_, err := s.createTasks(ev.Specs)
 		return err
 	case eventObservations:
 		// Verbatim append: the journaled observations already carry their
@@ -281,7 +301,7 @@ func (s *Server) applyEvent(ev walEvent) error {
 	case eventAllocate:
 		return nil // audit-only: allocation does not mutate server state
 	case eventCloseStep:
-		_, err := s.CloseTimeStep()
+		_, err := s.closeTimeStep()
 		return err
 	default:
 		return fmt.Errorf("unknown event type %q", ev.Type)
@@ -612,6 +632,7 @@ func (s *Server) DurabilityStats() DurabilityStats {
 		Segments:       wst.Segments,
 		WALBytes:       wst.Bytes,
 		LastLSN:        st.lastLSN,
+		CommittedLSN:   st.journal.CommittedLSN(),
 		SnapshotLSN:    st.snapLSN,
 		Compactions:    st.compactions,
 		LastCompaction: st.lastCompaction,

@@ -47,6 +47,28 @@ var (
 		"Compaction cycles that aborted on an error (the size threshold retries at the next closed step).")
 )
 
+// Follower-side replication metrics (the primary-side shipping counters
+// live in internal/repl). Updated by the Follower pull loop; all zero on
+// a process that never opened a follower.
+var (
+	mReplApplied = obs.Default().Counter("eta2_repl_applied_records_total",
+		"Shipped WAL records applied by the replication follower.")
+	mReplAppliedLSN = obs.Default().Gauge("eta2_repl_applied_lsn",
+		"Newest LSN applied by the replication follower.")
+	mReplPrimaryFrontier = obs.Default().Gauge("eta2_repl_primary_frontier_lsn",
+		"Primary's committed frontier as of the follower's last successful fetch.")
+	mReplLagRecords = obs.Default().Gauge("eta2_repl_lag_records",
+		"Records between the primary's committed frontier and the follower's applied LSN.")
+	mReplLagSeconds = obs.Default().Gauge("eta2_repl_lag_seconds",
+		"How long the follower has continuously been behind the primary's frontier.")
+	mReplReconnects = obs.Default().Counter("eta2_repl_reconnects_total",
+		"Follower fetch failures that forced a backoff and reconnect.")
+	mReplBootstraps = obs.Default().Counter("eta2_repl_snapshot_bootstraps_total",
+		"Full snapshot bootstraps performed by the follower.")
+	mReplPromotions = obs.Default().Counter("eta2_repl_promotions_total",
+		"Follower-to-primary promotions performed by this process.")
+)
+
 // publishMetricsLocked refreshes the server-shape gauges. Callers hold
 // s.mu (read or write); every store is a single atomic, so the cost is a
 // handful of nanoseconds on the mutation path.

@@ -1,0 +1,298 @@
+package eta2
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"eta2/internal/repl"
+)
+
+// replTestServer exposes a primary's replication endpoints the way
+// internal/httpapi wires them (the root package cannot import httpapi
+// without a cycle, so the two routes are mounted directly).
+func replTestServer(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc(repl.LogPath, func(w http.ResponseWriter, r *http.Request) { repl.ServeLog(s, w, r) })
+	mux.HandleFunc(repl.SnapshotPath, func(w http.ResponseWriter, r *http.Request) { repl.ServeSnapshot(s, w, r) })
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// fastFollowerOptions keeps test pull loops snappy.
+func fastFollowerOptions(dir string) FollowerOptions {
+	return FollowerOptions{
+		DataDir:  dir,
+		Policy:   DurabilityPolicy{Fsync: FsyncNever, CompactAt: -1, SegmentSize: 512},
+		PollWait: 200 * time.Millisecond,
+		RetryMin: 5 * time.Millisecond,
+		RetryMax: 50 * time.Millisecond,
+	}
+}
+
+// waitApplied blocks until the follower has applied through lsn.
+func waitApplied(t *testing.T, f *Follower, lsn uint64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if err := f.Err(); err != nil {
+			t.Fatalf("follower halted: %v", err)
+		}
+		rs := f.ReplicationStatus()
+		if rs.AppliedLSN >= lsn {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at LSN %d waiting for %d (status %+v)", rs.AppliedLSN, lsn, rs)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFollowerBitIdenticalAtEveryBoundary is the replication acceptance
+// test: after every scripted mutation on the primary, the follower —
+// converged to the same LSN — must hold bit-identical state. Midway the
+// follower is restarted from its own data directory (resume without
+// refetching history) and the primary compacts its shipped WAL prefix
+// (an already-caught-up cursor must survive the truncation).
+func TestFollowerBitIdenticalAtEveryBoundary(t *testing.T) {
+	pdir, fdir := t.TempDir(), t.TempDir()
+	tuning := []Option{WithEmbedder(rootTestEmbedder(t)), WithAlpha(0.7), WithGamma(0.5)}
+	primary, err := NewServer(append([]Option{
+		WithDurability(pdir, DurabilityPolicy{Fsync: FsyncNever, CompactAt: -1, SegmentSize: 512}),
+	}, tuning...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	ts := replTestServer(t, primary)
+
+	f, err := OpenFollower(ts.URL, fastFollowerOptions(fdir), tuning...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { f.Close() }()
+
+	ops := durableScript(t)
+	for i, op := range ops {
+		if err := op(primary); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		want := saveBytes(t, primary)
+		lsn := primary.DurabilityStats().LastLSN
+		waitApplied(t, f, lsn)
+		if got := saveBytes(t, f.Server()); string(got) != string(want) {
+			t.Fatalf("op %d: follower state diverged from primary at LSN %d", i, lsn)
+		}
+		fst := f.DurabilityStats()
+		if fst.LastLSN != lsn {
+			t.Fatalf("op %d: follower log at LSN %d, want %d", i, fst.LastLSN, lsn)
+		}
+
+		switch i {
+		case 2:
+			// Follower restart mid-stream: the new instance must recover
+			// from its own directory and resume at the same frontier.
+			if err := f.Close(); err != nil {
+				t.Fatalf("op %d: close follower: %v", i, err)
+			}
+			if f, err = OpenFollower(ts.URL, fastFollowerOptions(fdir), tuning...); err != nil {
+				t.Fatalf("op %d: reopen follower: %v", i, err)
+			}
+			if got := f.ReplicationStatus().AppliedLSN; got != lsn {
+				t.Fatalf("op %d: reopened follower resumed at LSN %d, want %d", i, got, lsn)
+			}
+			if got := saveBytes(t, f.Server()); string(got) != string(want) {
+				t.Fatalf("op %d: reopened follower state diverged", i)
+			}
+		case 5:
+			// Primary compaction mid-stream: shipped segments are pruned,
+			// but a caught-up follower streams on without a bootstrap.
+			if err := primary.Compact(); err != nil {
+				t.Fatalf("op %d: compact primary: %v", i, err)
+			}
+		}
+	}
+	if n := f.ReplicationStatus().SnapshotBootstraps; n != 0 {
+		t.Fatalf("attached-from-genesis follower bootstrapped %d times, want 0", n)
+	}
+}
+
+// TestFollowerBootstrapAfterCompaction attaches a brand-new follower to
+// a primary whose history is already compacted away: the only path to
+// the current state is the snapshot bootstrap, after which streaming
+// resumes for new writes.
+func TestFollowerBootstrapAfterCompaction(t *testing.T) {
+	pdir := t.TempDir()
+	tuning := []Option{WithEmbedder(rootTestEmbedder(t)), WithAlpha(0.7), WithGamma(0.5)}
+	primary, err := NewServer(append([]Option{
+		WithDurability(pdir, DurabilityPolicy{Fsync: FsyncNever, CompactAt: -1, SegmentSize: 512}),
+	}, tuning...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+
+	ops := durableScript(t)
+	for i, op := range ops[:len(ops)-1] {
+		if err := op(primary); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if err := primary.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := replTestServer(t, primary)
+	f, err := OpenFollower(ts.URL, fastFollowerOptions(t.TempDir()), tuning...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	waitApplied(t, f, primary.DurabilityStats().LastLSN)
+	if got, want := saveBytes(t, f.Server()), saveBytes(t, primary); string(got) != string(want) {
+		t.Fatal("bootstrapped follower state diverged from primary")
+	}
+	if n := f.ReplicationStatus().SnapshotBootstraps; n < 1 {
+		t.Fatalf("late-attaching follower reported %d bootstraps, want >= 1", n)
+	}
+
+	// Streaming resumes after the bootstrap for fresh writes.
+	last := ops[len(ops)-1]
+	if err := last(primary); err != nil {
+		t.Fatal(err)
+	}
+	waitApplied(t, f, primary.DurabilityStats().LastLSN)
+	if got, want := saveBytes(t, f.Server()), saveBytes(t, primary); string(got) != string(want) {
+		t.Fatal("follower diverged on the first post-bootstrap record")
+	}
+}
+
+// TestFollowerRejectsWrites pins the write gate: every public mutation
+// on a follower fails with *FollowerWriteError naming the primary, and
+// reads keep working throughout.
+func TestFollowerRejectsWrites(t *testing.T) {
+	pdir := t.TempDir()
+	primary, err := NewServer(WithDurability(pdir, DurabilityPolicy{Fsync: FsyncNever}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	if err := primary.AddUsers(User{ID: 1, Capacity: 5}); err != nil {
+		t.Fatal(err)
+	}
+	ts := replTestServer(t, primary)
+
+	f, err := OpenFollower(ts.URL, fastFollowerOptions(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	waitApplied(t, f, primary.DurabilityStats().LastLSN)
+
+	s := f.Server()
+	muts := map[string]func() error{
+		"AddUsers":    func() error { return s.AddUsers(User{ID: 2, Capacity: 1}) },
+		"CreateTasks": func() error { _, err := s.CreateTasks(TaskSpec{DomainHint: 1, ProcTime: 1}); return err },
+		"SubmitObservations": func() error {
+			return s.SubmitObservations(Observation{Task: 0, User: 1, Value: 1})
+		},
+		"CloseTimeStep":      func() error { _, err := s.CloseTimeStep(); return err },
+		"AllocateMaxQuality": func() error { _, err := s.AllocateMaxQuality(); return err },
+		"AllocateMinCost":    func() error { _, err := s.AllocateMinCost(MinCostParams{}, nil); return err },
+	}
+	for name, mut := range muts {
+		err := mut()
+		var fw *FollowerWriteError
+		if !errors.As(err, &fw) {
+			t.Fatalf("%s on follower: got %v, want *FollowerWriteError", name, err)
+		}
+		if fw.Primary != ts.URL {
+			t.Fatalf("%s error names primary %q, want %q", name, fw.Primary, ts.URL)
+		}
+	}
+	if got := s.NumUsers(); got != 1 {
+		t.Fatalf("follower reads broken: %d users, want 1", got)
+	}
+	if rs := f.ReplicationStatus(); rs.Role != "follower" || rs.Primary != ts.URL {
+		t.Fatalf("replication status %+v, want follower of %s", rs, ts.URL)
+	}
+}
+
+// TestPromoteFlipsFollowerToPrimary kills the primary, promotes the
+// caught-up follower, and verifies the promoted node accepts writes,
+// journals them to its own log, and can serve a follower of its own —
+// a full failover chain.
+func TestPromoteFlipsFollowerToPrimary(t *testing.T) {
+	pdir := t.TempDir()
+	tuning := []Option{WithEmbedder(rootTestEmbedder(t)), WithAlpha(0.7), WithGamma(0.5)}
+	primary, err := NewServer(append([]Option{
+		WithDurability(pdir, DurabilityPolicy{Fsync: FsyncNever, CompactAt: -1, SegmentSize: 512}),
+	}, tuning...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := replTestServer(t, primary)
+
+	f, err := OpenFollower(ts.URL, fastFollowerOptions(t.TempDir()), tuning...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ops := durableScript(t)
+	split := len(ops) - 2
+	for i, op := range ops[:split] {
+		if err := op(primary); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	lsn := primary.DurabilityStats().LastLSN
+	waitApplied(t, f, lsn)
+
+	// Failover: primary dies, follower takes over.
+	ts.Close()
+	if err := primary.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	promoted := f.Server()
+	if rs := promoted.ReplicationStatus(); rs.Role != "primary" {
+		t.Fatalf("promoted role %q, want primary", rs.Role)
+	}
+	st := promoted.DurabilityStats()
+	if !st.Enabled || st.LastLSN != lsn {
+		t.Fatalf("promoted durability %+v, want enabled at LSN %d", st, lsn)
+	}
+
+	// The promoted node accepts and journals the rest of the script.
+	for i, op := range ops[split:] {
+		if err := op(promoted); err != nil {
+			t.Fatalf("post-promotion op %d: %v", i, err)
+		}
+	}
+	if got := promoted.DurabilityStats().LastLSN; got <= lsn {
+		t.Fatalf("promoted node did not journal: LSN still %d", got)
+	}
+
+	// And it ships its log like any primary: a fresh follower of the
+	// promoted node converges to bit-identical state.
+	ts2 := replTestServer(t, promoted)
+	f2, err := OpenFollower(ts2.URL, fastFollowerOptions(t.TempDir()), tuning...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	waitApplied(t, f2, promoted.DurabilityStats().LastLSN)
+	if got, want := saveBytes(t, f2.Server()), saveBytes(t, promoted); string(got) != string(want) {
+		t.Fatal("follower of promoted node diverged")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

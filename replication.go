@@ -1,0 +1,123 @@
+package eta2
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// serverRole is a node's position in a replication topology.
+type serverRole int
+
+const (
+	// rolePrimary (the zero value) accepts writes and ships its log.
+	rolePrimary serverRole = iota
+	// roleFollower rejects public mutations and applies the primary's
+	// shipped records instead. The only transition is follower → primary
+	// (promotion); a primary never becomes a follower in-process.
+	roleFollower
+)
+
+func (r serverRole) String() string {
+	if r == roleFollower {
+		return "follower"
+	}
+	return "primary"
+}
+
+// FollowerWriteError rejects a mutation attempted on a replication
+// follower. Primary carries the primary's base URL so clients (and the
+// HTTP layer's 503 response) can redirect the write.
+type FollowerWriteError struct {
+	Primary string
+}
+
+func (e *FollowerWriteError) Error() string {
+	if e.Primary == "" {
+		return "eta2: node is a replication follower; writes are rejected"
+	}
+	return fmt.Sprintf("eta2: node is a replication follower; write to the primary at %s", e.Primary)
+}
+
+// writable is the lock-free follower write gate, checked at the top of
+// every public mutation. It reads the published snapshot: role only ever
+// transitions follower → primary, so a mutation that passed the gate can
+// never race its way onto a node that is still a follower.
+func (s *Server) writable() error {
+	st := s.loadState()
+	if st.role == roleFollower {
+		return &FollowerWriteError{Primary: st.primaryAddr}
+	}
+	return nil
+}
+
+// CommittedLSN returns the server's WAL acknowledgement frontier — the
+// newest LSN replication may ship. ErrNotDurable without a journal.
+func (s *Server) CommittedLSN() (uint64, error) {
+	j := s.loadState().journal
+	if j == nil {
+		return 0, ErrNotDurable
+	}
+	return j.CommittedLSN(), nil
+}
+
+// WaitCommitted blocks until the committed frontier exceeds after or the
+// timeout elapses, returning the frontier either way — the long-poll
+// primitive behind GET /v1/repl/log.
+func (s *Server) WaitCommitted(after uint64, timeout time.Duration) (uint64, error) {
+	j := s.loadState().journal
+	if j == nil {
+		return 0, ErrNotDurable
+	}
+	return j.WaitCommitted(after, timeout), nil
+}
+
+// ReadCommitted streams committed journal records with LSN >= from to fn,
+// at most max of them; see (*wal.Log).ReadCommitted for the contract
+// (including wal.ErrCompacted for cursors behind the latest compaction).
+func (s *Server) ReadCommitted(from uint64, max int, fn func(lsn uint64, payload []byte) error) (int, error) {
+	j := s.loadState().journal
+	if j == nil {
+		return 0, ErrNotDurable
+	}
+	return j.ReadCommitted(from, max, fn)
+}
+
+// CaptureReplicationSnapshot captures a consistent snapshot of the
+// current state for follower bootstrap, returning the LSN it covers and
+// a writer that encodes it with the binary codec. The capture itself is
+// cheap (map references and slice headers under the read lock — see
+// persistStateLocked); the encoding runs when write is called, with no
+// server lock held.
+func (s *Server) CaptureReplicationSnapshot() (uint64, func(io.Writer) error, error) {
+	s.mu.RLock()
+	if s.journal == nil {
+		s.mu.RUnlock()
+		return 0, nil, ErrNotDurable
+	}
+	st := s.persistStateLocked()
+	lsn := s.lastLSN
+	s.mu.RUnlock()
+	return lsn, func(w io.Writer) error { return encodeStateBinary(w, st) }, nil
+}
+
+// ReplicationStatus reports this server's replication position. For a
+// follower the Follower wrapper overlays the pull-loop view (primary
+// frontier, lag, connection state); the server itself knows its role and
+// LSN frontiers. Lock-free: everything comes from the published snapshot.
+func (s *Server) ReplicationStatus() ReplicationStatus {
+	st := s.loadState()
+	rs := ReplicationStatus{
+		Role:       st.role.String(),
+		Primary:    st.primaryAddr,
+		AppliedLSN: st.lastLSN,
+	}
+	if st.journal != nil {
+		rs.CommittedLSN = st.journal.CommittedLSN()
+		if st.role == rolePrimary {
+			rs.PrimaryFrontier = rs.CommittedLSN
+			rs.Connected = true
+		}
+	}
+	return rs
+}

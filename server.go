@@ -72,6 +72,14 @@ type Server struct {
 	compactions    int
 	lastCompaction time.Time
 
+	// Replication role (see replication.go). rolePrimary (the zero value)
+	// accepts writes; roleFollower rejects public mutations with
+	// *FollowerWriteError and applies shipped records through the same
+	// internals recovery replay uses. Guarded by mu; mirrored into the
+	// published snapshot so the write gate is lock-free.
+	role        serverRole
+	primaryAddr string
+
 	// Background compaction coordination; see journal.go. compactMu
 	// serializes whole compaction cycles (capture → write → bookkeeping)
 	// and is always taken before mu, never while holding it. compacting
@@ -225,7 +233,18 @@ func newServer(cfg config) (*Server, error) {
 // AddUsers registers users with the server. Re-adding an existing ID
 // updates its capacity. The batch is atomic: one invalid user — or a
 // failed journal write — rejects the whole call with no state change.
+// On a replication follower it fails with *FollowerWriteError.
 func (s *Server) AddUsers(users ...User) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
+	return s.addUsers(users...)
+}
+
+// addUsers is AddUsers without the follower write gate — the entry point
+// the replay/replication apply path uses, since shipped records must land
+// on a follower that rejects every external write.
+func (s *Server) addUsers(users ...User) error {
 	if len(users) == 0 {
 		return nil
 	}
@@ -272,6 +291,15 @@ var ErrNoEmbedder = errors.New("eta2: described tasks require WithEmbedder; set 
 // pair-word method and clustered dynamically. It returns the assigned task
 // IDs, in spec order.
 func (s *Server) CreateTasks(specs ...TaskSpec) ([]TaskID, error) {
+	if err := s.writable(); err != nil {
+		return nil, err
+	}
+	return s.createTasks(specs)
+}
+
+// createTasks is CreateTasks without the follower write gate (see
+// addUsers).
+func (s *Server) createTasks(specs []TaskSpec) ([]TaskID, error) {
 	s.mu.Lock()
 	ids, lsn, err := s.createTasksLocked(specs)
 	s.mu.Unlock()
@@ -451,6 +479,9 @@ var ErrNothingToAllocate = errors.New("eta2: no pending tasks or no users to all
 // pending tasks: maximize the probability that each task receives accurate
 // data, subject to user capacities (Sec. 5.1 of the paper).
 func (s *Server) AllocateMaxQuality() (*Allocation, error) {
+	if err := s.writable(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	tasks := s.pendingTasks()
 	if len(tasks) == 0 || len(s.users) == 0 {
@@ -480,6 +511,9 @@ func (s *Server) AllocateMaxQuality() (*Allocation, error) {
 // tasks under an additional total recruiting budget Σ s_ij·c_j ≤ budget —
 // the allocation for a server with a fixed per-step payroll.
 func (s *Server) AllocateMaxQualityBudgeted(budget float64) (*Allocation, error) {
+	if err := s.writable(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	tasks := s.pendingTasks()
 	if len(tasks) == 0 || len(s.users) == 0 {
@@ -536,6 +570,9 @@ type MinCostOutcome struct {
 // The collected observations are recorded on the server, so CloseTimeStep
 // afterwards finalizes the step without re-collecting.
 func (s *Server) AllocateMinCost(params MinCostParams, collect Collector) (MinCostOutcome, error) {
+	if err := s.writable(); err != nil {
+		return MinCostOutcome{}, err
+	}
 	s.mu.Lock()
 	tasks := s.pendingTasks()
 	if len(tasks) == 0 || len(s.users) == 0 {
@@ -631,6 +668,9 @@ func (s *Server) AllocateMinCost(params MinCostParams, collect Collector) (MinCo
 // at all, letting the WAL group-commit one flush per batch of concurrent
 // submitters.
 func (s *Server) SubmitObservations(obs ...Observation) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
 	if len(obs) == 0 {
 		return nil
 	}
@@ -688,6 +728,15 @@ var ErrNoObservations = errors.New("eta2: no observations submitted this time st
 // step's journal record is written, so a failed journal write leaves the
 // server (and what recovery would rebuild) exactly as it was.
 func (s *Server) CloseTimeStep() (StepReport, error) {
+	if err := s.writable(); err != nil {
+		return StepReport{}, err
+	}
+	return s.closeTimeStep()
+}
+
+// closeTimeStep is CloseTimeStep without the follower write gate (see
+// addUsers).
+func (s *Server) closeTimeStep() (StepReport, error) {
 	s.mu.Lock()
 	if len(s.observations) == 0 {
 		s.mu.Unlock()

@@ -38,6 +38,13 @@ type serverState struct {
 	snapLSN        uint64
 	compactions    int
 	lastCompaction time.Time
+
+	// Replication role (see replication.go). role only ever transitions
+	// follower → primary (promotion), never back, so a writability check
+	// against one published snapshot cannot be invalidated into accepting
+	// a write on a node that is still a follower.
+	role        serverRole
+	primaryAddr string
 }
 
 // publishLocked installs the current master state as the new immutable read
@@ -60,6 +67,8 @@ func (s *Server) publishLocked() {
 		snapLSN:        s.snapLSN,
 		compactions:    s.compactions,
 		lastCompaction: s.lastCompaction,
+		role:           s.role,
+		primaryAddr:    s.primaryAddr,
 	})
 	mSnapshotPublishes.Inc()
 	mSnapshotPublishTS.Set(float64(time.Now().UnixNano()) / 1e9)

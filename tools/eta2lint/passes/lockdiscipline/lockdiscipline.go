@@ -214,6 +214,8 @@ var querySurface = map[string]bool{
 	"NumDomains":        true,
 	"Day":               true,
 	"DurabilityStats":   true,
+	"ReplicationStatus": true,
+	"CommittedLSN":      true,
 }
 
 func (c *checker) checkReadPath(fn *ast.FuncDecl) {

@@ -160,6 +160,51 @@ func (s *Server) SaveState() int {
 	return len(s.users)
 }
 
+// ReplicationStatus joined the query surface in the replication PR: the
+// follower admin endpoint polls it continuously, so it must serve from
+// the published snapshot like every other read.
+func (s *Server) ReplicationStatus() int {
+	s.mu.RLock()         // want "query-surface method ReplicationStatus touches s.mu"
+	defer s.mu.RUnlock() // want "query-surface method ReplicationStatus touches s.mu"
+	return s.day
+}
+
+// CommittedLSN feeds the replication long-poll; same lock-free rule.
+func (s *Server) CommittedLSN() int {
+	s.mu.Lock()         // want "query-surface method CommittedLSN touches s.mu"
+	defer s.mu.Unlock() // want "query-surface method CommittedLSN touches s.mu"
+	return s.day
+}
+
+// ApplyShipped mirrors the follower apply loop's compliant shape: mutate
+// and publish under the write lock, commit the local log after release.
+func (s *Server) ApplyShipped(name string) error {
+	s.mu.Lock()
+	s.users[name] = 1
+	s.publishLocked()
+	s.mu.Unlock()
+	return s.journal.Commit(5)
+}
+
+// BadApplyShipped commits the shipped batch while still holding the
+// lock — the follower read surface would stall behind the fsync.
+func (s *Server) BadApplyShipped(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.users[name] = 1
+	s.publishLocked()
+	return s.journal.Commit(6) // want "WAL Commit .fsync wait. while s.mu is held"
+}
+
+// BadBootstrapAdopt republishes adopted snapshot state directly instead
+// of going through publishLocked.
+func (s *Server) BadBootstrapAdopt(users map[string]int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.users = users
+	s.state.Store(&serverState{users: users}) // want "state snapshot published outside publishLocked"
+}
+
 // RoguePublish stores the snapshot pointer outside publishLocked.
 func (s *Server) RoguePublish() {
 	s.mu.Lock()

@@ -186,6 +186,10 @@ func (c *checker) bounded(e ast.Expr, depth int, seen map[types.Object]bool) boo
 		// Concatenation of bounded parts is bounded.
 		return e.Op == token.ADD &&
 			c.bounded(e.X, depth, seen) && c.bounded(e.Y, depth, seen)
+	case *ast.SelectorExpr:
+		// Cross-package constants (pkg.SomeConst) are finite by definition.
+		_, isConst := c.pass.TypesInfo.Uses[e.Sel].(*types.Const)
+		return isConst
 	case *ast.Ident:
 		obj := c.pass.TypesInfo.Uses[e]
 		if obj == nil {

@@ -47,3 +47,10 @@ func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...
 }
 
 var DefBuckets = []float64{0.001, 0.01, 0.1, 1}
+
+// StreamPath stands in for a cross-package route constant (like
+// repl.LogPath in the real tree).
+const StreamPath = "/v1/repl/log"
+
+// Origin is mutable process state: never a bounded label value.
+var Origin = "unknown"

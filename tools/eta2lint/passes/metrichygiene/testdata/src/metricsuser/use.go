@@ -1,6 +1,10 @@
 package metricsuser
 
-import "net/http"
+import (
+	"net/http"
+
+	"eta2/internal/obs"
+)
 
 const constRoute = "/v1/const"
 
@@ -42,6 +46,20 @@ func wireRoutes() {
 		instrument(pattern) // range over a literal-keyed map: bounded
 	}
 	instrument("/v1/extra")
+
+	replicated := map[string]int{
+		obs.StreamPath: 3, // cross-package const key: still bounded
+		"/v1/other":    4,
+	}
+	for pattern := range replicated {
+		instrument(pattern)
+	}
+}
+
+// Cross-package constants are bounded; cross-package variables are not.
+func crossPackageUses() {
+	mGoodHist.With(obs.StreamPath).Observe(1)
+	mGoodHist.With(obs.Origin).Observe(1) // want "unbounded label value obs.Origin"
 }
 
 // Unbounded values are the cardinality explosion the check exists for.

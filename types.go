@@ -163,16 +163,54 @@ type DurabilityStats struct {
 	// Segments and WALBytes describe the live write-ahead log.
 	Segments int
 	WALBytes int64
-	// LastLSN is the sequence number of the newest journaled mutation;
-	// SnapshotLSN is the newest mutation the latest snapshot covers.
-	// Their difference is the replay work a crash right now would need.
+	// LastLSN is the sequence number of the newest journaled (applied)
+	// mutation; SnapshotLSN is the newest mutation the latest snapshot
+	// covers. Their difference is the replay work a crash right now would
+	// need.
 	LastLSN     uint64
 	SnapshotLSN uint64
+	// CommittedLSN is the newest mutation acknowledged per the fsync
+	// policy — the replication shipping frontier. Replication lag is
+	// computable from either side: a primary's CommittedLSN minus a
+	// follower's LastLSN is the lag in records.
+	CommittedLSN uint64
 	// Compactions counts snapshot+truncate cycles since startup;
 	// LastCompaction is when the newest one finished (zero if none ran
 	// this process).
 	Compactions    int
 	LastCompaction time.Time
+}
+
+// ReplicationStatus describes a node's position in a replication
+// topology, as exposed by GET /v1/admin/replication. For a standalone or
+// primary server only Role, AppliedLSN, and CommittedLSN are meaningful;
+// the remaining fields describe a follower's view of its primary.
+type ReplicationStatus struct {
+	// Role is "primary" or "follower".
+	Role string
+	// Primary is the primary's base URL (followers only) — the address a
+	// rejected write is redirected to.
+	Primary string
+	// AppliedLSN is the newest mutation applied to this node's state.
+	AppliedLSN uint64
+	// CommittedLSN is the node's own WAL acknowledgement frontier (what
+	// it would ship onward).
+	CommittedLSN uint64
+	// PrimaryFrontier is the primary's committed frontier as of the last
+	// successful fetch (followers; primaries report their own frontier).
+	PrimaryFrontier uint64
+	// LagRecords is max(PrimaryFrontier - AppliedLSN, 0); LagSeconds is
+	// how long the follower has been behind that frontier (0 when caught
+	// up).
+	LagRecords uint64
+	LagSeconds float64
+	// Connected reports whether the follower's last fetch succeeded.
+	Connected bool
+	// Reconnects counts fetch failures that forced a backoff+retry;
+	// SnapshotBootstraps counts full snapshot re-bootstraps (first sync
+	// included).
+	Reconnects         uint64
+	SnapshotBootstraps uint64
 }
 
 // EmbeddingModel is a trained skip-gram model. Beyond the Embedder
