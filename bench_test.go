@@ -16,6 +16,7 @@ package eta2
 
 import (
 	"bytes"
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -370,3 +371,141 @@ func BenchmarkRecovery10kEvents(b *testing.B) {
 func BenchmarkExtensionAdversarial(b *testing.B) { runExperiment(b, "ext-adversarial") }
 
 func BenchmarkExtensionDropout(b *testing.B) { runExperiment(b, "ext-dropout") }
+
+// --- Ingest-path allocation discipline (DESIGN.md Sec. 15) ---
+
+// newIngestBenchServer builds a durable fsync-never server with nUsers
+// users and nTasks single-domain tasks, ready to accept observations.
+func newIngestBenchServer(tb testing.TB, dir string, nUsers, nTasks int) *Server {
+	tb.Helper()
+	pol := DurabilityPolicy{Fsync: FsyncNever, CompactAt: -1, SegmentSize: 256 << 20}
+	s, err := NewServer(WithDurability(dir, pol))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	users := make([]User, nUsers)
+	for i := range users {
+		users[i] = User{ID: UserID(i), Capacity: 1 << 30}
+	}
+	if err := s.AddUsers(users...); err != nil {
+		tb.Fatal(err)
+	}
+	specs := make([]TaskSpec, nTasks)
+	for i := range specs {
+		specs[i] = TaskSpec{DomainHint: 1, ProcTime: 1}
+	}
+	if _, err := s.CreateTasks(specs...); err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// TestIngestJournalPathZeroAlloc pins the PR 8 tentpole guarantee: the
+// journal-encode + WAL-append + commit section of SubmitObservations is
+// allocation-free at steady state. The section is exercised exactly as
+// the hot path runs it — pooled buffer out of obsEventPool, binary event
+// encode into its retained capacity, buffered append, fsync-policy
+// commit, buffer back to the pool.
+func TestIngestJournalPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; alloc counts are gated in normal builds")
+	}
+	s := newIngestBenchServer(t, t.TempDir(), 8, 16)
+	defer s.Close()
+	obs := make([]Observation, 8)
+	for i := range obs {
+		obs[i] = Observation{Task: TaskID(i % 16), User: UserID(i % 8), Value: float64(i) * 1.5}
+	}
+	// Warm the pool and the segment file before measuring.
+	for i := 0; i < 4; i++ {
+		if err := s.SubmitObservations(obs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		eb := obsEventPool.Get().(*obsEventBuf)
+		eb.b = encodeObservationsEvent(eb.b[:0], obs, 3)
+		lsn, err := s.journal.AppendBuffered(eb.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.journal.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+		obsEventPool.Put(eb)
+	})
+	if allocs != 0 {
+		t.Fatalf("journal encode + WAL append section allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestSubmitObservationsAllocBudget bounds the whole call, not just the
+// journal section. The irreducible steady-state cost is the immutable
+// snapshot republished per mutation (publishLocked's fresh serverState)
+// plus amortized growth of the observation backlog; everything else —
+// event encode, WAL frame, validation — must stay off the heap.
+func TestSubmitObservationsAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; alloc counts are gated in normal builds")
+	}
+	s := newIngestBenchServer(t, t.TempDir(), 8, 16)
+	defer s.Close()
+	obs := make([]Observation, 8)
+	for i := range obs {
+		obs[i] = Observation{Task: TaskID(i % 16), User: UserID(i % 8), Value: float64(i) * 1.5}
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.SubmitObservations(obs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := s.SubmitObservations(obs...); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Snapshot republish is ~1 allocation; slice growth of the backlog
+	// and the occasional MemStats sample amortize below 3 more.
+	if allocs > 4 {
+		t.Fatalf("SubmitObservations allocates %.1f objects/op, want <= 4", allocs)
+	}
+}
+
+// BenchmarkSubmitObservations measures the full ingest write path
+// (validate, binary event encode, WAL buffered append, apply, snapshot
+// republish, fsync-never commit) at several batch sizes. Run with
+// -benchmem: steady-state allocs/op must stay at the publishLocked
+// floor regardless of batch size.
+func BenchmarkSubmitObservations(b *testing.B) {
+	for _, batch := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			s := newIngestBenchServer(b, b.TempDir(), 64, 128)
+			defer s.Close()
+			obs := make([]Observation, batch)
+			for i := range obs {
+				obs[i] = Observation{Task: TaskID(i % 128), User: UserID(i % 64), Value: float64(i)}
+			}
+			if err := s.SubmitObservations(obs...); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.SetBytes(int64(batch))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.SubmitObservations(obs...); err != nil {
+					b.Fatal(err)
+				}
+				if i%100_000 == 99_999 {
+					// Cap the in-memory backlog so long -benchtime runs
+					// measure ingest, not backlog growth.
+					b.StopTimer()
+					s.mu.Lock()
+					s.observations = s.observations[:0]
+					s.publishLocked()
+					s.mu.Unlock()
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}

@@ -63,6 +63,13 @@ type config struct {
 	baseline     bool
 	replica      bool
 	out          string
+	// nUsers/nTasks size the seeded population (-users/-tasks; the
+	// ingest-heavy preset raises them to the 1M-user dataset tier).
+	nUsers int
+	nTasks int
+	// useNames seeds named users and submits observations by user name,
+	// exercising the server's intern table on the ingest hot path.
+	useNames bool
 }
 
 func run() error {
@@ -77,11 +84,14 @@ func run() error {
 		fsyncDelay = flag.Duration("fsync-delay", 0, "artificial latency added to every WAL fsync (self-hosted only) — emulates network block storage on dev machines with write-back caches")
 		baseline   = flag.Bool("baseline", false, "also run each scenario against a single-mutex serialized handler (self-hosted only)")
 		out        = flag.String("out", "", "write the JSON report to this file (default: stdout)")
-		preset     = flag.String("preset", "", `scenario preset; "read-mostly" = -read-fraction 0.95 -clients 1,8,64,256,512,1024, "replica-read" = the same mix with reads served by a replication follower (explicitly set flags win)`)
+		preset     = flag.String("preset", "", `scenario preset; "read-mostly" = -read-fraction 0.95 -clients 1,8,64,256,512,1024, "replica-read" = the same mix with reads served by a replication follower, "ingest-heavy" = 95% writes against a 1M named-user population (explicitly set flags win)`)
+		nUsers     = flag.Int("users", 0, "seeded user population per scenario (0 = preset default, plain scenarios seed 16)")
+		nTasks     = flag.Int("tasks", 0, "seeded task count per scenario (0 = preset default, plain scenarios seed 32)")
 		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	replica := false
+	useNames := false
 	// A preset only fills in flags the user did not set themselves.
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -111,8 +121,34 @@ func run() error {
 		if !explicit["clients"] {
 			*clients = "1,8,64,256,512,1024"
 		}
+	case "ingest-heavy":
+		// The capacity measurement (BENCH_PR8.json): a 1M-user named
+		// population with a 95%-write mix, submitted by user name so
+		// every request crosses the intern table, under the lazy-flush
+		// fsync policy a high-volume ingest deployment would run. Flat
+		// write p99 across client counts plus the report's capacity
+		// section (bytes/user, peak RSS) are the acceptance signal.
+		useNames = true
+		if !explicit["read-fraction"] {
+			*readFrac = 0.05
+		}
+		if !explicit["clients"] {
+			*clients = "1,8,64"
+		}
+		if !explicit["batch"] {
+			*batch = 16
+		}
+		if !explicit["fsync"] {
+			*fsync = "interval"
+		}
+		if !explicit["users"] {
+			*nUsers = 1_000_000
+		}
+		if !explicit["tasks"] {
+			*nTasks = 10_000
+		}
 	default:
-		return fmt.Errorf("unknown -preset %q (have: read-mostly, replica-read)", *preset)
+		return fmt.Errorf("unknown -preset %q (have: read-mostly, replica-read, ingest-heavy)", *preset)
 	}
 	if *version {
 		fmt.Printf("eta2loadgen %s %s\n", obs.Version(), runtime.Version())
@@ -130,6 +166,18 @@ func run() error {
 		baseline:     *baseline,
 		replica:      replica,
 		out:          *out,
+		nUsers:       *nUsers,
+		nTasks:       *nTasks,
+		useNames:     useNames,
+	}
+	if cfg.nUsers == 0 {
+		cfg.nUsers = 16
+	}
+	if cfg.nTasks == 0 {
+		cfg.nTasks = 32
+	}
+	if cfg.nUsers < 0 || cfg.nTasks < 0 {
+		return fmt.Errorf("bad -users or -tasks")
 	}
 	for _, part := range strings.Split(*clients, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -167,6 +215,8 @@ func run() error {
 		DurationS:    cfg.duration.Seconds(),
 		ReadFraction: cfg.readFraction,
 		Batch:        cfg.batch,
+		Users:        cfg.nUsers,
+		Tasks:        cfg.nTasks,
 	}
 	modes := []string{"concurrent"}
 	if cfg.baseline {
@@ -175,9 +225,15 @@ func run() error {
 	for _, n := range cfg.clients {
 		for _, mode := range modes {
 			log.Printf("scenario: %d clients, %s handler, fsync=%s, %v", n, mode, cfg.fsync, cfg.duration)
-			sc, err := runScenario(cfg, n, mode == "serialized")
+			// The bytes/user capacity model is measured once, while the
+			// first scenario seeds its population.
+			measure := cfg.addr == "" && rep.Capacity == nil
+			sc, cap, err := runScenario(cfg, n, mode == "serialized", measure)
 			if err != nil {
 				return fmt.Errorf("%d clients (%s): %w", n, mode, err)
+			}
+			if cap != nil {
+				rep.Capacity = cap
 			}
 			log.Printf("  writes: %.0f req/s p50=%.2fms p99=%.2fms | reads: %.0f req/s p50=%.2fms p99=%.2fms",
 				sc.Writes.RPS, sc.Writes.P50Ms, sc.Writes.P99Ms, sc.Reads.RPS, sc.Reads.P50Ms, sc.Reads.P99Ms)
@@ -185,6 +241,7 @@ func run() error {
 		}
 	}
 	rep.Speedups = speedups(rep.Scenarios)
+	rep.PeakRSSBytes = vmHWM()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -205,14 +262,39 @@ type report struct {
 	Fsync     string `json:"fsync"`
 	// FsyncDelayMs is the artificial per-fsync latency (-fsync-delay)
 	// the scenarios ran with; 0 means raw hardware fsyncs.
-	FsyncDelayMs float64    `json:"fsync_delay_ms"`
-	DurationS    float64    `json:"duration_s"`
-	ReadFraction float64    `json:"read_fraction"`
-	Batch        int        `json:"batch"`
-	Scenarios    []scenario `json:"scenarios"`
+	FsyncDelayMs float64 `json:"fsync_delay_ms"`
+	DurationS    float64 `json:"duration_s"`
+	ReadFraction float64 `json:"read_fraction"`
+	Batch        int     `json:"batch"`
+	// Users/Tasks is the population each scenario seeds (-users/-tasks;
+	// the ingest-heavy preset runs the 1M-user dataset tier).
+	Users int `json:"users"`
+	Tasks int `json:"tasks"`
+	// Capacity is the measured memory model (self-hosted runs only),
+	// taken while the first scenario seeded its population.
+	Capacity  *capacityReport `json:"capacity,omitempty"`
+	Scenarios []scenario      `json:"scenarios"`
 	// Speedups maps client counts to concurrent/serialized write
 	// throughput ratios; present only when -baseline ran.
 	Speedups map[string]float64 `json:"write_speedup_vs_serialized,omitempty"`
+	// PeakRSSBytes is the process's high-water resident set (VmHWM) when
+	// the run finished — server and load generator combined in
+	// self-hosted mode. 0 on platforms without procfs.
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
+}
+
+// capacityReport is the measured bytes/user and bytes/task model behind
+// DESIGN.md's capacity table: heap growth across the seeding phases of
+// one scenario, divided by the population sizes. Self-hosted runs only —
+// the server lives in this process, so heap deltas attribute to it.
+type capacityReport struct {
+	Users               int     `json:"users"`
+	Tasks               int     `json:"tasks"`
+	HeapBaseBytes       uint64  `json:"heap_base_bytes"`
+	HeapAfterUsersBytes uint64  `json:"heap_after_users_bytes"`
+	HeapAfterTasksBytes uint64  `json:"heap_after_tasks_bytes"`
+	BytesPerUser        float64 `json:"bytes_per_user"`
+	BytesPerTask        float64 `json:"bytes_per_task"`
 }
 
 type scenario struct {
@@ -230,6 +312,10 @@ type scenario struct {
 	// classes — alongside the client-side latency numbers. Empty when the
 	// target exposes no /metrics endpoint.
 	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
+	// MemoryMetrics is the final absolute value of the server's memory
+	// gauges (intern table size, sampled ingest allocs/op, heap bytes) —
+	// gauges whose level matters more than their delta.
+	MemoryMetrics map[string]float64 `json:"memory_metrics,omitempty"`
 }
 
 // replicationReport is the follower's view at the end of a replica-read
@@ -267,7 +353,7 @@ func (s *serializedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.h.ServeHTTP(w, r)
 }
 
-func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
+func runScenario(cfg config, clients int, serialized bool, measure bool) (scenario, *capacityReport, error) {
 	baseURL := cfg.addr
 	readURL := cfg.addr
 	httpClient := http.DefaultClient
@@ -279,7 +365,7 @@ func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 			CompactAt:  -1,
 		}))
 		if err != nil {
-			return scenario{}, err
+			return scenario{}, nil, err
 		}
 		var handler http.Handler = httpapi.New(srv)
 		if serialized {
@@ -307,7 +393,7 @@ func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 				RetryMin: 20 * time.Millisecond,
 			})
 			if err != nil {
-				return scenario{}, err
+				return scenario{}, nil, err
 			}
 			fts := httptest.NewServer(httpapi.NewFollower(follower))
 			defer fts.Close()
@@ -330,41 +416,106 @@ func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 	}
 	ctx := context.Background()
 
-	// Seed the server so reads have something to read: users, one batch
-	// of tasks per domain, observations from every user, one closed step.
-	const nUsers, nTasks, nDomains = 16, 32, 4
-	users := make([]httpapi.UserJSON, nUsers)
-	for i := range users {
-		users[i] = httpapi.UserJSON{ID: i, Capacity: 1e9}
+	// Seed the server so reads have something to read: users (chunked —
+	// the ingest-heavy preset seeds a million), tasks across the domain
+	// set, observations from a bounded user x task sample, one closed
+	// step. The heap is sampled around the user and task phases when this
+	// scenario is the capacity-measurement one.
+	nUsers, nTasks := cfg.nUsers, cfg.nTasks
+	const nDomains = 4
+	var capRep *capacityReport
+	heapNow := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
 	}
-	if err := client.AddUsers(ctx, users); err != nil {
-		return scenario{}, err
+	var heapBase uint64
+	if measure {
+		heapBase = heapNow()
 	}
-	specs := make([]httpapi.TaskSpecJSON, nTasks)
-	for i := range specs {
-		specs[i] = httpapi.TaskSpecJSON{ProcTime: 1, DomainHint: 1 + i%nDomains}
+	const seedChunk = 50_000
+	for lo := 0; lo < nUsers; lo += seedChunk {
+		hi := lo + seedChunk
+		if hi > nUsers {
+			hi = nUsers
+		}
+		if cfg.useNames {
+			names := make([]string, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				names = append(names, userName(i))
+			}
+			if _, err := client.AddUsersByName(ctx, 1e9, names); err != nil {
+				return scenario{}, nil, err
+			}
+		} else {
+			users := make([]httpapi.UserJSON, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				users = append(users, httpapi.UserJSON{ID: i, Capacity: 1e9})
+			}
+			if err := client.AddUsers(ctx, users); err != nil {
+				return scenario{}, nil, err
+			}
+		}
 	}
-	tasks, err := client.CreateTasks(ctx, specs)
-	if err != nil {
-		return scenario{}, err
+	var heapUsers uint64
+	if measure {
+		heapUsers = heapNow()
+	}
+	var tasks []int
+	for lo := 0; lo < nTasks; lo += seedChunk {
+		hi := lo + seedChunk
+		if hi > nTasks {
+			hi = nTasks
+		}
+		specs := make([]httpapi.TaskSpecJSON, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			specs = append(specs, httpapi.TaskSpecJSON{ProcTime: 1, DomainHint: 1 + i%nDomains})
+		}
+		ids, err := client.CreateTasks(ctx, specs)
+		if err != nil {
+			return scenario{}, nil, err
+		}
+		tasks = append(tasks, ids...)
+	}
+	if measure {
+		heapTasks := heapNow()
+		capRep = &capacityReport{
+			Users:               nUsers,
+			Tasks:               nTasks,
+			HeapBaseBytes:       heapBase,
+			HeapAfterUsersBytes: heapUsers,
+			HeapAfterTasksBytes: heapTasks,
+			BytesPerUser:        float64(heapUsers-heapBase) / float64(nUsers),
+			BytesPerTask:        float64(heapTasks-heapUsers) / float64(nTasks),
+		}
+	}
+	// Reads target the seeded sample so truth lookups hit folded
+	// estimates; writes spread over the full task set.
+	obsUsers, readTasks := nUsers, tasks
+	if obsUsers > 16 {
+		obsUsers = 16
+	}
+	if len(readTasks) > 32 {
+		readTasks = readTasks[:32]
 	}
 	var seed []httpapi.ObservationJSON
-	for u := 0; u < nUsers; u++ {
-		for _, task := range tasks {
+	for u := 0; u < obsUsers; u++ {
+		for _, task := range readTasks {
 			seed = append(seed, httpapi.ObservationJSON{Task: task, User: u, Value: 10 + float64(task) + 0.1*float64(u)})
 		}
 	}
 	if err := client.SubmitObservations(ctx, seed); err != nil {
-		return scenario{}, err
+		return scenario{}, nil, err
 	}
 	if _, err := client.CloseStep(ctx); err != nil {
-		return scenario{}, err
+		return scenario{}, nil, err
 	}
 	if cfg.replica {
 		// Let the follower catch up with the seed data before the clock
 		// starts, so early reads measure serving, not initial sync.
 		if err := waitCaughtUp(ctx, client, readClient, 30*time.Second); err != nil {
-			return scenario{}, err
+			return scenario{}, nil, err
 		}
 	}
 
@@ -412,17 +563,23 @@ func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(w) + 1))
 			me := &workers[w]
+			readKinds := 3
+			if cfg.useNames {
+				readKinds = 4 // + name resolution through the intern table
+			}
 			for time.Now().Before(deadline) {
 				if rng.Float64() < cfg.readFraction {
 					var err error
 					start := time.Now()
-					switch rng.Intn(3) {
+					switch rng.Intn(readKinds) {
 					case 0:
-						_, err = readClient.Truth(ctx, tasks[rng.Intn(len(tasks))])
+						_, err = readClient.Truth(ctx, readTasks[rng.Intn(len(readTasks))])
 					case 1:
 						_, err = readClient.Expertise(ctx, rng.Intn(nUsers), 1+rng.Intn(nDomains))
-					default:
+					case 2:
 						_, err = readClient.Durability(ctx)
+					default:
+						_, err = readClient.ResolveUser(ctx, userName(rng.Intn(nUsers)))
 					}
 					me.reads = append(me.reads, time.Since(start))
 					if err != nil {
@@ -433,8 +590,14 @@ func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 					for i := range obs {
 						obs[i] = httpapi.ObservationJSON{
 							Task:  tasks[rng.Intn(len(tasks))],
-							User:  w % nUsers,
 							Value: 10 + rng.NormFloat64(),
+						}
+						if cfg.useNames {
+							// By name: every observation crosses the
+							// server's intern table at decode time.
+							obs[i].UserName = userName(rng.Intn(nUsers))
+						} else {
+							obs[i].User = w % nUsers
 						}
 					}
 					start := time.Now()
@@ -455,11 +618,11 @@ func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 	if cfg.replica {
 		convergeStart := time.Now()
 		if err := waitCaughtUp(ctx, client, readClient, 30*time.Second); err != nil {
-			return scenario{}, err
+			return scenario{}, nil, err
 		}
 		rs, err := readClient.Replication(ctx)
 		if err != nil {
-			return scenario{}, err
+			return scenario{}, nil, err
 		}
 		replRep = &replicationReport{
 			PrimaryFrontier:    rs.PrimaryFrontier,
@@ -471,10 +634,11 @@ func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 		}
 	}
 
-	var delta map[string]float64
+	var delta, memMetrics map[string]float64
 	if scrapeErr == nil {
 		if after, err := scrapeMetrics(httpClient, baseURL); err == nil {
 			delta = metricsDelta(before, after)
+			memMetrics = memoryMetrics(after)
 		}
 	}
 
@@ -490,14 +654,57 @@ func runScenario(cfg config, clients int, serialized bool) (scenario, error) {
 		mode = "replica"
 	}
 	return scenario{
-		Mode:         mode,
-		Clients:      clients,
-		Writes:       summarize(writes, cfg.duration),
-		Reads:        summarize(reads, cfg.duration),
-		Errors:       errors,
-		Replication:  replRep,
-		MetricsDelta: delta,
-	}, nil
+		Mode:          mode,
+		Clients:       clients,
+		Writes:        summarize(writes, cfg.duration),
+		Reads:         summarize(reads, cfg.duration),
+		Errors:        errors,
+		Replication:   replRep,
+		MetricsDelta:  delta,
+		MemoryMetrics: memMetrics,
+	}, capRep, nil
+}
+
+// userName is the canonical external id of seeded user i.
+func userName(i int) string {
+	return fmt.Sprintf("user-%07d", i)
+}
+
+// memoryMetrics picks the memory gauges out of a /metrics scrape — the
+// series whose absolute level is the measurement (intern table size,
+// sampled ingest allocs/op, heap bytes), as opposed to the counters
+// MetricsDelta differences.
+func memoryMetrics(scrape map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for k, v := range scrape {
+		if strings.HasPrefix(k, "eta2_intern_") || strings.HasPrefix(k, "eta2_ingest_") || strings.HasPrefix(k, "eta2_heap_") {
+			out[k] = v
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// vmHWM reads the process's peak resident set (VmHWM) in bytes from
+// /proc/self/status. Returns 0 on platforms without procfs.
+func vmHWM() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 {
+				if kb, err := strconv.ParseInt(fields[0], 10, 64); err == nil {
+					return kb << 10
+				}
+			}
+		}
+	}
+	return 0
 }
 
 // waitCaughtUp polls both sides' replication status until the reader's

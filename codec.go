@@ -1,6 +1,7 @@
 package eta2
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -42,8 +43,13 @@ import (
 const snapshotMagic = "ETA2SNAP"
 
 // snapshotCodecVersion is the newest binary framing this build writes and
-// the newest it accepts.
-const snapshotCodecVersion = 1
+// the newest it accepts. Version history:
+//
+//	1  initial format
+//	2  adds the per-user Name string (between Capacity and the next user)
+//
+// Version-1 snapshots keep loading: their users simply have no names.
+const snapshotCodecVersion = 2
 
 var snapshotCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -60,6 +66,7 @@ func encodeStateBinary(w io.Writer, st snapshotState) error {
 	for _, u := range st.Users {
 		e.varint(int64(u.ID))
 		e.f64(u.Capacity)
+		e.str(u.Name) // codec version 2
 	}
 
 	e.uvarint(uint64(len(st.Tasks)))
@@ -176,46 +183,42 @@ func encodeStateBinary(w io.Writer, st snapshotState) error {
 	return nil
 }
 
-// decodeStateBinary parses a binary snapshot, verifying magic, version,
-// length and checksum before touching the body.
+// decodeStateBinary parses a binary snapshot incrementally: the body is
+// decoded as it streams through a CRC-accumulating reader, so recovery
+// memory is bounded by the decoded state, not the snapshot file size
+// (the old decoder slurped the whole file and then built the state next
+// to it, doubling the peak). The parsed state is surrendered to the
+// caller only after the trailing checksum verifies — a corrupt body can
+// waste transient work but never escape as a successfully loaded state.
 func decodeStateBinary(r io.Reader) (snapshotState, error) {
 	fail := func(err error) (snapshotState, error) {
 		return snapshotState{}, fmt.Errorf("eta2: load state: %w", err)
 	}
-	raw, err := io.ReadAll(r)
-	if err != nil {
-		return fail(err)
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 64<<10)
 	}
-	if len(raw) < len(snapshotMagic) || string(raw[:len(snapshotMagic)]) != snapshotMagic {
+	var magic [len(snapshotMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return fail(fmt.Errorf("bad snapshot magic"))
 	}
-	rest := raw[len(snapshotMagic):]
-	version, n := binary.Uvarint(rest)
-	if n <= 0 {
+	if string(magic[:]) != snapshotMagic {
+		return fail(fmt.Errorf("bad snapshot magic"))
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
 		return fail(fmt.Errorf("truncated snapshot header"))
 	}
-	rest = rest[n:]
 	if version > snapshotCodecVersion {
 		return snapshotState{}, fmt.Errorf("%w: snapshot uses binary codec version %d, but this build supports up to %d",
 			ErrBadState, version, snapshotCodecVersion)
 	}
-	bodyLen, n := binary.Uvarint(rest)
-	if n <= 0 {
+	bodyLen, err := binary.ReadUvarint(br)
+	if err != nil {
 		return fail(fmt.Errorf("truncated snapshot header"))
 	}
-	rest = rest[n:]
-	if uint64(len(rest)) < bodyLen+4 {
-		return fail(fmt.Errorf("truncated snapshot: %d body bytes declared, %d present", bodyLen, len(rest)))
-	}
-	body, tail := rest[:bodyLen], rest[bodyLen:]
-	if len(tail) != 4 {
-		return fail(fmt.Errorf("trailing garbage after snapshot checksum"))
-	}
-	if got, want := crc32.Checksum(body, snapshotCRCTable), binary.LittleEndian.Uint32(tail); got != want {
-		return fail(fmt.Errorf("snapshot checksum mismatch: computed %08x, stored %08x", got, want))
-	}
 
-	d := &snapDecoder{buf: body}
+	d := &snapDecoder{r: br, remaining: bodyLen, codecVersion: version}
 	var st snapshotState
 	st.Version = int(d.uvarint())
 	if d.err == nil && st.Version != stateVersion {
@@ -231,6 +234,9 @@ func decodeStateBinary(r io.Reader) (snapshotState, error) {
 		st.UserOrder = make([]core.UserID, n)
 		for i := range st.Users {
 			st.Users[i] = core.User{ID: core.UserID(d.varint()), Capacity: d.f64()}
+			if d.codecVersion >= 2 {
+				st.Users[i].Name = d.str()
+			}
 			st.UserOrder[i] = st.Users[i].ID
 		}
 	}
@@ -251,7 +257,7 @@ func decodeStateBinary(r io.Reader) (snapshotState, error) {
 		}
 	}
 
-	st.DomainOf = make(map[TaskID]DomainID)
+	st.DomainOf = make(map[TaskID]DomainID) //eta2:allocdiscipline-ok snapshot restore path, not per-request
 	for i, n := 0, d.count(); i < n; i++ {
 		tid := TaskID(d.varint())
 		st.DomainOf[tid] = DomainID(d.varint())
@@ -264,7 +270,7 @@ func decodeStateBinary(r io.Reader) (snapshotState, error) {
 		}
 	}
 
-	st.Truths = make(map[TaskID]TruthEstimate)
+	st.Truths = make(map[TaskID]TruthEstimate) //eta2:allocdiscipline-ok snapshot restore path, not per-request
 	for i, n := 0, d.count(); i < n; i++ {
 		t := TruthEstimate{
 			Task:         TaskID(d.varint()),
@@ -363,8 +369,20 @@ func decodeStateBinary(r io.Reader) (snapshotState, error) {
 	if d.err != nil {
 		return fail(d.err)
 	}
-	if len(d.buf) != 0 {
-		return fail(fmt.Errorf("%d unconsumed bytes in snapshot body", len(d.buf)))
+	if d.remaining != 0 {
+		return fail(fmt.Errorf("%d unconsumed bytes in snapshot body", d.remaining))
+	}
+	// Body fully consumed: verify the trailing checksum against the CRC
+	// accumulated while streaming, then insist the stream ends.
+	var tail [4]byte
+	if _, err := io.ReadFull(br, tail[:]); err != nil {
+		return fail(fmt.Errorf("truncated snapshot: missing checksum"))
+	}
+	if want := binary.LittleEndian.Uint32(tail[:]); d.crc != want {
+		return fail(fmt.Errorf("snapshot checksum mismatch: computed %08x, stored %08x", d.crc, want))
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return fail(fmt.Errorf("trailing garbage after snapshot checksum"))
 	}
 	return st, nil
 }
@@ -402,12 +420,17 @@ func (e *snapEncoder) floats(v []float64) {
 	}
 }
 
-// snapDecoder consumes primitives from a buffer, latching the first
-// error: after a failure every read returns zero values, and the caller
-// checks err once at the end.
+// snapDecoder consumes primitives from a stream, accumulating the body
+// CRC as bytes pass through, bounding reads by the declared body length,
+// and latching the first error: after a failure every read returns zero
+// values, and the caller checks err once at the end.
 type snapDecoder struct {
-	buf []byte
-	err error
+	r            *bufio.Reader
+	remaining    uint64 // body bytes not yet consumed
+	crc          uint32 // CRC-32C of the body bytes consumed so far
+	codecVersion uint64
+	err          error
+	scratch      [8]byte
 }
 
 func (d *snapDecoder) fail(msg string) {
@@ -416,37 +439,68 @@ func (d *snapDecoder) fail(msg string) {
 	}
 }
 
-func (d *snapDecoder) uvarint() uint64 {
+// read consumes exactly len(p) body bytes into p, folding them into the
+// running CRC.
+func (d *snapDecoder) read(p []byte) {
+	if d.err != nil {
+		return
+	}
+	if uint64(len(p)) > d.remaining {
+		d.fail("truncated body")
+		return
+	}
+	if _, err := io.ReadFull(d.r, p); err != nil {
+		d.fail("truncated body")
+		return
+	}
+	d.remaining -= uint64(len(p))
+	d.crc = crc32.Update(d.crc, snapshotCRCTable, p)
+}
+
+func (d *snapDecoder) byte() byte {
+	d.read(d.scratch[:1])
 	if d.err != nil {
 		return 0
 	}
-	v, n := binary.Uvarint(d.buf)
-	if n <= 0 {
-		d.fail("bad uvarint")
-		return 0
+	return d.scratch[0]
+}
+
+func (d *snapDecoder) uvarint() uint64 {
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b := d.byte()
+		if d.err != nil {
+			return 0
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				d.fail("bad uvarint")
+				return 0
+			}
+			return x | uint64(b)<<s
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
 	}
-	d.buf = d.buf[n:]
-	return v
+	d.fail("bad uvarint")
+	return 0
 }
 
 func (d *snapDecoder) varint() int64 {
-	if d.err != nil {
-		return 0
+	ux := d.uvarint()
+	x := int64(ux >> 1)
+	if ux&1 != 0 {
+		x = ^x
 	}
-	v, n := binary.Varint(d.buf)
-	if n <= 0 {
-		d.fail("bad varint")
-		return 0
-	}
-	d.buf = d.buf[n:]
-	return v
+	return x
 }
 
 // count reads a length prefix, bounding it by the bytes left so corrupt
 // lengths cannot drive huge allocations (every element is ≥ 1 byte).
 func (d *snapDecoder) count() int {
 	v := d.uvarint()
-	if d.err == nil && v > uint64(len(d.buf)) {
+	if d.err == nil && v > d.remaining {
 		d.fail("length prefix exceeds remaining bytes")
 		return 0
 	}
@@ -454,39 +508,24 @@ func (d *snapDecoder) count() int {
 }
 
 func (d *snapDecoder) f64() float64 {
+	d.read(d.scratch[:8])
 	if d.err != nil {
 		return 0
 	}
-	if len(d.buf) < 8 {
-		d.fail("truncated float64")
-		return 0
-	}
-	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf))
-	d.buf = d.buf[8:]
-	return v
-}
-
-func (d *snapDecoder) byte() byte {
-	if d.err != nil {
-		return 0
-	}
-	if len(d.buf) < 1 {
-		d.fail("truncated byte")
-		return 0
-	}
-	v := d.buf[0]
-	d.buf = d.buf[1:]
-	return v
+	return math.Float64frombits(binary.LittleEndian.Uint64(d.scratch[:8]))
 }
 
 func (d *snapDecoder) str() string {
 	n := d.count()
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	d.read(b)
 	if d.err != nil {
 		return ""
 	}
-	s := string(d.buf[:n])
-	d.buf = d.buf[n:]
-	return s
+	return string(b) //eta2:allocdiscipline-ok snapshot restore path, not per-request
 }
 
 func (d *snapDecoder) floats() []float64 {

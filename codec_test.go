@@ -2,8 +2,10 @@ package eta2
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -110,6 +112,83 @@ func TestBinaryCodecCorruption(t *testing.T) {
 		if _, err := LoadServer(bytes.NewReader(good[:cut])); err == nil {
 			t.Errorf("truncation at %d bytes: decode succeeded", cut)
 		}
+	}
+}
+
+// TestBinaryCodecV1Compat: version-1 snapshots (written before per-user
+// names existed) must keep loading, with every user name empty. The v1
+// fixture is derived from a v2 encoding of name-less state: v2 then
+// carries exactly one extra 0x00 byte (an empty name) per user, so
+// dropping those bytes and re-framing yields the bytes a v1 build wrote.
+func TestBinaryCodecV1Compat(t *testing.T) {
+	s, err := NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddUsers(User{ID: 0, Capacity: 5}, User{ID: 3, Capacity: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTasks(TaskSpec{DomainHint: 1, ProcTime: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitObservations(Observation{Task: 0, User: 0, Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytes(t, s)
+	var v2 bytes.Buffer
+	if err := s.SaveStateBinary(&v2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-frame as v1: parse the v2 header, walk the body's user section
+	// (stateVersion uvarint, three f64s, user count, then per user a
+	// varint ID + f64 capacity + empty name length), drop each user's
+	// 0x00 name byte, and rebuild magic/version/length/CRC around it.
+	raw := v2.Bytes()[len(snapshotMagic):]
+	codecVer, n := binary.Uvarint(raw)
+	if codecVer != snapshotCodecVersion || n <= 0 {
+		t.Fatalf("fixture not written by codec version %d", snapshotCodecVersion)
+	}
+	raw = raw[n:]
+	bodyLen, n := binary.Uvarint(raw)
+	body := raw[n : n+int(bodyLen)]
+
+	var v1body []byte
+	p := body
+	_, n = binary.Uvarint(p) // stateVersion
+	v1body = append(v1body, p[:n+24]...)
+	p = p[n+24:] // three f64s
+	nUsers, n := binary.Uvarint(p)
+	v1body = append(v1body, p[:n]...)
+	p = p[n:]
+	for i := 0; i < int(nUsers); i++ {
+		_, n = binary.Varint(p) // user ID
+		v1body = append(v1body, p[:n+8]...)
+		p = p[n+8:] // capacity
+		if p[0] != 0 {
+			t.Fatal("fixture user has a non-empty name")
+		}
+		p = p[1:] // drop the empty-name length byte
+	}
+	v1body = append(v1body, p...)
+
+	v1 := []byte(snapshotMagic)
+	v1 = append(v1, 1) // uvarint codec version 1
+	v1 = binary.AppendUvarint(v1, uint64(len(v1body)))
+	v1 = append(v1, v1body...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(v1body, snapshotCRCTable))
+	v1 = append(v1, crc[:]...)
+
+	r, err := LoadServer(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("LoadServer(v1 snapshot): %v", err)
+	}
+	if got := saveBytes(t, r); !bytes.Equal(got, want) {
+		t.Error("v1 snapshot restore diverged from v2 state")
+	}
+	if name := r.UserName(3); name != "" {
+		t.Errorf("v1 user has name %q, want empty", name)
 	}
 }
 

@@ -2,7 +2,6 @@ package eta2
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -247,8 +246,8 @@ func (f *Follower) applyRecord(lsn uint64, payload []byte) error {
 	if lsn != applied+1 {
 		return errLSNGap
 	}
-	var ev walEvent
-	if err := json.Unmarshal(payload, &ev); err != nil {
+	ev, err := decodeEvent(payload)
+	if err != nil {
 		return f.fail(fmt.Errorf("eta2: decode shipped record %d: %w", lsn, err))
 	}
 	if err := f.wlog.AppendBufferedAt(lsn, payload); err != nil {
@@ -574,6 +573,9 @@ func (s *Server) adoptRestored(r *Server, lsn uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cfg = r.cfg
+	// The restore target rebuilt its intern table from the snapshot's user
+	// names; adopt it wholesale so name→id bindings survive the bootstrap.
+	s.interner = r.interner
 	s.users = r.users
 	s.userOrder = r.userOrder
 	s.tasks = r.tasks

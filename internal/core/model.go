@@ -77,6 +77,11 @@ type User struct {
 	// Capacity is the processing capability T_i: hours per time step the
 	// user can spend on tasks.
 	Capacity float64
+	// Name is an optional external identifier (device id, account handle)
+	// bound to the dense UserID by the server-wide intern table. The JSON
+	// tag keeps name-less users encoding exactly as they did before the
+	// field existed, so old WAL records and snapshots stay byte-identical.
+	Name string `json:"Name,omitempty"`
 }
 
 // Validate reports whether the user's fields are usable.

@@ -256,3 +256,55 @@ func TestAdversarialObservations(t *testing.T) {
 		t.Errorf("offset -1 mean %g, want ≈8", mean)
 	}
 }
+
+func TestTierConfigs(t *testing.T) {
+	if _, err := Tier("galactic", 1); err == nil {
+		t.Error("unknown tier accepted")
+	}
+	paper, err := Tier("paper", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Synthetic(paper)
+	if len(ds.Users) != 100 || len(ds.Tasks) != 1000 {
+		t.Errorf("paper tier generated %d users / %d tasks, want 100/1000", len(ds.Users), len(ds.Tasks))
+	}
+	for _, name := range []string{"100k", "1m"} {
+		cfg, err := Tier(name, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.NumUsers < 100_000 {
+			t.Errorf("tier %s: only %d users", name, cfg.NumUsers)
+		}
+	}
+}
+
+// TestSyntheticLargeTierAllocShape: the expertise matrix must be carved
+// from one flat backing array (rows contiguous), so large tiers cost a
+// few big allocations instead of one per user.
+func TestSyntheticLargeTierAllocShape(t *testing.T) {
+	cfg, err := Tier("100k", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testing.Short() {
+		cfg.NumUsers = 1000
+		cfg.NumTasks = 100
+	}
+	ds := Synthetic(cfg)
+	if len(ds.Users) != cfg.NumUsers || len(ds.Tasks) != cfg.NumTasks {
+		t.Fatalf("generated %d users / %d tasks, want %d/%d",
+			len(ds.Users), len(ds.Tasks), cfg.NumUsers, cfg.NumTasks)
+	}
+	d := cfg.NumDomains
+	for i := 0; i+1 < len(ds.TrueExpertise); i++ {
+		// Row i+1 must begin exactly one element past row i's end: the
+		// element at rows[i][d] (readable via the row's spare capacity)
+		// is rows[i+1][0].
+		row := ds.TrueExpertise[i][:d+1]
+		if &row[d] != &ds.TrueExpertise[i+1][0] {
+			t.Fatalf("expertise row %d not contiguous with row %d", i, i+1)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package dataset
 
 import (
+	"fmt"
+
 	"eta2/internal/core"
 	"eta2/internal/stats"
 )
@@ -63,6 +65,31 @@ func (c *SyntheticConfig) applyDefaults() {
 	}
 }
 
+// Tier returns the generator config for a named capacity tier. "paper"
+// is the evaluation setting of Sec. 6 (100 users, 1000 tasks); "100k"
+// and "1m" are the production-scale tiers the ROADMAP's capacity work
+// benchmarks against. Tier configs stay cheap to generate at full size:
+// Synthetic allocates per-user expertise as one flat backing array, so a
+// 1M-user dataset costs a handful of large allocations, not millions of
+// small ones.
+func Tier(name string, seed int64) (SyntheticConfig, error) {
+	cfg := SyntheticConfig{Seed: seed}
+	switch name {
+	case "paper":
+	case "100k":
+		cfg.NumUsers = 100_000
+		cfg.NumTasks = 10_000
+		cfg.NumDomains = 16
+	case "1m":
+		cfg.NumUsers = 1_000_000
+		cfg.NumTasks = 100_000
+		cfg.NumDomains = 32
+	default:
+		return SyntheticConfig{}, fmt.Errorf("dataset: unknown tier %q (have: paper, 100k, 1m)", name)
+	}
+	return cfg, nil
+}
+
 // Synthetic generates the paper's synthetic dataset: expertise domains are
 // pre-known to the server (Task.Domain is set), so no clustering is needed.
 func Synthetic(cfg SyntheticConfig) *Dataset {
@@ -71,13 +98,17 @@ func Synthetic(cfg SyntheticConfig) *Dataset {
 
 	users := capacities(cfg.NumUsers, cfg.AvgCapacity, 4, rng)
 
+	// One flat backing array for all expertise rows: at the 1M-user tier
+	// a slice-per-user layout costs a million small allocations and
+	// pointer-chases; carving rows out of a single block keeps the
+	// generator's allocation count independent of user count.
+	flat := make([]float64, cfg.NumUsers*cfg.NumDomains)
+	for i := range flat {
+		flat[i] = rng.Uniform(0, cfg.MaxExpertise)
+	}
 	expertise := make([][]float64, cfg.NumUsers)
 	for i := range expertise {
-		row := make([]float64, cfg.NumDomains)
-		for d := range row {
-			row[d] = rng.Uniform(0, cfg.MaxExpertise)
-		}
-		expertise[i] = row
+		expertise[i] = flat[i*cfg.NumDomains : (i+1)*cfg.NumDomains]
 	}
 
 	tasks := make([]core.Task, cfg.NumTasks)

@@ -42,6 +42,41 @@ func (c *Client) AddUsers(ctx context.Context, users []UserJSON) error {
 	return c.post(ctx, "/v1/users", map[string]any{"users": users}, nil)
 }
 
+// AddUsersByName registers users by external string name; the server
+// assigns dense ids (interning each name once) and returns them in name
+// order.
+func (c *Client) AddUsersByName(ctx context.Context, capacity float64, names []string) ([]int, error) {
+	var resp struct {
+		IDs []int `json:"ids"`
+	}
+	body := map[string]any{"capacity": capacity, "names": names}
+	if err := c.post(ctx, "/v1/users/named", body, &resp); err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// ResolveUser resolves an external user name to its dense id.
+func (c *Client) ResolveUser(ctx context.Context, name string) (int, error) {
+	var resp UserJSON
+	q := url.Values{"name": {name}}
+	if err := c.get(ctx, "/v1/users?"+q.Encode(), &resp); err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
+}
+
+// UserName recovers the external name bound to a dense user id ("" if the
+// user is unnamed).
+func (c *Client) UserName(ctx context.Context, id int) (string, error) {
+	var resp UserJSON
+	q := url.Values{"user": {fmt.Sprint(id)}}
+	if err := c.get(ctx, "/v1/users?"+q.Encode(), &resp); err != nil {
+		return "", err
+	}
+	return resp.Name, nil
+}
+
 // CreateTasks registers tasks and returns their IDs.
 func (c *Client) CreateTasks(ctx context.Context, tasks []TaskSpecJSON) ([]int, error) {
 	var resp struct {

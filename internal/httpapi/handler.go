@@ -51,6 +51,7 @@ func New(server *eta2.Server) *Handler {
 	routes := map[string]http.HandlerFunc{
 		"/v1/healthz":              h.handleHealth,
 		"/v1/users":                h.handleUsers,
+		"/v1/users/named":          h.handleNamedUsers,
 		"/v1/tasks":                h.handleTasks,
 		"/v1/allocate/max-quality": h.handleAllocateMaxQuality,
 		"/v1/observations":         h.handleObservations,
@@ -83,10 +84,13 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // ---- wire types ----
 
-// UserJSON is the wire form of a user.
+// UserJSON is the wire form of a user. Name optionally binds an external
+// string identifier to the dense id: the server interns it once and every
+// later request that carries the name resolves it at the decode edge.
 type UserJSON struct {
 	ID       int     `json:"id"`
 	Capacity float64 `json:"capacity"`
+	Name     string  `json:"name,omitempty"`
 }
 
 // TaskSpecJSON is the wire form of a task specification.
@@ -103,11 +107,15 @@ type PairJSON struct {
 	Task int `json:"task"`
 }
 
-// ObservationJSON is the wire form of a reported value.
+// ObservationJSON is the wire form of a reported value. UserName, when
+// present, takes precedence over User: it is resolved to the dense id via
+// the server's intern table at decode time, so everything downstream of
+// this struct keys on ints.
 type ObservationJSON struct {
-	Task  int     `json:"task"`
-	User  int     `json:"user"`
-	Value float64 `json:"value"`
+	Task     int     `json:"task"`
+	User     int     `json:"user"`
+	Value    float64 `json:"value"`
+	UserName string  `json:"user_name,omitempty"`
 }
 
 // TruthJSON is the wire form of a truth estimate.
@@ -166,8 +174,13 @@ func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleUsers(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		methodNotAllowed(w, http.MethodPost)
+	switch r.Method {
+	case http.MethodGet:
+		h.handleUserLookup(w, r)
+		return
+	case http.MethodPost:
+	default:
+		methodNotAllowed(w, "GET, POST")
 		return
 	}
 	var req struct {
@@ -178,7 +191,7 @@ func (h *Handler) handleUsers(w http.ResponseWriter, r *http.Request) {
 	}
 	users := make([]eta2.User, 0, len(req.Users))
 	for _, u := range req.Users {
-		users = append(users, eta2.User{ID: eta2.UserID(u.ID), Capacity: u.Capacity})
+		users = append(users, eta2.User{ID: eta2.UserID(u.ID), Capacity: u.Capacity, Name: u.Name})
 	}
 	err := h.server.AddUsers(users...)
 	n := h.server.NumUsers()
@@ -187,6 +200,55 @@ func (h *Handler) handleUsers(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"total_users": n})
+}
+
+// handleUserLookup resolves GET /v1/users?name=... (name → id via the
+// intern table) or GET /v1/users?user=... (id → name, the response-encoding
+// edge where the string form is recovered).
+func (h *Handler) handleUserLookup(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if name := q.Get("name"); name != "" {
+		id, ok := h.server.ResolveUser(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown user name %q", name))
+			return
+		}
+		writeJSON(w, http.StatusOK, UserJSON{ID: int(id), Name: name})
+		return
+	}
+	id, err := strconv.Atoi(q.Get("user"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("need ?name= or a valid ?user= id: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, UserJSON{ID: id, Name: h.server.UserName(eta2.UserID(id))})
+}
+
+// handleNamedUsers registers users by external name: the server assigns
+// dense ids (new names) or updates capacity (known names) and returns the
+// ids in request order.
+func (h *Handler) handleNamedUsers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var req struct {
+		Capacity float64  `json:"capacity"`
+		Names    []string `json:"names"`
+	}
+	if !decode(w, r, &req) {
+		return
+	}
+	ids, err := h.server.AddUsersByName(req.Capacity, req.Names...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	writeJSON(w, http.StatusOK, map[string][]int{"ids": out})
 }
 
 func (h *Handler) handleTasks(w http.ResponseWriter, r *http.Request) {
@@ -259,9 +321,18 @@ func (h *Handler) handleObservations(w http.ResponseWriter, r *http.Request) {
 	}
 	obs := make([]eta2.Observation, 0, len(req.Observations))
 	for _, o := range req.Observations {
+		user := eta2.UserID(o.User)
+		if o.UserName != "" {
+			id, ok := h.server.ResolveUser(o.UserName)
+			if !ok {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("unknown user name %q", o.UserName))
+				return
+			}
+			user = id
+		}
 		obs = append(obs, eta2.Observation{
 			Task:  eta2.TaskID(o.Task),
-			User:  eta2.UserID(o.User),
+			User:  user,
 			Value: o.Value,
 		})
 	}
@@ -318,10 +389,21 @@ func (h *Handler) handleExpertise(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	user, err := strconv.Atoi(r.URL.Query().Get("user"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid user id: %w", err))
-		return
+	var user int
+	if name := r.URL.Query().Get("user_name"); name != "" {
+		id, ok := h.server.ResolveUser(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown user name %q", name))
+			return
+		}
+		user = int(id)
+	} else {
+		var err error
+		user, err = strconv.Atoi(r.URL.Query().Get("user"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid user id: %w", err))
+			return
+		}
 	}
 	domain, err := strconv.Atoi(r.URL.Query().Get("domain"))
 	if err != nil {

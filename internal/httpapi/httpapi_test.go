@@ -161,8 +161,9 @@ func TestErrorStatuses(t *testing.T) {
 		t.Errorf("malformed body: status %d", resp.StatusCode)
 	}
 
-	// Wrong method → 405 with Allow header.
-	resp2, httpErr := ts.Client().Get(ts.URL + "/v1/users")
+	// Wrong method → 405 with Allow header. (/v1/users now also serves
+	// GET lookups, so probe a POST-only route.)
+	resp2, httpErr := ts.Client().Get(ts.URL + "/v1/observations")
 	if httpErr != nil {
 		t.Fatal(httpErr)
 	}

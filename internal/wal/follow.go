@@ -22,8 +22,13 @@ var ErrCompacted = errors.New("wal: records compacted away; bootstrap from snaps
 func (l *Log) advanceCommittedLocked(lsn uint64) {
 	if lsn > l.committed {
 		l.committed = lsn
-		close(l.commitWatch)
-		l.commitWatch = make(chan struct{})
+		// The watch channel exists only while a poller is parked
+		// (WaitCommitted allocates it on demand); with no followers the
+		// commit fast path advances the frontier without allocating.
+		if l.commitWatch != nil {
+			close(l.commitWatch)
+			l.commitWatch = nil
+		}
 	}
 }
 
@@ -47,12 +52,16 @@ func (l *Log) WaitCommitted(after uint64, timeout time.Duration) uint64 {
 	for {
 		l.syncMu.Lock()
 		c := l.committed
-		ch := l.commitWatch
 		sealed := l.commitSealed
-		l.syncMu.Unlock()
 		if c > after || sealed {
+			l.syncMu.Unlock()
 			return c
 		}
+		if l.commitWatch == nil {
+			l.commitWatch = make(chan struct{})
+		}
+		ch := l.commitWatch
+		l.syncMu.Unlock()
 		wait := time.Until(deadline)
 		if wait <= 0 {
 			return c
@@ -171,17 +180,24 @@ func (l *Log) ReadCommitted(from uint64, max int, fn func(lsn uint64, payload []
 // byte-for-byte and a reader can validate them with the same checksums.
 func WriteFrame(w io.Writer, lsn uint64, payload []byte) error {
 	var header [headerSize]byte
-	binary.BigEndian.PutUint32(header[0:4], uint32(frameOverhead+len(payload)))
-	binary.BigEndian.PutUint64(header[8:16], lsn)
-	header[16] = recordVersion
-	crc := crc32.Update(0, castagnoli, header[8:headerSize])
-	crc = crc32.Update(crc, castagnoli, payload)
-	binary.BigEndian.PutUint32(header[4:8], crc)
+	fillFrameHeader(&header, lsn, payload)
 	if _, err := w.Write(header[:]); err != nil {
 		return err
 	}
 	_, err := w.Write(payload)
 	return err
+}
+
+// fillFrameHeader encodes the frame header for (lsn, payload) into hdr —
+// the shared core of WriteFrame and the Log's zero-alloc append path,
+// which reuses a Log-owned header scratch instead of a per-call array.
+func fillFrameHeader(hdr *[headerSize]byte, lsn uint64, payload []byte) {
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(frameOverhead+len(payload)))
+	binary.BigEndian.PutUint64(hdr[8:16], lsn)
+	hdr[16] = recordVersion
+	crc := crc32.Update(0, castagnoli, hdr[8:headerSize])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.BigEndian.PutUint32(hdr[4:8], crc)
 }
 
 // FrameReader decodes a stream of frames produced by WriteFrame,

@@ -154,6 +154,10 @@ type Log struct {
 	first    uint64 // first LSN present, 0 if none
 	closed   bool
 	writeErr error // sticky: a partial record write we could not rewind
+	// frameHdr is appendAt's header scratch, reused under mu so the append
+	// path allocates nothing: a stack array passed through the io.Writer
+	// interface in WriteFrame would escape to the heap on every record.
+	frameHdr [headerSize]byte
 
 	tornBytes   int64
 	droppedSegs int
@@ -172,8 +176,10 @@ type Log struct {
 	// committer per the sync policy. Under SyncAlways it tracks durable;
 	// under SyncInterval/SyncNever it can run ahead of durable, because a
 	// record is acknowledged (and may be shipped to followers) as soon as
-	// Commit returns. Guarded by syncMu; commitWatch is closed and
-	// replaced each time the frontier advances so pollers can park.
+	// Commit returns. Guarded by syncMu; commitWatch is allocated lazily
+	// by the first poller to park after an advance, and closed (then
+	// nilled) each time the frontier moves — so the zero-follower commit
+	// fast path never allocates.
 	committed    uint64
 	commitWatch  chan struct{}
 	commitSealed bool // Close ran: the frontier will never advance again
@@ -194,7 +200,6 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	l := &Log{dir: dir, opts: opts, next: 1}
 	l.syncCond = sync.NewCond(&l.syncMu)
-	l.commitWatch = make(chan struct{})
 
 	segs, err := listSegments(dir)
 	if err != nil {
@@ -475,7 +480,16 @@ func (l *Log) appendAt(at uint64, payload []byte) (uint64, error) {
 	if at != 0 {
 		lsn = at
 	}
-	if err := WriteFrame(l.active, lsn, payload); err != nil {
+	// Inline frame write against the concrete *os.File with the Log-owned
+	// header scratch: the generic WriteFrame(io.Writer, ...) would heap-
+	// allocate its header array per record (interface escape), and the
+	// ingest hot path budgets zero allocations here.
+	fillFrameHeader(&l.frameHdr, lsn, payload)
+	if _, err := l.active.Write(l.frameHdr[:]); err != nil {
+		l.rewind(active)
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.active.Write(payload); err != nil {
 		l.rewind(active)
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
@@ -739,8 +753,10 @@ func (l *Log) Close() error {
 	// Seal the shipping frontier and wake pollers parked in WaitCommitted
 	// so they observe the final value instead of waiting out their timeout.
 	l.commitSealed = true
-	close(l.commitWatch)
-	l.commitWatch = make(chan struct{})
+	if l.commitWatch != nil {
+		close(l.commitWatch)
+		l.commitWatch = nil
+	}
 	l.syncCond.Broadcast()
 	l.syncMu.Unlock()
 	return err

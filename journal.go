@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"eta2/internal/wal"
@@ -244,8 +245,8 @@ func recoverDurableState(cfg config, opts []Option, dir string, policy Durabilit
 		if lsn <= snapLSN {
 			return nil // already covered by the snapshot
 		}
-		var ev walEvent
-		if err := json.Unmarshal(payload, &ev); err != nil {
+		ev, err := decodeEvent(payload)
+		if err != nil {
 			return fmt.Errorf("eta2: decode journal record %d: %w", lsn, err)
 		}
 		if err := s.applyEvent(ev); err != nil {
@@ -307,6 +308,14 @@ func (s *Server) applyEvent(ev walEvent) error {
 		return fmt.Errorf("unknown event type %q", ev.Type)
 	}
 }
+
+// obsEventPool recycles encode buffers for the SubmitObservations hot
+// path: steady-state submits reuse a retained-capacity []byte instead of
+// allocating a fresh JSON payload per call. The wrapper struct keeps
+// Put/Get from re-boxing the slice header on every cycle.
+var obsEventPool = sync.Pool{New: func() any { return new(obsEventBuf) }}
+
+type obsEventBuf struct{ b []byte }
 
 // encodeEvent marshals one WAL record payload. Split out so hot paths can
 // encode outside the server's locks.

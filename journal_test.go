@@ -3,6 +3,7 @@ package eta2
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -106,6 +107,22 @@ func durableScript(t *testing.T) []func(*Server) error {
 			users = append(users, User{ID: UserID(u), Capacity: 10})
 		}
 		return s.AddUsers(users...)
+	})
+	// Two users registered through the intern table: every downstream
+	// bit-identity check (crash recovery, codec round trips, follower
+	// replication) now also proves names and intern state replay exactly.
+	ops = append(ops, func(s *Server) error {
+		ids, err := s.AddUsersByName(10, "sensor-alpha", "sensor-beta")
+		if err != nil {
+			return err
+		}
+		if len(ids) != 2 {
+			return fmt.Errorf("AddUsersByName assigned %d ids, want 2", len(ids))
+		}
+		if id, ok := s.ResolveUser("sensor-beta"); !ok || id != ids[1] {
+			return fmt.Errorf("ResolveUser(sensor-beta) = %v,%v, want %v", id, ok, ids[1])
+		}
+		return nil
 	})
 	for day := 0; day < 2; day++ {
 		ops = append(ops, func(s *Server) error {

@@ -1,6 +1,12 @@
 package eta2
 
-import "eta2/internal/obs"
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"eta2/internal/obs"
+)
 
 // Server-level gauges, published after every committed mutation (and once
 // after recovery/restore). The obs registry is process-wide, so when a
@@ -69,6 +75,58 @@ var (
 		"Follower-to-primary promotions performed by this process.")
 )
 
+// Memory-model metrics (DESIGN.md §15): the intern-table gauges track the
+// server-wide name→id table, and the ingest sampler estimates allocations
+// per SubmitObservations by differencing runtime.MemStats once every
+// ingestSampleEvery submits — cheap enough for steady state (ReadMemStats
+// briefly stops the world, so it must never run per-op).
+var (
+	mInternStrings = obs.Default().Gauge("eta2_intern_strings_total",
+		"External string ids interned into the server-wide name table.")
+	mInternBytes = obs.Default().Gauge("eta2_intern_bytes",
+		"Bytes of interned string data held by the name table (names only, map overhead excluded).")
+	mIngestAllocs = obs.Default().Gauge("eta2_ingest_allocs_per_op",
+		"Process-wide heap allocations per SubmitObservations call, sampled over the last ~1k submits.")
+	mHeapAlloc = obs.Default().Gauge("eta2_heap_alloc_bytes",
+		"Live heap bytes (runtime.MemStats.HeapAlloc) at the last ingest sample.")
+)
+
+// ingestSampleEvery is the SubmitObservations sampling period. A power of
+// two keeps the fast path to one atomic add and one mask.
+const ingestSampleEvery = 1024
+
+var ingestSampler struct {
+	ops atomic.Uint64 // total sampled submits, bumped on every call
+
+	mu          sync.Mutex // guards the baseline below
+	lastOps     uint64
+	lastMallocs uint64
+}
+
+// ingestAllocSample ticks the submit counter and, once every
+// ingestSampleEvery calls, refreshes eta2_ingest_allocs_per_op and
+// eta2_heap_alloc_bytes from a MemStats delta. Mallocs is process-wide,
+// so the gauge reads as "allocations per submit across the process" — a
+// regression on the supposedly zero-alloc path shows up as a sustained
+// rise under pure-ingest load.
+func ingestAllocSample() {
+	n := ingestSampler.ops.Add(1)
+	if n%ingestSampleEvery != 0 {
+		return
+	}
+	ingestSampler.mu.Lock()
+	defer ingestSampler.mu.Unlock()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ingestSampler.lastOps != 0 && n > ingestSampler.lastOps {
+		dOps := n - ingestSampler.lastOps
+		mIngestAllocs.Set(float64(ms.Mallocs-ingestSampler.lastMallocs) / float64(dOps))
+	}
+	mHeapAlloc.Set(float64(ms.HeapAlloc))
+	ingestSampler.lastOps = n
+	ingestSampler.lastMallocs = ms.Mallocs
+}
+
 // publishMetricsLocked refreshes the server-shape gauges. Callers hold
 // s.mu (read or write); every store is a single atomic, so the cost is a
 // handful of nanoseconds on the mutation path.
@@ -78,4 +136,6 @@ func (s *Server) publishMetricsLocked() {
 	mTasks.Set(float64(len(s.tasks)))
 	mPendingTasks.Set(float64(len(s.pending)))
 	mBufferedObs.Set(float64(len(s.observations)))
+	mInternStrings.Set(float64(s.interner.Len()))
+	mInternBytes.Set(float64(s.interner.Bytes()))
 }

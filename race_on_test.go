@@ -1,0 +1,9 @@
+//go:build race
+
+package eta2
+
+// raceEnabled reports whether the race detector is compiled in. Its
+// instrumentation allocates on paths that are allocation-free in normal
+// builds, so the exact alloc-count gates skip themselves under -race
+// (the race run still executes the same code for data-race coverage).
+const raceEnabled = true

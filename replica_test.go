@@ -120,6 +120,19 @@ func TestFollowerBitIdenticalAtEveryBoundary(t *testing.T) {
 	if n := f.ReplicationStatus().SnapshotBootstraps; n != 0 {
 		t.Fatalf("attached-from-genesis follower bootstrapped %d times, want 0", n)
 	}
+	// The follower's intern table must be rebuilt from the replicated log,
+	// not merely carried as snapshot strings: name lookups resolve to the
+	// same dense ids the primary assigned.
+	for _, name := range []string{"sensor-alpha", "sensor-beta"} {
+		pid, pok := primary.ResolveUser(name)
+		fid, fok := f.Server().ResolveUser(name)
+		if !pok || !fok || pid != fid {
+			t.Fatalf("ResolveUser(%q): primary=%v,%v follower=%v,%v", name, pid, pok, fid, fok)
+		}
+		if pn, fn := primary.UserName(pid), f.Server().UserName(fid); pn != name || fn != name {
+			t.Fatalf("UserName(%d): primary=%q follower=%q, want %q", pid, pn, fn, name)
+		}
+	}
 }
 
 // TestFollowerBootstrapAfterCompaction attaches a brand-new follower to

@@ -41,6 +41,12 @@ type Server struct {
 
 	cfg config
 
+	// interner binds external string names to dense user ids (DESIGN.md
+	// §15). It is derived state: rebuilt by replay/restore from the Name
+	// fields carried in add_users events and snapshots, never serialized
+	// itself. Lookups are lock-free; binds happen under mu via addUsers.
+	interner *core.Interner
+
 	users     map[UserID]User
 	userOrder []UserID
 
@@ -206,9 +212,12 @@ func buildConfig(opts ...Option) (config, error) {
 
 // newServer builds a bare in-memory server from a resolved config (no
 // recovery, no journal — openDurableServer layers those on top).
+//
+//eta2:allocdiscipline-ok constructor: runs once per server, not per request
 func newServer(cfg config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
+		interner: core.NewInterner(),
 		users:    make(map[UserID]User),
 		domainOf: make(map[TaskID]DomainID),
 		store:    truth.NewStore(cfg.alpha),
@@ -254,27 +263,147 @@ func (s *Server) addUsers(users ...User) error {
 		}
 	}
 	s.mu.Lock()
+	lsn, err := s.addUsersLocked(users)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.journalCommit(lsn)
+}
+
+// addUsersLocked validates name bindings against live state, journals the
+// batch, and applies it. Name conflicts are checked before journaling: a
+// record that could not re-apply on replay must never reach the WAL.
+// Callers hold s.mu and own the fsync (journalCommit) after unlocking.
+func (s *Server) addUsersLocked(users []User) (uint64, error) {
+	var names []string
+	var nameIDs []int
+	var batchName map[UserID]string // lazily built: unnamed batches skip all of this
+	for _, u := range users {
+		if u.Name == "" {
+			continue
+		}
+		if id, ok := s.interner.Lookup(u.Name); ok && id != int(u.ID) {
+			return 0, fmt.Errorf("eta2: user name %q already bound to id %d", u.Name, id)
+		}
+		if prev, ok := s.users[u.ID]; ok && prev.Name != "" && prev.Name != u.Name {
+			return 0, fmt.Errorf("eta2: user %d already named %q, cannot rename to %q", u.ID, prev.Name, u.Name)
+		}
+		if batchName == nil {
+			batchName = make(map[UserID]string, len(users)) //eta2:allocdiscipline-ok registration path, not per-observation ingest
+		}
+		if prev, ok := batchName[u.ID]; ok && prev != u.Name {
+			return 0, fmt.Errorf("eta2: user %d named both %q and %q in one batch", u.ID, prev, u.Name)
+		}
+		batchName[u.ID] = u.Name
+		names = append(names, u.Name)
+		nameIDs = append(nameIDs, int(u.ID))
+	}
 	lsn, err := s.journalBuffered(walEvent{Type: eventAddUsers, Users: users})
 	if err != nil {
-		s.mu.Unlock()
-		return err
+		return 0, err
 	}
 	// Copy-on-write: the published snapshot shares the current map, so the
 	// batch lands in a fresh copy and readers keep a frozen view.
-	next := make(map[UserID]User, len(s.users)+len(users))
+	next := make(map[UserID]User, len(s.users)+len(users)) //eta2:allocdiscipline-ok copy-on-write mutation batch, not per-observation ingest
 	for id, u := range s.users {
 		next[id] = u
 	}
 	for _, u := range users {
-		if _, ok := next[u.ID]; !ok {
+		prev, existed := next[u.ID]
+		if !existed {
 			s.userOrder = append(s.userOrder, u.ID)
+		}
+		if existed && u.Name == "" {
+			// A capacity update without a name keeps the existing binding:
+			// names are write-once (renames were rejected above), and replay
+			// applies the same merge, so live and recovered state agree.
+			u.Name = prev.Name
 		}
 		next[u.ID] = u
 	}
 	s.users = next
+	if len(names) > 0 {
+		// Cannot conflict: every binding was validated above, and BindAll
+		// treats same-name-same-id rebinds (intra-batch duplicates) as no-ops.
+		if err := s.interner.BindAll(names, nameIDs); err != nil {
+			s.publishLocked()
+			return 0, fmt.Errorf("eta2: intern: %w", err)
+		}
+	}
 	s.publishLocked()
+	return lsn, nil
+}
+
+// AddUsersByName registers users by external string name, assigning dense
+// ids server-side: a new name gets the next unused id, an existing name
+// updates that user's capacity. It returns the ids in name order. The
+// batch is atomic (see AddUsers) and the name→id bindings land in the
+// server-wide intern table, so every later request that carries a name
+// resolves it to a dense int once, at the decode edge.
+func (s *Server) AddUsersByName(capacity float64, names ...string) ([]UserID, error) {
+	if err := s.writable(); err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	if capacity < 0 {
+		return nil, fmt.Errorf("eta2: negative capacity %g", capacity)
+	}
+	s.mu.Lock()
+	nextID := UserID(0)
+	for _, id := range s.userOrder {
+		if id >= nextID {
+			nextID = id + 1
+		}
+	}
+	ids := make([]UserID, len(names))
+	batch := make([]User, len(names))
+	var fresh map[string]UserID // names first seen in this batch
+	for i, name := range names {
+		if name == "" {
+			s.mu.Unlock()
+			return nil, errors.New("eta2: empty user name")
+		}
+		if id, ok := s.interner.Lookup(name); ok {
+			ids[i] = UserID(id)
+		} else if id, dup := fresh[name]; dup {
+			ids[i] = id
+		} else {
+			if fresh == nil {
+				fresh = make(map[string]UserID, len(names)) //eta2:allocdiscipline-ok registration path, not per-observation ingest
+			}
+			ids[i] = nextID
+			fresh[name] = nextID
+			nextID++
+		}
+		batch[i] = User{ID: ids[i], Capacity: capacity, Name: name}
+	}
+	lsn, err := s.addUsersLocked(batch)
 	s.mu.Unlock()
-	return s.journalCommit(lsn)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.journalCommit(lsn); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// ResolveUser returns the dense user id bound to an external name (via
+// AddUsersByName or a named AddUsers batch). It is lock-free.
+func (s *Server) ResolveUser(name string) (UserID, bool) {
+	id, ok := s.interner.Lookup(name)
+	return UserID(id), ok
+}
+
+// UserName returns the external name bound to a user id, or "" when the
+// user is unnamed or unknown. This is the response-encoding edge of the
+// intern table: downstream state keys on dense ids only, and the string
+// form is recovered here. Lock-free.
+func (s *Server) UserName(id UserID) string {
+	return s.loadState().users[id].Name
 }
 
 // NumUsers returns the number of registered users.
@@ -370,7 +499,7 @@ func (s *Server) createTasksLocked(specs []TaskSpec) ([]TaskID, uint64, error) {
 	// Phase 2: commit. domainOf is copy-on-write (readers hold the
 	// published map), so the whole batch — hints and clustering
 	// assignments alike — lands in a fresh copy swapped in at the end.
-	domainOf := make(map[TaskID]DomainID, len(s.domainOf)+len(specs))
+	domainOf := make(map[TaskID]DomainID, len(s.domainOf)+len(specs)) //eta2:allocdiscipline-ok copy-on-write mutation batch, not per-observation ingest
 	for k, v := range s.domainOf {
 		domainOf[k] = v
 	}
@@ -422,14 +551,11 @@ func (s *Server) Domain(id TaskID) DomainID {
 }
 
 // NumDomains returns the number of discovered domains (clustered servers
-// only; hinted domains are counted by their distinct hints).
+// only; hinted domains are counted by their distinct hints). The count is
+// computed at most once per published snapshot — repeat reads against the
+// same snapshot are allocation-free.
 func (s *Server) NumDomains() int {
-	st := s.loadState()
-	seen := make(map[DomainID]struct{})
-	for _, d := range st.domainOf {
-		seen[d] = struct{}{}
-	}
-	return len(seen)
+	return s.loadState().numDomains()
 }
 
 // Expertise returns the learned expertise of user u for task t (via the
@@ -585,7 +711,7 @@ func (s *Server) AllocateMinCost(params MinCostParams, collect Collector) (MinCo
 	}
 
 	table := core.NewObservationTable(nil)
-	allocated := make(map[TaskID][]UserID)
+	allocated := make(map[TaskID][]UserID) //eta2:allocdiscipline-ok min-cost planning round, O(tasks) by design, not observation ingest
 	domainFn := func(id TaskID) DomainID { return s.domainOf[id] }
 
 	env := allocation.EnvironmentFunc(func(newPairs []Pair) (allocation.IterationOutcome, error) {
@@ -595,10 +721,11 @@ func (s *Server) AllocateMinCost(params MinCostParams, collect Collector) (MinCo
 		}
 		if len(obs) > 0 {
 			// Journal the collected batch verbatim (min-cost bypasses
-			// SubmitObservations, so replay appends these as-is). Buffered
-			// only: the whole min-cost round runs under the write lock, so
-			// the fsync is deferred to the single commit at the end.
-			if _, err := s.journalBuffered(walEvent{Type: eventObservations, Observations: obs}); err != nil {
+			// SubmitObservations, so replay appends these as-is; day = -1
+			// keeps each observation's own stamp). Buffered only: the whole
+			// min-cost round runs under the write lock, so the fsync is
+			// deferred to the single commit at the end.
+			if _, err := s.journalBufferedPayload(encodeObservationsEvent(nil, obs, -1)); err != nil {
 				return allocation.IterationOutcome{}, err
 			}
 		}
@@ -617,7 +744,7 @@ func (s *Server) AllocateMinCost(params MinCostParams, collect Collector) (MinCo
 			return allocation.IterationOutcome{}, err
 		}
 		exp := tmp.Snapshot()
-		sums := make(map[TaskID]float64, len(allocated))
+		sums := make(map[TaskID]float64, len(allocated)) //eta2:allocdiscipline-ok min-cost planning round, O(tasks) by design, not observation ingest
 		for tid, us := range allocated {
 			sums[tid] = truth.SumSquaredExpertise(us, domainFn(tid), exp)
 		}
@@ -675,7 +802,6 @@ func (s *Server) SubmitObservations(obs ...Observation) error {
 		return nil
 	}
 	st := s.loadState()
-	stamped := make([]Observation, 0, len(obs))
 	for _, o := range obs {
 		if int(o.Task) < 0 || int(o.Task) >= st.numTasks {
 			return fmt.Errorf("eta2: observation for unknown task %d", o.Task)
@@ -683,37 +809,40 @@ func (s *Server) SubmitObservations(obs ...Observation) error {
 		if _, ok := st.users[o.User]; !ok {
 			return fmt.Errorf("eta2: observation from unknown user %d", o.User)
 		}
-		o.Day = st.day
-		stamped = append(stamped, o)
 	}
-	payload, err := encodeEvent(walEvent{Type: eventObservations, Observations: stamped})
-	if err != nil {
-		return err
-	}
+	// Encode the journal payload outside the lock into a pooled buffer,
+	// day-stamping during the encode so no intermediate stamped slice is
+	// materialized: the encode + WAL-append section is zero-alloc at steady
+	// state (asserted by TestSubmitObservationsZeroAlloc).
+	eb := obsEventPool.Get().(*obsEventBuf)
+	eb.b = encodeObservationsEvent(eb.b[:0], obs, st.day)
 
 	s.mu.Lock()
 	// Tasks and users only grow, so the snapshot validation above cannot
 	// be invalidated by the time the lock is held — but a concurrent
 	// CloseTimeStep may have advanced the clock, in which case the batch
-	// is re-stamped (and re-encoded) with the current day.
+	// is re-encoded with the current day stamp.
 	if s.day != st.day {
-		for i := range stamped {
-			stamped[i].Day = s.day
-		}
-		if payload, err = encodeEvent(walEvent{Type: eventObservations, Observations: stamped}); err != nil {
-			s.mu.Unlock()
-			return err
-		}
+		eb.b = encodeObservationsEvent(eb.b[:0], obs, s.day)
 	}
-	lsn, err := s.journalBufferedPayload(payload)
+	day := s.day
+	lsn, err := s.journalBufferedPayload(eb.b)
 	if err != nil {
 		s.mu.Unlock()
+		obsEventPool.Put(eb)
 		return err
 	}
-	s.observations = append(s.observations, stamped...)
-	mObsAccepted.Add(uint64(len(stamped)))
+	for _, o := range obs {
+		o.Day = day
+		s.observations = append(s.observations, o)
+	}
+	mObsAccepted.Add(uint64(len(obs)))
 	s.publishLocked()
 	s.mu.Unlock()
+	// The WAL copied the payload into the segment file during the buffered
+	// append, so the buffer can recycle before the fsync wait completes.
+	obsEventPool.Put(eb)
+	ingestAllocSample()
 	return s.journalCommit(lsn)
 }
 
@@ -784,7 +913,7 @@ func (s *Server) closeTimeStep() (StepReport, error) {
 	}
 	// Copy-on-write: readers hold the published truths map, so the step's
 	// estimates land in a fresh copy swapped in with the cloned store.
-	truths := make(map[TaskID]TruthEstimate, len(s.truths)+len(mu))
+	truths := make(map[TaskID]TruthEstimate, len(s.truths)+len(mu)) //eta2:allocdiscipline-ok copy-on-write per closed time step, not per-observation ingest
 	for k, v := range s.truths {
 		truths[k] = v
 	}

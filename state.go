@@ -1,6 +1,7 @@
 package eta2
 
 import (
+	"sync/atomic"
 	"time"
 
 	"eta2/internal/truth"
@@ -45,6 +46,27 @@ type serverState struct {
 	// a write on a node that is still a follower.
 	role        serverRole
 	primaryAddr string
+
+	// domainCount caches numDomains() for this snapshot: 0 means not yet
+	// computed, anything else is count+1. domainOf is frozen once the
+	// snapshot is published, so the count is computed at most once per
+	// snapshot instead of allocating a scratch set on every read.
+	domainCount atomic.Int64
+}
+
+// numDomains counts the distinct domains assigned in this snapshot. The
+// first caller pays the O(tasks) scan; concurrent first callers compute the
+// same value, so the racing Store is idempotent.
+func (st *serverState) numDomains() int {
+	if v := st.domainCount.Load(); v != 0 {
+		return int(v - 1)
+	}
+	seen := make(map[DomainID]struct{}) //eta2:allocdiscipline-ok once per published snapshot, not per request
+	for _, d := range st.domainOf {
+		seen[d] = struct{}{}
+	}
+	st.domainCount.Store(int64(len(seen)) + 1)
+	return len(seen)
 }
 
 // publishLocked installs the current master state as the new immutable read

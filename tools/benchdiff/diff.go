@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// report mirrors the slice of the loadgen JSON schema benchdiff needs;
+// unknown fields are ignored so the reports can keep growing.
+type report struct {
+	PR   int    `json:"-"`
+	File string `json:"-"`
+
+	Preset       string     `json:"preset"`
+	Fsync        string     `json:"fsync"`
+	FsyncDelayMS float64    `json:"fsync_delay_ms"`
+	ReadFraction float64    `json:"read_fraction"`
+	Batch        int        `json:"batch"`
+	Scenarios    []scenario `json:"scenarios"`
+}
+
+type scenario struct {
+	Mode    string  `json:"mode"`
+	Clients int     `json:"clients"`
+	Writes  latency `json:"writes"`
+	Reads   latency `json:"reads"`
+}
+
+type latency struct {
+	Count int64   `json:"count"`
+	P99ms float64 `json:"p99_ms"`
+}
+
+// key is the scenario-matching tuple: two scenarios are comparable only
+// when every benchmark knob that shapes the workload is identical.
+type key struct {
+	Preset       string
+	Fsync        string
+	FsyncDelayMS float64
+	ReadFraction float64
+	Batch        int
+	Mode         string
+	Clients      int
+}
+
+func (r *report) key(s scenario) key {
+	return key{
+		Preset:       r.Preset,
+		Fsync:        r.Fsync,
+		FsyncDelayMS: r.FsyncDelayMS,
+		ReadFraction: r.ReadFraction,
+		Batch:        r.Batch,
+		Mode:         s.Mode,
+		Clients:      s.Clients,
+	}
+}
+
+var benchFile = regexp.MustCompile(`^BENCH_PR(\d+)(?:_[A-Za-z0-9-]+)?\.json$`)
+
+// loadReports reads every BENCH_PR<n>[_tag].json in dir, ordered by PR
+// number (ties broken by file name for determinism).
+func loadReports(dir string) ([]*report, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var reports []*report
+	for _, e := range entries {
+		m := benchFile.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		pr, err := strconv.Atoi(m[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", e.Name(), err)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		r := &report{PR: pr, File: e.Name()}
+		if err := json.Unmarshal(raw, r); err != nil {
+			return nil, fmt.Errorf("%s: %v", e.Name(), err)
+		}
+		reports = append(reports, r)
+	}
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].PR != reports[j].PR {
+			return reports[i].PR < reports[j].PR
+		}
+		return reports[i].File < reports[j].File
+	})
+	return reports, nil
+}
+
+// comparison is one scenario of one report judged against its baseline.
+// A nil baseline means no older PR ran a comparable scenario.
+type comparison struct {
+	File     string
+	Key      key
+	BaseFile string
+	// WriteRatio/ReadRatio are new/old p99; 0 means not compared (no
+	// baseline, or too few requests on either side to trust a p99).
+	// WriteDeltaMS/ReadDeltaMS are the absolute new-old p99 shifts.
+	WriteRatio   float64
+	ReadRatio    float64
+	WriteDeltaMS float64
+	ReadDeltaMS  float64
+}
+
+// gate is the pass/fail policy: a scenario regresses only when its p99
+// worsens by more than Threshold relatively AND MinDeltaMS absolutely.
+// The absolute floor keeps sub-millisecond scenarios from flapping the
+// gate — at a 0.2ms read p99, +30% is 0.06ms of scheduler noise, while
+// any regression large enough to matter clears a few milliseconds.
+type gate struct {
+	Threshold  float64
+	MinDeltaMS float64
+}
+
+func (g gate) bad(ratio, deltaMS float64) bool {
+	return ratio > 1+g.Threshold && deltaMS > g.MinDeltaMS
+}
+
+func (c comparison) regressed(g gate) bool {
+	return g.bad(c.WriteRatio, c.WriteDeltaMS) || g.bad(c.ReadRatio, c.ReadDeltaMS)
+}
+
+func (c comparison) format(g gate) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s/%s clients=%d", c.File, c.Key.Preset, c.Key.Mode, c.Key.Clients)
+	if c.BaseFile == "" {
+		b.WriteString(": no comparable baseline")
+		return b.String()
+	}
+	fmt.Fprintf(&b, " vs %s:", c.BaseFile)
+	part := func(name string, ratio, deltaMS float64) {
+		if ratio == 0 { //eta2:floatcmp-ok 0 is the exact sentinel ratio() returns for "skipped", never a computed value
+			fmt.Fprintf(&b, " %s p99 skipped (too few requests)", name)
+			return
+		}
+		mark := "ok"
+		if g.bad(ratio, deltaMS) {
+			mark = "REGRESSED"
+		}
+		fmt.Fprintf(&b, " %s p99 %+.1f%% (%+.2fms) %s", name, (ratio-1)*100, deltaMS, mark)
+	}
+	part("write", c.WriteRatio, c.WriteDeltaMS)
+	part("read", c.ReadRatio, c.ReadDeltaMS)
+	return b.String()
+}
+
+// compare judges every scenario of every report except the oldest against
+// the newest older report that ran the identical knob tuple.
+func compare(reports []*report, minCount int) []comparison {
+	var comps []comparison
+	for i, r := range reports {
+		if i == 0 {
+			continue
+		}
+		for _, s := range r.Scenarios {
+			k := r.key(s)
+			c := comparison{File: r.File, Key: k}
+			// Walk older reports newest-first; the freshest comparable
+			// run is the fairest baseline.
+			for j := i - 1; j >= 0; j-- {
+				base, ok := findScenario(reports[j], k)
+				if !ok {
+					continue
+				}
+				c.BaseFile = reports[j].File
+				c.WriteRatio = ratio(base.Writes, s.Writes, minCount)
+				c.ReadRatio = ratio(base.Reads, s.Reads, minCount)
+				c.WriteDeltaMS = s.Writes.P99ms - base.Writes.P99ms
+				c.ReadDeltaMS = s.Reads.P99ms - base.Reads.P99ms
+				break
+			}
+			comps = append(comps, c)
+		}
+	}
+	return comps
+}
+
+func findScenario(r *report, k key) (scenario, bool) {
+	for _, s := range r.Scenarios {
+		if r.key(s) == k { //eta2:floatcmp-ok exact knob match: both sides are the same JSON-decoded values, not computed floats
+			return s, true
+		}
+	}
+	return scenario{}, false
+}
+
+func ratio(old, cur latency, minCount int) float64 {
+	if old.Count < int64(minCount) || cur.Count < int64(minCount) || old.P99ms <= 0 {
+		return 0
+	}
+	return cur.P99ms / old.P99ms
+}

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, r report) {
+	t.Helper()
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func lat(count int64, p99 float64) latency { return latency{Count: count, P99ms: p99} }
+
+func TestLoadReportsOrderAndFilter(t *testing.T) {
+	dir := t.TempDir()
+	writeReport(t, dir, "BENCH_PR10.json", report{Preset: "a"})
+	writeReport(t, dir, "BENCH_PR2.json", report{Preset: "b"})
+	writeReport(t, dir, "BENCH_PR2_readpath.json", report{Preset: "c"})
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_notes.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bench_smoke.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := loadReports(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, r := range reports {
+		names = append(names, r.File)
+	}
+	want := []string{"BENCH_PR2.json", "BENCH_PR2_readpath.json", "BENCH_PR10.json"}
+	if len(names) != len(want) {
+		t.Fatalf("loaded %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("loaded %v, want %v", names, want)
+		}
+	}
+	if reports[2].PR != 10 {
+		t.Errorf("BENCH_PR10.json parsed as PR %d", reports[2].PR)
+	}
+}
+
+func TestCompareMatchesOnFullKnobTuple(t *testing.T) {
+	old := &report{
+		PR: 6, File: "BENCH_PR6.json",
+		Preset: "read-mostly", Fsync: "always", FsyncDelayMS: 2, ReadFraction: 0.95, Batch: 4,
+		Scenarios: []scenario{
+			{Mode: "concurrent", Clients: 8, Writes: lat(1000, 10), Reads: lat(1000, 2)},
+		},
+	}
+	sameKnobs := &report{
+		PR: 8, File: "BENCH_PR8_readpath.json",
+		Preset: "read-mostly", Fsync: "always", FsyncDelayMS: 2, ReadFraction: 0.95, Batch: 4,
+		Scenarios: []scenario{
+			{Mode: "concurrent", Clients: 8, Writes: lat(1000, 11), Reads: lat(1000, 2.1)},
+			{Mode: "concurrent", Clients: 64, Writes: lat(1000, 30), Reads: lat(1000, 9)},
+		},
+	}
+	otherPreset := &report{
+		PR: 8, File: "BENCH_PR8.json",
+		Preset: "ingest-heavy", Fsync: "interval", ReadFraction: 0.05, Batch: 16,
+		Scenarios: []scenario{
+			{Mode: "concurrent", Clients: 8, Writes: lat(1000, 99), Reads: lat(1000, 99)},
+		},
+	}
+	comps := compare([]*report{old, otherPreset, sameKnobs}, 20)
+	if len(comps) != 3 {
+		t.Fatalf("got %d comparisons, want 3", len(comps))
+	}
+	// The ingest-heavy scenario and the new clients=64 row have no baseline.
+	for _, c := range comps {
+		switch {
+		case c.File == "BENCH_PR8.json":
+			if c.BaseFile != "" {
+				t.Errorf("ingest-heavy matched baseline %s despite different knobs", c.BaseFile)
+			}
+		case c.Key.Clients == 64:
+			if c.BaseFile != "" {
+				t.Errorf("new clients=64 scenario matched baseline %s", c.BaseFile)
+			}
+		default:
+			if c.BaseFile != "BENCH_PR6.json" {
+				t.Errorf("read-path scenario baseline = %q, want BENCH_PR6.json", c.BaseFile)
+			}
+			if c.WriteRatio < 1.09 || c.WriteRatio > 1.11 {
+				t.Errorf("write ratio %g, want ~1.10", c.WriteRatio)
+			}
+			if c.regressed(gate{Threshold: 0.25, MinDeltaMS: 5}) {
+				t.Error("+10% flagged as regression at 25% threshold")
+			}
+			if !c.regressed(gate{Threshold: 0.05, MinDeltaMS: 0.5}) {
+				t.Error("+10%/+1ms not flagged at 5%/0.5ms gate")
+			}
+		}
+	}
+}
+
+func TestCompareUsesNewestComparableBaseline(t *testing.T) {
+	mk := func(pr int, file string, p99 float64) *report {
+		return &report{
+			PR: pr, File: file, Preset: "read-mostly", Fsync: "always", ReadFraction: 0.95, Batch: 4,
+			Scenarios: []scenario{{Mode: "concurrent", Clients: 8, Writes: lat(1000, p99), Reads: lat(1000, 1)}},
+		}
+	}
+	comps := compare([]*report{mk(3, "BENCH_PR3.json", 4), mk(6, "BENCH_PR6.json", 10), mk(8, "BENCH_PR8.json", 11)}, 20)
+	last := comps[len(comps)-1]
+	if last.BaseFile != "BENCH_PR6.json" {
+		t.Errorf("PR8 baseline = %q, want the nearest older comparable file BENCH_PR6.json", last.BaseFile)
+	}
+	// +10% vs PR6 even though it is +175% vs PR3: trajectory is judged
+	// stepwise, so gradual drift is each PR's own regression to own.
+	if last.regressed(gate{Threshold: 0.25, MinDeltaMS: 5}) {
+		t.Error("stepwise +10% flagged as regression")
+	}
+}
+
+func TestRegressionDetection(t *testing.T) {
+	g := gate{Threshold: 0.25, MinDeltaMS: 5}
+	old := &report{
+		PR: 7, File: "BENCH_PR7.json", Preset: "p", Fsync: "always", Batch: 4,
+		Scenarios: []scenario{{Mode: "m", Clients: 1, Writes: lat(1000, 20), Reads: lat(1000, 20)}},
+	}
+	bad := &report{
+		PR: 8, File: "BENCH_PR8.json", Preset: "p", Fsync: "always", Batch: 4,
+		Scenarios: []scenario{{Mode: "m", Clients: 1, Writes: lat(1000, 20.1), Reads: lat(1000, 28)}},
+	}
+	comps := compare([]*report{old, bad}, 20)
+	if len(comps) != 1 || !comps[0].regressed(g) {
+		t.Fatalf("read p99 +40%%/+8ms not flagged: %+v", comps)
+	}
+	if got := comps[0].format(g); !containsAll(got, "REGRESSED", "read p99", "BENCH_PR7.json") {
+		t.Errorf("format output %q missing expected parts", got)
+	}
+}
+
+// TestAbsoluteFloorMutesSubMillisecondNoise: a huge relative swing on a
+// tiny absolute latency is scheduler noise, not a regression.
+func TestAbsoluteFloorMutesSubMillisecondNoise(t *testing.T) {
+	old := &report{
+		PR: 7, File: "BENCH_PR7.json", Preset: "p", Fsync: "always", Batch: 4,
+		Scenarios: []scenario{{Mode: "m", Clients: 1, Writes: lat(1000, 0.2), Reads: lat(1000, 0.2)}},
+	}
+	noisy := &report{
+		PR: 8, File: "BENCH_PR8.json", Preset: "p", Fsync: "always", Batch: 4,
+		Scenarios: []scenario{{Mode: "m", Clients: 1, Writes: lat(1000, 0.4), Reads: lat(1000, 0.2)}},
+	}
+	comps := compare([]*report{old, noisy}, 20)
+	if comps[0].regressed(gate{Threshold: 0.25, MinDeltaMS: 5}) {
+		t.Error("+100% on a 0.2ms p99 flagged despite the 5ms absolute floor")
+	}
+	if !comps[0].regressed(gate{Threshold: 0.25, MinDeltaMS: 0.1}) {
+		t.Error("same shift not flagged once the floor drops below the delta")
+	}
+}
+
+func TestLowCountScenariosSkipped(t *testing.T) {
+	old := &report{
+		PR: 7, File: "BENCH_PR7.json", Preset: "p", Fsync: "always", Batch: 4,
+		Scenarios: []scenario{{Mode: "m", Clients: 1, Writes: lat(5, 1), Reads: lat(1000, 10)}},
+	}
+	cur := &report{
+		PR: 8, File: "BENCH_PR8.json", Preset: "p", Fsync: "always", Batch: 4,
+		Scenarios: []scenario{{Mode: "m", Clients: 1, Writes: lat(1000, 50), Reads: lat(1000, 10)}},
+	}
+	comps := compare([]*report{old, cur}, 20)
+	if comps[0].WriteRatio != 0 {
+		t.Errorf("write ratio %g computed from a 5-request baseline; want skipped", comps[0].WriteRatio)
+	}
+	if comps[0].regressed(gate{Threshold: 0.25, MinDeltaMS: 5}) {
+		t.Error("skipped comparison flagged as regression")
+	}
+}
+
+// TestCommittedTrajectoryParses guards the real committed files: whatever
+// BENCH_PR*.json the repo carries must parse and pass the default gate.
+func TestCommittedTrajectoryParses(t *testing.T) {
+	reports, err := loadReports("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) < 2 {
+		t.Skipf("only %d committed reports", len(reports))
+	}
+	g := gate{Threshold: 0.25, MinDeltaMS: 5}
+	for _, c := range compare(reports, 20) {
+		t.Log(c.format(g))
+		if c.regressed(g) {
+			t.Errorf("committed trajectory regression: %s", c.format(g))
+		}
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if !strings.Contains(s, sub) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,56 @@
+// Command benchdiff compares the committed BENCH_PR*.json trajectory and
+// fails when a newer report regresses against the most recent comparable
+// older one. It is the CI guard that keeps the benchmark files honest: a
+// PR that commits a new BENCH_PR<n>.json with a write or read p99 more
+// than -threshold worse than its predecessor's matching scenario exits
+// non-zero.
+//
+// Scenarios are matched across files on the full knob tuple — preset,
+// fsync policy, fsync delay, read fraction, batch size, mode, and client
+// count — so an ingest-heavy report is never judged against a read-mostly
+// one. For each scenario the baseline is the newest older PR that ran the
+// identical tuple; scenarios with no comparable predecessor (a new preset,
+// a new client count) are reported but not judged.
+//
+// A regression must clear both the relative threshold and an absolute
+// millisecond floor: single-run p99s at sub-millisecond latencies swing
+// tens of percent on scheduler noise alone, and a gate that flaps is a
+// gate that gets deleted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding BENCH_PR*.json files")
+	threshold := flag.Float64("threshold", 0.25, "allowed fractional p99 regression before failing (0.25 = +25%)")
+	minDelta := flag.Float64("min-delta-ms", 5, "ignore p99 regressions smaller than this many milliseconds absolute")
+	minCount := flag.Int("min-count", 20, "skip p99 comparison when either side measured fewer requests than this")
+	flag.Parse()
+
+	reports, err := loadReports(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(reports) < 2 {
+		fmt.Printf("benchdiff: %d report(s) in %s; nothing to compare\n", len(reports), *dir)
+		return
+	}
+	g := gate{Threshold: *threshold, MinDeltaMS: *minDelta}
+	comps := compare(reports, *minCount)
+	failed := false
+	for _, c := range comps {
+		fmt.Println(c.format(g))
+		if c.regressed(g) {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: p99 regression beyond +%.0f%% (and %.0fms) detected\n", *threshold*100, *minDelta)
+		os.Exit(1)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"eta2lint/internal/multichecker"
+	"eta2lint/passes/allocdiscipline"
 	"eta2lint/passes/floatcmp"
 	"eta2lint/passes/journalfirst"
 	"eta2lint/passes/lockdiscipline"
@@ -20,5 +21,6 @@ func main() {
 		journalfirst.Analyzer,
 		floatcmp.Analyzer,
 		metrichygiene.Analyzer,
+		allocdiscipline.Analyzer,
 	))
 }

@@ -1,0 +1,19 @@
+package allocdiscipline
+
+import (
+	"testing"
+
+	"eta2lint/internal/analysistest"
+)
+
+func TestRootIngestPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "eta2")
+}
+
+func TestNestedIngestPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "eta2/internal/wal")
+}
+
+func TestOutOfScopePackageIsExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "eta2/internal/truth")
+}

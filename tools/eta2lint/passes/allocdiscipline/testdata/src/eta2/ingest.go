@@ -1,0 +1,59 @@
+// Package eta2 exercises allocdiscipline inside the root ingest package.
+package eta2
+
+func decodeName(b []byte) string {
+	return string(b) // want "string\\(\\[\\]byte\\) conversion in ingest-path package"
+}
+
+func decodeNameJustified(b []byte) string {
+	return string(b) //eta2:allocdiscipline-ok recovery path, runs once per restart
+}
+
+func sniffMagic(b []byte) bool {
+	// Comparisons are compiled without a copy: never flagged.
+	if string(b) == "ETA2" {
+		return true
+	}
+	return "ETA2" != string(b[:4])
+}
+
+func dispatch(b []byte) int {
+	// A switch on the conversion (and its cases) is comparison context too.
+	switch string(b) {
+	case "users":
+		return 1
+	case string([]byte{'t'}):
+		return 2
+	}
+	return 0
+}
+
+func perRequestIndex(ids []int) map[int]bool {
+	seen := make(map[int]bool, len(ids)) // want "map allocated inside a function in an ingest-path package"
+	for _, id := range ids {
+		seen[id] = true
+	}
+	return seen
+}
+
+func copyOnWrite(old map[int]int) map[int]int {
+	next := make(map[int]int, len(old)+1) //eta2:allocdiscipline-ok copy-on-write mutation, not per-observation
+	for k, v := range old {
+		next[k] = v
+	}
+	return next
+}
+
+//eta2:allocdiscipline-ok constructor: runs once per server
+func newState() map[int]string {
+	m := make(map[int]string)
+	m[0] = string([]byte{'a'})
+	return m
+}
+
+var packageLevel = map[int]int{} // composite literals and package vars are out of scope
+
+func slicesAndRunesAreFine(n int, rs []rune) ([]byte, string) {
+	buf := make([]byte, n)
+	return buf, string(rs)
+}

@@ -1,0 +1,10 @@
+// Package wal exercises allocdiscipline in a nested ingest-path package.
+package wal
+
+func frameKind(hdr []byte) string {
+	return string(hdr[:1]) // want "string\\(\\[\\]byte\\) conversion in ingest-path package"
+}
+
+func index() map[uint64]int64 {
+	return make(map[uint64]int64) // want "map allocated inside a function in an ingest-path package"
+}
