@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"strings"
@@ -25,6 +26,9 @@ import (
 )
 
 func main() {
+	// Diagnostics go to stderr as structured logs; experiment reports stay
+	// on stdout.
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 	os.Exit(run())
 }
 
@@ -44,7 +48,7 @@ func run() int {
 		return 0
 	}
 	if *format != "text" && *format != "json" {
-		fmt.Fprintf(os.Stderr, "eta2bench: unknown format %q\n", *format)
+		slog.Error("unknown format", "format", *format)
 		return 2
 	}
 
@@ -62,7 +66,7 @@ func run() int {
 		for _, id := range strings.Split(*experiment, ",") {
 			r, ok := experiments.Lookup(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "eta2bench: unknown experiment %q (use -list)\n", id)
+				slog.Error("unknown experiment (use -list)", "experiment", id)
 				return 2
 			}
 			runners = append(runners, r)
@@ -77,7 +81,7 @@ func run() int {
 		start := time.Now()
 		out, err := r.Run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "eta2bench: %s: %v\n", r.ID, err)
+			slog.Error("experiment failed", "experiment", r.ID, "err", err)
 			return 1
 		}
 		fmt.Printf("### %s — %s (runs=%d, %v)\n%s\n", r.ID, r.Title, opts.Runs, time.Since(start).Round(time.Millisecond), out)
@@ -98,7 +102,7 @@ func runJSON(runners []experiments.Runner, opts experiments.Options) int {
 	for _, r := range runners {
 		res, err := experiments.RunTyped(r.ID, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "eta2bench: %s: %v\n", r.ID, err)
+			slog.Error("experiment failed", "experiment", r.ID, "err", err)
 			return 1
 		}
 		out = append(out, entry{ID: r.ID, Title: r.Title, Runs: opts.Runs, Result: res})
@@ -106,7 +110,7 @@ func runJSON(runners []experiments.Runner, opts experiments.Options) int {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
-		fmt.Fprintln(os.Stderr, "eta2bench:", err)
+		slog.Error("encode report", "err", err)
 		return 1
 	}
 	return 0

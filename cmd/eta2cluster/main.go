@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"sort"
@@ -28,6 +29,9 @@ import (
 )
 
 func main() {
+	// Diagnostics go to stderr as structured logs; clustering results stay
+	// on stdout.
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 	os.Exit(run())
 }
 
@@ -56,20 +60,20 @@ func run() int {
 			}
 		}
 		if err := scanner.Err(); err != nil {
-			fmt.Fprintln(os.Stderr, "eta2cluster: read stdin:", err)
+			slog.Error("read stdin", "err", err)
 			return 1
 		}
 	}
 	if len(descriptions) == 0 {
-		fmt.Fprintln(os.Stderr, "eta2cluster: no descriptions (pipe one per line, or use -demo N)")
+		slog.Error("no descriptions (pipe one per line, or use -demo N)")
 		return 2
 	}
 
-	fmt.Fprintln(os.Stderr, "eta2cluster: training skip-gram embeddings...")
+	slog.Info("training skip-gram embeddings")
 	corpus := embedding.GenerateCorpus(embedding.BuiltinDomains, embedding.CorpusConfig{Seed: 1})
 	model, err := embedding.Train(corpus, embedding.TrainConfig{Seed: 2})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "eta2cluster:", err)
+		slog.Error("train embedder", "err", err)
 		return 1
 	}
 
@@ -78,13 +82,13 @@ func run() int {
 	for i, d := range descriptions {
 		pair, err := semantic.ExtractPair(d)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "eta2cluster: %q: %v\n", d, err)
+			slog.Error("extract pair", "description", d, "err", err)
 			return 1
 		}
 		fmt.Printf("%-70q  Query=%v Target=%v\n", d, pair.Query, pair.Target)
 		vectors[i], err = vzr.Vectorize(d)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "eta2cluster: %q: %v\n", d, err)
+			slog.Error("vectorize", "description", d, "err", err)
 			return 1
 		}
 	}
@@ -93,12 +97,12 @@ func run() int {
 		return semantic.Distance(vectors[a], vectors[b])
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "eta2cluster:", err)
+		slog.Error("create clustering engine", "err", err)
 		return 1
 	}
 	up, err := eng.AddItems(len(descriptions))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "eta2cluster:", err)
+		slog.Error("cluster descriptions", "err", err)
 		return 1
 	}
 

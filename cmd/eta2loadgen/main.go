@@ -27,7 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -43,11 +43,16 @@ import (
 	"eta2"
 	"eta2/internal/httpapi"
 	"eta2/internal/obs"
+	"eta2/internal/trace"
 )
 
 func main() {
+	// Progress goes to stderr as structured logs; the JSON report stays on
+	// stdout (or -out).
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 	if err := run(); err != nil {
-		log.Fatal("eta2loadgen: ", err)
+		slog.Error("eta2loadgen exiting", "err", err)
+		os.Exit(1)
 	}
 }
 
@@ -224,7 +229,7 @@ func run() error {
 	}
 	for _, n := range cfg.clients {
 		for _, mode := range modes {
-			log.Printf("scenario: %d clients, %s handler, fsync=%s, %v", n, mode, cfg.fsync, cfg.duration)
+			slog.Info("scenario", "clients", n, "mode", mode, "fsync", cfg.fsync, "duration", cfg.duration)
 			// The bytes/user capacity model is measured once, while the
 			// first scenario seeds its population.
 			measure := cfg.addr == "" && rep.Capacity == nil
@@ -235,8 +240,13 @@ func run() error {
 			if cap != nil {
 				rep.Capacity = cap
 			}
-			log.Printf("  writes: %.0f req/s p50=%.2fms p99=%.2fms | reads: %.0f req/s p50=%.2fms p99=%.2fms",
-				sc.Writes.RPS, sc.Writes.P50Ms, sc.Writes.P99Ms, sc.Reads.RPS, sc.Reads.P50Ms, sc.Reads.P99Ms)
+			slog.Info("scenario done",
+				"write_rps", fmt.Sprintf("%.0f", sc.Writes.RPS),
+				"write_p50_ms", fmt.Sprintf("%.2f", sc.Writes.P50Ms),
+				"write_p99_ms", fmt.Sprintf("%.2f", sc.Writes.P99Ms),
+				"read_rps", fmt.Sprintf("%.0f", sc.Reads.RPS),
+				"read_p50_ms", fmt.Sprintf("%.2f", sc.Reads.P50Ms),
+				"read_p99_ms", fmt.Sprintf("%.2f", sc.Reads.P99Ms))
 			rep.Scenarios = append(rep.Scenarios, sc)
 		}
 	}
@@ -316,6 +326,12 @@ type scenario struct {
 	// gauges (intern table size, sampled ingest allocs/op, heap bytes) —
 	// gauges whose level matters more than their delta.
 	MemoryMetrics map[string]float64 `json:"memory_metrics,omitempty"`
+	// SlowTraces is the write-path flight recorder's view of the scenario:
+	// the five slowest sampled POST /v1/observations traces, with their
+	// full span breakdowns (encode, journal append, fsync wait, publish) —
+	// scraped from GET /v1/admin/traces after the measured window. Empty
+	// when the target server has tracing disabled.
+	SlowTraces []trace.TraceJSON `json:"slow_traces,omitempty"`
 }
 
 // replicationReport is the follower's view at the end of a replica-read
@@ -357,6 +373,9 @@ func runScenario(cfg config, clients int, serialized bool, measure bool) (scenar
 	baseURL := cfg.addr
 	readURL := cfg.addr
 	httpClient := http.DefaultClient
+	// In self-hosted mode write tracing is switched on after seeding, so
+	// the flight recorder holds only measured-window traces.
+	var tracedSrv *eta2.Server
 	if cfg.addr == "" {
 		dir := filepath.Join(cfg.dataDir, fmt.Sprintf("c%d-%s", clients, map[bool]string{false: "conc", true: "ser"}[serialized]))
 		srv, err := eta2.NewServer(eta2.WithDurability(dir, eta2.DurabilityPolicy{
@@ -379,6 +398,7 @@ func runScenario(cfg config, clients int, serialized bool, measure bool) (scenar
 		ts := httptest.NewServer(mux)
 		defer ts.Close()
 		defer srv.Close()
+		tracedSrv = srv
 		baseURL = ts.URL
 		readURL = ts.URL
 		httpClient = ts.Client()
@@ -519,9 +539,15 @@ func runScenario(cfg config, clients int, serialized bool, measure bool) (scenar
 		}
 	}
 
+	// Trace the measured window: 1-in-16 head sampling starts here, after
+	// the seed writes, so slow_traces never contains the giant seed batch.
+	if tracedSrv != nil {
+		tracedSrv.Tracer().SetSampleEvery(16)
+	}
+
 	before, scrapeErr := scrapeMetrics(httpClient, baseURL)
 	if scrapeErr != nil {
-		log.Printf("  note: no /metrics at %s (%v); report will omit metrics_delta", baseURL, scrapeErr)
+		slog.Warn("no /metrics endpoint; report will omit metrics_delta", "url", baseURL, "err", scrapeErr)
 	}
 
 	type worker struct {
@@ -662,7 +688,30 @@ func runScenario(cfg config, clients int, serialized bool, measure bool) (scenar
 		Replication:   replRep,
 		MetricsDelta:  delta,
 		MemoryMetrics: memMetrics,
+		SlowTraces:    scrapeSlowTraces(httpClient, baseURL),
 	}, capRep, nil
+}
+
+// scrapeSlowTraces pulls the five slowest write traces out of the
+// server's flight recorder (GET /v1/admin/traces). Best-effort: an
+// older or tracing-disabled server just yields no traces.
+func scrapeSlowTraces(client *http.Client, baseURL string) []trace.TraceJSON {
+	resp, err := client.Get(strings.TrimSuffix(baseURL, "/") + "/v1/admin/traces?route=/v1/observations&limit=5")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var tr struct {
+		Traces []trace.TraceJSON `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil || len(tr.Traces) == 0 {
+		return nil
+	}
+	return tr.Traces
 }
 
 // userName is the canonical external id of seeded user i.

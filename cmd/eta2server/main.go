@@ -31,6 +31,7 @@
 //	GET  /v1/admin/durability      WAL segments/bytes, snapshot coverage
 //	POST /v1/admin/compact         force a snapshot+truncate cycle
 //	GET  /v1/admin/replication     role, LSN frontiers, replication lag
+//	GET  /v1/admin/traces          flight recorder: completed write traces, slowest first
 //	POST /v1/admin/promote         follower only: become a writable primary
 //	GET  /v1/repl/log              primary only: ship committed WAL records
 //	GET  /v1/repl/snapshot         primary only: snapshot bootstrap stream
@@ -43,7 +44,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -59,8 +60,12 @@ import (
 )
 
 func main() {
+	// Structured logs on stderr; request-scoped lines (internal/httpapi)
+	// carry trace_id for sampled requests.
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 	if err := run(); err != nil {
-		log.Fatal("eta2server: ", err)
+		slog.Error("eta2server exiting", "err", err)
+		os.Exit(1)
 	}
 }
 
@@ -76,6 +81,7 @@ func run() error {
 		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "max time between WAL fsyncs with -fsync interval")
 		follow     = flag.String("follow", "", "run as a read replica of the primary at this base URL (requires -data-dir)")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
+		traceEvery = flag.Int("trace-sample", 64, "trace one write request in N (0 disables sampling; an X-Eta2-Trace request header always traces); completed traces at GET /v1/admin/traces")
 		shutdownTO = flag.Duration("shutdown-timeout", 10*time.Second, "max time to drain in-flight requests on SIGTERM/SIGINT before the final snapshot")
 		version    = flag.Bool("version", false, "print version and exit")
 	)
@@ -115,9 +121,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		follower.Server().Tracer().SetSampleEvery(*traceEvery)
 		st := follower.DurabilityStats()
-		log.Printf("follower mode: primary=%s dir=%s fsync=%s resuming from LSN %d (snapshot covers %d)",
-			*follow, *dataDir, *fsyncMode, st.LastLSN, st.SnapshotLSN)
+		slog.Info("follower mode",
+			"primary", *follow, "dir", *dataDir, "fsync", *fsyncMode,
+			"resume_lsn", st.LastLSN, "snapshot_lsn", st.SnapshotLSN)
 		api = httpapi.NewFollower(follower)
 		closer = follower.Close
 	case *dataDir != "":
@@ -126,17 +134,20 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		server.Tracer().SetSampleEvery(*traceEvery)
 		st := server.DurabilityStats()
-		log.Printf("durable mode: dir=%s fsync=%s recovered through LSN %d (snapshot covers %d)",
-			*dataDir, *fsyncMode, st.LastLSN, st.SnapshotLSN)
+		slog.Info("durable mode",
+			"dir", *dataDir, "fsync", *fsyncMode,
+			"recovered_lsn", st.LastLSN, "snapshot_lsn", st.SnapshotLSN)
 		api = httpapi.New(server)
 		closer = server.Close
 	default:
-		log.Println("warning: no -data-dir set; all state is in memory and lost on exit")
+		slog.Warn("no -data-dir set; all state is in memory and lost on exit")
 		server, err := eta2.NewServer(opts...)
 		if err != nil {
 			return err
 		}
+		server.Tracer().SetSampleEvery(*traceEvery)
 		api = httpapi.New(server)
 		closer = server.Close
 	}
@@ -153,7 +164,7 @@ func run() error {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		log.Println("pprof enabled at /debug/pprof/")
+		slog.Info("pprof enabled at /debug/pprof/")
 	}
 
 	httpServer := &http.Server{
@@ -174,13 +185,13 @@ func run() error {
 	// HTTP is drained; write the final snapshot so the next start recovers
 	// without replay. No-op for in-memory servers.
 	if *dataDir != "" {
-		log.Println("writing final snapshot...")
+		slog.Info("writing final snapshot")
 	}
 	if err := closer(); err != nil {
 		return fmt.Errorf("final snapshot: %w", err)
 	}
 	if *dataDir != "" {
-		log.Printf("state saved to %s", *dataDir)
+		slog.Info("state saved", "dir", *dataDir)
 	}
 	return nil
 }
@@ -195,18 +206,18 @@ func loadOrTrainModel(path string) (*embedding.Model, error) {
 			if err != nil {
 				return nil, fmt.Errorf("load model %s: %w", path, err)
 			}
-			log.Printf("loaded embeddings from %s: %d words", path, model.VocabSize())
+			slog.Info("loaded embeddings", "path", path, "words", model.VocabSize())
 			return model, nil
 		}
 	}
-	log.Println("training skip-gram embeddings...")
+	slog.Info("training skip-gram embeddings")
 	start := time.Now()
 	corpus := embedding.GenerateCorpus(embedding.BuiltinDomains, embedding.CorpusConfig{Seed: 1})
 	model, err := embedding.Train(corpus, embedding.TrainConfig{Seed: 2})
 	if err != nil {
 		return nil, fmt.Errorf("train embedder: %w", err)
 	}
-	log.Printf("embeddings ready: %d words in %v", model.VocabSize(), time.Since(start).Round(time.Millisecond))
+	slog.Info("embeddings ready", "words", model.VocabSize(), "took", time.Since(start).Round(time.Millisecond))
 	if path != "" {
 		f, err := os.Create(path)
 		if err != nil {
@@ -216,7 +227,7 @@ func loadOrTrainModel(path string) (*embedding.Model, error) {
 		if err := model.Save(f); err != nil {
 			return nil, err
 		}
-		log.Printf("saved embeddings to %s", path)
+		slog.Info("saved embeddings", "path", path)
 	}
 	return model, nil
 }
@@ -229,7 +240,7 @@ func loadOrTrainModel(path string) (*embedding.Model, error) {
 func serve(ctx context.Context, httpServer *http.Server, timeout time.Duration) error {
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", httpServer.Addr)
+		slog.Info("listening", "addr", httpServer.Addr)
 		errCh <- httpServer.ListenAndServe()
 	}()
 
@@ -240,11 +251,11 @@ func serve(ctx context.Context, httpServer *http.Server, timeout time.Duration) 
 		}
 		return nil
 	case <-ctx.Done():
-		log.Printf("shutting down (draining in-flight requests, up to %v)...", timeout)
+		slog.Info("shutting down, draining in-flight requests", "timeout", timeout)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), timeout)
 		defer cancel()
 		if err := httpServer.Shutdown(shutdownCtx); err != nil {
-			log.Printf("drain incomplete after %v: %v; closing remaining connections", timeout, err)
+			slog.Warn("drain incomplete; closing remaining connections", "timeout", timeout, "err", err)
 			if cerr := httpServer.Close(); cerr != nil {
 				return fmt.Errorf("shutdown: %w", cerr)
 			}

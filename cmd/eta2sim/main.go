@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
 	"runtime"
@@ -23,6 +24,9 @@ import (
 )
 
 func main() {
+	// Diagnostics go to stderr as structured logs; the per-day metrics
+	// table stays on stdout.
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 	os.Exit(run())
 }
 
@@ -47,13 +51,13 @@ func run() int {
 
 	m, ok := parseMethod(*method)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "eta2sim: unknown method %q\n", *method)
+		slog.Error("unknown method", "method", *method)
 		return 2
 	}
 
 	ds, err := makeDataset(*dsName, *seed, *tau)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "eta2sim:", err)
+		slog.Error("load dataset", "err", err)
 		return 2
 	}
 
@@ -67,11 +71,11 @@ func run() int {
 		Observation: dataset.ObservationModel{BiasFraction: *bias},
 	}
 	if !ds.DomainsKnown {
-		fmt.Fprintln(os.Stderr, "eta2sim: training skip-gram embeddings...")
+		slog.Info("training skip-gram embeddings")
 		corpus := embedding.GenerateCorpus(embedding.BuiltinDomains, embedding.CorpusConfig{Seed: 1})
 		emb, err := embedding.Train(corpus, embedding.TrainConfig{Seed: 2})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "eta2sim:", err)
+			slog.Error("train embedder", "err", err)
 			return 1
 		}
 		cfg.Embedder = emb
@@ -79,7 +83,7 @@ func run() int {
 
 	res, err := simulation.Run(ds, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "eta2sim:", err)
+		slog.Error("simulation failed", "err", err)
 		return 1
 	}
 

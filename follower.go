@@ -14,6 +14,7 @@ import (
 	"eta2/internal/cluster"
 	"eta2/internal/repl"
 	"eta2/internal/semantic"
+	"eta2/internal/trace"
 	"eta2/internal/wal"
 )
 
@@ -92,6 +93,11 @@ type Follower struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
+	// Trace continuation state, owned by the pull-loop goroutine; see
+	// follower_trace.go.
+	timings       [applyTimingRing]applyTiming
+	pendingTraces []*trace.Trace
+
 	// mu guards the pull-loop bookkeeping below. Lock ordering: never
 	// held while calling into f.s or f.wlog methods that block (apply,
 	// commit, snapshot) — those run between short mu critical sections.
@@ -167,6 +173,10 @@ func OpenFollower(primaryURL string, fopts FollowerOptions, opts ...Option) (*Fo
 		applied:    lastLSN,
 		snapLSN:    snapLSN,
 	}
+	// Shipped write traces (X-Eta2-Trace on log responses) continue on
+	// this follower; the sink runs on the pull-loop goroutine inside
+	// FetchLog. See follower_trace.go.
+	f.cli.TraceSink = f.importShippedTrace
 	ctx, cancel := context.WithCancel(context.Background())
 	f.cancel = cancel
 	go f.run(ctx)
@@ -250,12 +260,20 @@ func (f *Follower) applyRecord(lsn uint64, payload []byte) error {
 	if err != nil {
 		return f.fail(fmt.Errorf("eta2: decode shipped record %d: %w", lsn, err))
 	}
+	// Time the journal and apply sections into the ring so a trace
+	// shipped for this record later (possibly several batches later) can
+	// carry real follower-side spans; see follower_trace.go.
+	tm := applyTiming{lsn: lsn, journalStart: time.Now()}
 	if err := f.wlog.AppendBufferedAt(lsn, payload); err != nil {
 		return f.fail(fmt.Errorf("eta2: journal shipped record %d: %w", lsn, err))
 	}
+	tm.journalDur = time.Since(tm.journalStart)
+	tm.applyStart = time.Now()
 	if err := f.s.applyEvent(ev); err != nil {
 		return f.fail(fmt.Errorf("eta2: apply shipped record %d (%s): %w", lsn, ev.Type, err))
 	}
+	tm.applyDur = time.Since(tm.applyStart)
+	f.noteApplyTiming(tm)
 	f.mu.Lock()
 	f.applied = lsn
 	f.mu.Unlock()
@@ -304,8 +322,12 @@ func (f *Follower) finishBatch(frontier uint64, n int) bool {
 	}
 
 	if n == 0 {
+		// An empty long poll can still deliver shipped traces for records
+		// committed in earlier rounds; complete them now.
+		f.completeTraces(applied, time.Now(), 0)
 		return true
 	}
+	commitStart := time.Now()
 	if err := f.wlog.Commit(applied); err != nil {
 		f.fail(fmt.Errorf("eta2: commit local log through %d: %w", applied, err))
 		return false
@@ -318,6 +340,7 @@ func (f *Follower) finishBatch(frontier uint64, n int) bool {
 	s.publishLocked()
 	s.mu.Unlock()
 
+	f.completeTraces(applied, commitStart, time.Since(commitStart))
 	if f.policy.CompactAt > 0 && f.wlog.Stats().Bytes >= f.policy.CompactAt {
 		f.compactLocal()
 	}
@@ -478,7 +501,17 @@ func (f *Follower) Promote() error {
 
 	f.mu.Lock()
 	f.promoted = true
+	f.frontier = applied
+	f.behindSince = time.Time{}
 	f.mu.Unlock()
+	// The lag gauges were only ever written by the pull loop, which has
+	// just stopped for good — without a reset they would freeze at their
+	// last (possibly nonzero) values forever while the node serves as a
+	// primary. A primary's frontier is its own applied LSN and its lag is
+	// zero by definition.
+	mReplPrimaryFrontier.Set(float64(applied))
+	mReplLagRecords.Set(0)
+	mReplLagSeconds.Set(0)
 	mReplPromotions.Inc()
 	return nil
 }

@@ -62,13 +62,14 @@ func New(server *eta2.Server) *Handler {
 		"/v1/admin/compact":        h.handleCompact,
 		"/v1/admin/replication":    h.handleReplication,
 		"/v1/admin/promote":        h.handlePromote,
+		"/v1/admin/traces":         h.handleTraces,
 		repl.LogPath:               h.handleReplLog,
 		repl.SnapshotPath:          h.handleReplSnapshot,
 	}
 	for pattern, fn := range routes {
-		h.mux.HandleFunc(pattern, instrument(pattern, fn))
+		h.mux.HandleFunc(pattern, h.instrument(pattern, fn))
 	}
-	h.mux.HandleFunc("/", instrument("unmatched", handleNotFound))
+	h.mux.HandleFunc("/", h.instrument("unmatched", handleNotFound))
 	return h
 }
 
@@ -193,7 +194,7 @@ func (h *Handler) handleUsers(w http.ResponseWriter, r *http.Request) {
 	for _, u := range req.Users {
 		users = append(users, eta2.User{ID: eta2.UserID(u.ID), Capacity: u.Capacity, Name: u.Name})
 	}
-	err := h.server.AddUsers(users...)
+	err := h.server.AddUsersContext(r.Context(), users...)
 	n := h.server.NumUsers()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -336,7 +337,7 @@ func (h *Handler) handleObservations(w http.ResponseWriter, r *http.Request) {
 			Value: o.Value,
 		})
 	}
-	err := h.server.SubmitObservations(obs...)
+	err := h.server.SubmitObservationsContext(r.Context(), obs...)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -349,7 +350,7 @@ func (h *Handler) handleCloseStep(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodPost)
 		return
 	}
-	report, err := h.server.CloseTimeStep()
+	report, err := h.server.CloseTimeStepContext(r.Context())
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, eta2.ErrNoObservations) {

@@ -1,10 +1,13 @@
 package httpapi
 
 import (
+	"log/slog"
 	"net/http"
 	"time"
 
 	"eta2/internal/obs"
+	"eta2/internal/repl"
+	"eta2/internal/trace"
 )
 
 // HTTP-layer metrics. Route labels are the registered /v1 patterns plus
@@ -87,17 +90,46 @@ func codeClass(status int) string {
 	}
 }
 
+// methodLabels is the closed set normalizeMethod maps onto.
+var methodLabels = []string{"GET", "HEAD", "POST", "PUT", "PATCH", "DELETE",
+	"CONNECT", "OPTIONS", "TRACE", "other"}
+
 // instrument wraps one route handler with the in-flight gauge, the
-// per-route latency histogram, and the request counter.
-func instrument(route string, fn http.HandlerFunc) http.HandlerFunc {
+// per-route latency histogram, the request counter, and — when the
+// request is sampled (or forces tracing with an X-Eta2-Trace header) —
+// a root trace span propagated through the request context plus one
+// structured log line carrying the trace id. Root span names
+// ("METHOD /route") are precomputed per route so an unsampled request
+// allocates nothing here.
+func (h *Handler) instrument(route string, fn http.HandlerFunc) http.HandlerFunc {
 	hist := mHTTPDur.With(route)
+	tracer := h.server.Tracer()
+	rootNames := make(map[string]string, len(methodLabels)) //eta2:allocdiscipline-ok built once per route at Handler construction, read-only per request
+	for _, m := range methodLabels {
+		rootNames[m] = m + " " + route
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		mHTTPInFlight.Add(1)
 		defer mHTTPInFlight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
+		method := normalizeMethod(r.Method)
+		t := tracer.StartRoot(rootNames[method], r.Header.Get(repl.HeaderTrace) != "")
+		if t != nil {
+			r = r.WithContext(trace.NewContext(r.Context(), t))
+		}
 		fn(sw, r)
-		hist.Observe(time.Since(start).Seconds())
-		mHTTPRequests.With(route, normalizeMethod(r.Method), codeClass(sw.status)).Inc()
+		dur := time.Since(start)
+		hist.Observe(dur.Seconds())
+		mHTTPRequests.With(route, method, codeClass(sw.status)).Inc()
+		if t != nil {
+			t.End()
+			slog.Info("request",
+				"trace_id", t.ID().String(),
+				"method", method,
+				"route", route,
+				"status", sw.status,
+				"dur_ms", float64(dur)/float64(time.Millisecond))
+		}
 	}
 }

@@ -1,0 +1,252 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"eta2"
+	"eta2/internal/repl"
+	"eta2/internal/trace"
+)
+
+// tracesResponse mirrors the GET /v1/admin/traces envelope.
+type tracesResponse struct {
+	Traces []trace.TraceJSON `json:"traces"`
+}
+
+func fetchTraces(t *testing.T, base, query string) []trace.TraceJSON {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/admin/traces" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET /v1/admin/traces: %d: %s", resp.StatusCode, body)
+	}
+	var tr tracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	return tr.Traces
+}
+
+// spanNames flattens a wire trace to its span-name sequence.
+func spanNames(w trace.TraceJSON) []string {
+	names := make([]string, len(w.Spans))
+	for i, sp := range w.Spans {
+		names[i] = sp.Name
+	}
+	return names
+}
+
+// assertSubsequence checks that want appears, in order, within got.
+func assertSubsequence(t *testing.T, got, want []string) {
+	t.Helper()
+	i := 0
+	for _, name := range got {
+		if i < len(want) && name == want[i] {
+			i++
+		}
+	}
+	if i != len(want) {
+		t.Fatalf("span sequence %v missing ordered subsequence %v (matched %d)", got, want, i)
+	}
+}
+
+// TestTracedWriteSpansPrimaryAndFollower is the tentpole acceptance
+// test: one POST /v1/observations on a durable primary with an attached
+// follower yields a single trace — same trace id on both nodes — whose
+// spans cover, in order, the http root, encode, journal append,
+// group-commit fsync wait, snapshot publish, repl ship, and the
+// follower's journal-before-apply loop.
+func TestTracedWriteSpansPrimaryAndFollower(t *testing.T) {
+	primarySrv, err := eta2.NewServer(eta2.WithDurability(t.TempDir(), eta2.DurabilityPolicy{
+		// FsyncAlways makes the traced submitter the group-commit leader,
+		// so the fsync-wait span carries a role annotation worth checking.
+		Fsync:     eta2.FsyncAlways,
+		CompactAt: -1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { primarySrv.Close() })
+	primaryTS := httptest.NewServer(New(primarySrv))
+	t.Cleanup(primaryTS.Close)
+
+	f, err := eta2.OpenFollower(primaryTS.URL, eta2.FollowerOptions{
+		DataDir:  t.TempDir(),
+		PollWait: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	followerTS := httptest.NewServer(NewFollower(f))
+	t.Cleanup(followerTS.Close)
+
+	// Seed a user and a task, then wait for the follower to catch up:
+	// its first completed log fetch also activates trace shipping on the
+	// primary, so the traced write below is guaranteed to ship.
+	if err := primarySrv.AddUsers(eta2.User{ID: 0, Capacity: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primarySrv.CreateTasks(eta2.TaskSpec{Description: "t", ProcTime: 1, DomainHint: 1}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		return f.ReplicationStatus().AppliedLSN >= 2
+	}, "follower did not apply the seed records")
+
+	req, err := http.NewRequest(http.MethodPost, primaryTS.URL+"/v1/observations",
+		strings.NewReader(`{"observations":[{"task":0,"user":0,"value":1.5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(repl.HeaderTrace, "1") // force tracing for this request
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced write: status %d", resp.StatusCode)
+	}
+
+	// Primary side: the completed trace is in the primary's recorder.
+	primaryTraces := fetchTraces(t, primaryTS.URL, "?route=/v1/observations")
+	if len(primaryTraces) != 1 {
+		t.Fatalf("primary recorder has %d observation traces, want 1", len(primaryTraces))
+	}
+	pw := primaryTraces[0]
+	assertSubsequence(t, spanNames(pw), []string{
+		"POST /v1/observations",
+		trace.SpanEncode,
+		trace.SpanJournalAppend,
+		trace.SpanFsyncWait,
+		trace.SpanPublish,
+	})
+	fsyncAnnot := ""
+	for _, sp := range pw.Spans {
+		if sp.Name == trace.SpanFsyncWait {
+			fsyncAnnot = sp.Annot
+		}
+	}
+	if !strings.Contains(fsyncAnnot, "role=") {
+		t.Fatalf("fsync-wait span annot %q missing group-commit role", fsyncAnnot)
+	}
+	if pw.LSN == 0 {
+		t.Fatal("primary trace carries no LSN")
+	}
+
+	// Follower side: the shipped trace completes on the follower once its
+	// local log commit covers the record; it keeps the primary's trace id
+	// and extends the span sequence through the apply loop.
+	var fw trace.TraceJSON
+	waitFor(t, 10*time.Second, func() bool {
+		for _, cand := range fetchTraces(t, followerTS.URL, "?route=/v1/observations") {
+			if cand.ID == pw.ID {
+				fw = cand
+				return true
+			}
+		}
+		return false
+	}, "shipped trace never completed on the follower")
+
+	if fw.LSN != pw.LSN {
+		t.Fatalf("follower trace LSN %d != primary %d", fw.LSN, pw.LSN)
+	}
+	assertSubsequence(t, spanNames(fw), []string{
+		"POST /v1/observations",
+		trace.SpanEncode,
+		trace.SpanJournalAppend,
+		trace.SpanFsyncWait,
+		trace.SpanPublish,
+		trace.SpanReplShip,
+		trace.SpanFollowerJournal,
+		trace.SpanFollowerApply,
+	})
+	for _, sp := range fw.Spans {
+		if sp.Annot == "timing-evicted" {
+			t.Fatalf("follower apply span lost its timing: %+v", fw.Spans)
+		}
+	}
+}
+
+// TestAdminTracesFilters exercises min_ms/route/limit on a primary-only
+// server with forced traces.
+func TestAdminTracesFilters(t *testing.T) {
+	srv, err := eta2.NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(srv))
+	t.Cleanup(ts.Close)
+
+	if err := srv.AddUsers(eta2.User{ID: 0, Capacity: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+		req.Header.Set(repl.HeaderTrace, "1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	all := fetchTraces(t, ts.URL, "")
+	if len(all) < 3 {
+		t.Fatalf("recorder has %d traces, want >= 3", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].DurNS > all[i-1].DurNS {
+			t.Fatalf("traces not sorted slowest-first: %d ns after %d ns", all[i].DurNS, all[i-1].DurNS)
+		}
+	}
+	if got := fetchTraces(t, ts.URL, "?limit=1"); len(got) != 1 {
+		t.Fatalf("limit=1 returned %d traces", len(got))
+	}
+	if got := fetchTraces(t, ts.URL, "?route=/v1/healthz"); len(got) != 3 {
+		t.Fatalf("route filter returned %d traces, want 3", len(got))
+	}
+	if got := fetchTraces(t, ts.URL, "?route=/v1/nothing"); len(got) != 0 {
+		t.Fatalf("route filter for unknown route returned %d traces", len(got))
+	}
+	if got := fetchTraces(t, ts.URL, fmt.Sprintf("?min_ms=%d", 1<<30)); len(got) != 0 {
+		t.Fatalf("absurd min_ms returned %d traces", len(got))
+	}
+	resp, err := http.Get(ts.URL + "/v1/admin/traces?min_ms=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative min_ms: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}

@@ -1,0 +1,72 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// GET /v1/admin/traces: the flight recorder's current contents as JSON,
+// slowest first. Query parameters:
+//
+//	min_ms=<float>   only traces at least this slow
+//	route=<substr>   only traces whose root name contains substr
+//	                 (e.g. route=/v1/observations, or route=POST)
+//	limit=<n>        at most n traces (default 32)
+//
+// The recorder holds completed, immutable traces, so this endpoint
+// never contends with the write path.
+func (h *Handler) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	q := r.URL.Query()
+	var minMS float64
+	if v := q.Get("min_ms"); v != "" {
+		parsed, err := strconv.ParseFloat(v, 64)
+		if err != nil || parsed < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("min_ms must be a non-negative number, got %q", v))
+			return
+		}
+		minMS = parsed
+	}
+	route := q.Get("route")
+	limit := 32
+	if v := q.Get("limit"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("limit must be a positive integer, got %q", v))
+			return
+		}
+		limit = parsed
+	}
+
+	traces := h.server.Tracer().Recorder().Snapshot()
+	out := make([]any, 0, len(traces))
+	type ranked struct {
+		durNS int64
+		wire  any
+	}
+	kept := make([]ranked, 0, len(traces))
+	for _, t := range traces {
+		if route != "" && !strings.Contains(t.Root(), route) {
+			continue
+		}
+		wire := t.Export()
+		if wire.DurMS < minMS {
+			continue
+		}
+		kept = append(kept, ranked{durNS: wire.DurNS, wire: wire})
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].durNS > kept[j].durNS })
+	if len(kept) > limit {
+		kept = kept[:limit]
+	}
+	for _, k := range kept {
+		out = append(out, k.wire)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": out})
+}

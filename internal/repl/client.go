@@ -17,6 +17,12 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// TraceSink, when set, receives each serialized write trace the
+	// primary attached to a log response (X-Eta2-Trace header values),
+	// after the response's frames have been delivered. Called from the
+	// goroutine running FetchLog.
+	TraceSink func(data []byte)
 }
 
 // NewClient talks to the primary at base (scheme://host[:port]). A nil
@@ -72,6 +78,13 @@ func (c *Client) FetchLog(ctx context.Context, from uint64, wait time.Duration, 
 	for {
 		lsn, payload, err := fr.Next()
 		if err == io.EOF {
+			// Shipped traces are delivered after the frames so the sink
+			// sees a log position that already covers each trace's LSN.
+			if c.TraceSink != nil {
+				for _, tr := range resp.Header.Values(HeaderTrace) {
+					c.TraceSink([]byte(tr))
+				}
+			}
 			return frontier, n, nil
 		}
 		if err != nil {

@@ -12,4 +12,6 @@ var (
 		"Framed bytes shipped to replication log readers.")
 	mSnapshotsServed = obs.Default().Counter("eta2_repl_snapshots_served_total",
 		"Bootstrap snapshots served to followers.")
+	mShippedTraces = obs.Default().Counter("eta2_repl_shipped_traces_total",
+		"Write traces shipped to followers as X-Eta2-Trace headers.")
 )

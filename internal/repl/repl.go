@@ -41,6 +41,11 @@ const (
 
 	HeaderFrontier    = "X-Eta2-Repl-Frontier"
 	HeaderSnapshotLSN = "X-Eta2-Repl-Snapshot-Lsn"
+	// HeaderTrace carries serialized write traces (internal/trace wire
+	// JSON). On a log response each value is one completed primary-side
+	// trace whose record is covered by the response's frontier; on a write
+	// request it forces that request to be traced.
+	HeaderTrace = "X-Eta2-Trace"
 )
 
 const (
@@ -73,6 +78,19 @@ type Source interface {
 	// returns the LSN it covers plus a writer that encodes it.
 	CaptureReplicationSnapshot() (lsn uint64, write func(io.Writer) error, err error)
 }
+
+// TraceSource is optionally implemented by a Source that records write
+// traces: completed traces for records at or below upTo are drained and
+// shipped as X-Eta2-Trace headers, continuing the primary's trace on the
+// follower. Traces ride every log response — including empty long-poll
+// answers — because a record's trace may only complete (the submitter's
+// fsync wait and HTTP span end) after the record itself has shipped.
+type TraceSource interface {
+	TakeShippedTraces(upTo uint64, max int) [][]byte
+}
+
+// maxTracesPerResponse bounds X-Eta2-Trace headers on one log response.
+const maxTracesPerResponse = 8
 
 // errBatchFull aborts a ReadCommitted scan once the response buffer is
 // large enough; the records already buffered still ship.
@@ -149,6 +167,12 @@ func ServeLog(src Source, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set(HeaderFrontier, strconv.FormatUint(frontier, 10))
+	if ts, ok := src.(TraceSource); ok {
+		for _, data := range ts.TakeShippedTraces(frontier, maxTracesPerResponse) {
+			w.Header().Add(HeaderTrace, string(data))
+			mShippedTraces.Inc()
+		}
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(http.StatusOK)

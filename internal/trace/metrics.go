@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+
+	"eta2/internal/obs"
+)
+
+// Trace-layer metrics: the aggregate summary of what the flight
+// recorder keeps in detail. Counters cover the trace lifecycle
+// (completed → shipped → imported); the histogram is the sampled-trace
+// latency distribution, and the gauge tracks the slowest trace the
+// recorder has kept.
+var (
+	mTraceCompleted = obs.Default().Counter("eta2_trace_completed_total",
+		"Traces completed and recorded by the flight recorder.")
+	mTraceSpansDropped = obs.Default().Counter("eta2_trace_spans_dropped_total",
+		"Spans dropped because a trace exceeded its inline span capacity.")
+	mTraceShipped = obs.Default().Counter("eta2_trace_shipped_total",
+		"Completed write traces shipped to followers via X-Eta2-Trace.")
+	mTraceImported = obs.Default().Counter("eta2_trace_imported_total",
+		"Shipped traces imported and continued on this follower.")
+	mTraceDur = obs.Default().Histogram("eta2_trace_duration_seconds",
+		"End-to-end duration of completed traces.",
+		obs.ExpBuckets(0.0001, 2, 16))
+	mTraceSlowest = obs.Default().Gauge("eta2_trace_slowest_seconds",
+		"Duration of the slowest trace retained by the flight recorder.")
+)
+
+// slowestSeen backs the monotone slowest-trace gauge so concurrent
+// recorders don't regress it with a smaller value.
+var slowestSeen atomic.Int64
+
+func updateSlowestGauge(d time.Duration) {
+	for {
+		cur := slowestSeen.Load()
+		if int64(d) <= cur {
+			return
+		}
+		if slowestSeen.CompareAndSwap(cur, int64(d)) {
+			mTraceSlowest.Set(d.Seconds())
+			return
+		}
+	}
+}

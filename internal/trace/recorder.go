@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// slowestK is the number of slowest-trace slots the recorder keeps in
+// addition to the ring, so a burst of fast traces cannot evict the
+// outliers the flight recorder exists to explain.
+const slowestK = 8
+
+// Recorder is a lock-free flight recorder for completed traces: a
+// bounded ring of the most recent traces plus a best-effort
+// always-keep-slowest set. Writers only CAS/store atomic pointers to
+// immutable traces; readers snapshot without blocking writers.
+type Recorder struct {
+	next  atomic.Uint64
+	slots []atomic.Pointer[Trace]
+	slow  [slowestK]atomic.Pointer[Trace]
+}
+
+func newRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Recorder{slots: make([]atomic.Pointer[Trace], capacity)}
+}
+
+// add stores a completed trace in the ring and offers it to the
+// slowest-K set.
+func (r *Recorder) add(t *Trace) {
+	i := (r.next.Add(1) - 1) % uint64(len(r.slots))
+	r.slots[i].Store(t)
+	r.offerSlow(t)
+}
+
+// offerSlow replaces the fastest of the slowest-K slots if t is slower.
+// Two CAS attempts, then give up: under contention losing one candidate
+// is fine — the policy is "keep slow outliers", not an exact top-K.
+func (r *Recorder) offerSlow(t *Trace) {
+	for attempt := 0; attempt < 2; attempt++ {
+		minIdx, minDur := -1, t.dur
+		for i := range r.slow {
+			cur := r.slow[i].Load()
+			if cur == nil {
+				minIdx, minDur = i, 0
+				break
+			}
+			if cur.dur < minDur {
+				minIdx, minDur = i, cur.dur
+			}
+		}
+		if minIdx < 0 {
+			return // t is faster than everything already kept
+		}
+		old := r.slow[minIdx].Load()
+		if old != nil && old.dur >= t.dur {
+			continue // slot changed under us; re-scan
+		}
+		if r.slow[minIdx].CompareAndSwap(old, t) {
+			if t.dur > old.Duration() {
+				updateSlowestGauge(t.dur)
+			}
+			return
+		}
+	}
+}
+
+// Snapshot returns the recorder's current contents — ring plus
+// slowest-K, deduplicated, in no particular order. The returned traces
+// are completed and immutable.
+func (r *Recorder) Snapshot() []*Trace {
+	if r == nil {
+		return nil
+	}
+	seen := make(map[*Trace]struct{}, len(r.slots)+slowestK)
+	out := make([]*Trace, 0, len(r.slots)+slowestK)
+	for i := range r.slots {
+		if t := r.slots[i].Load(); t != nil {
+			if _, dup := seen[t]; !dup {
+				seen[t] = struct{}{}
+				out = append(out, t)
+			}
+		}
+	}
+	for i := range r.slow {
+		if t := r.slow[i].Load(); t != nil {
+			if _, dup := seen[t]; !dup {
+				seen[t] = struct{}{}
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// shipTable indexes completed LSN-carrying traces awaiting pickup by a
+// replication log fetch. Bounded FIFO: if followers never collect (or
+// sampling outpaces shipping), the oldest pending trace is dropped.
+// Off the ingest fast path — only completed sampled traces with
+// replication active ever touch it — so a plain mutex is fine.
+type shipTable struct {
+	mu      sync.Mutex
+	pending map[uint64]*Trace
+	order   []uint64
+}
+
+// shipTableMax bounds pending shipped traces (and therefore the number
+// of X-Eta2-Trace headers a single log response can carry).
+const shipTableMax = 64
+
+func (s *shipTable) put(t *Trace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending == nil {
+		s.pending = make(map[uint64]*Trace, shipTableMax)
+	}
+	if _, dup := s.pending[t.lsn]; !dup {
+		s.order = append(s.order, t.lsn)
+	}
+	s.pending[t.lsn] = t
+	for len(s.order) > shipTableMax {
+		evict := s.order[0]
+		s.order = s.order[1:]
+		delete(s.pending, evict)
+	}
+}
+
+// take removes and returns up to max pending traces with lsn <= upTo,
+// oldest first.
+func (s *shipTable) take(upTo uint64, max int) []*Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.order) == 0 {
+		return nil
+	}
+	var out []*Trace
+	kept := s.order[:0]
+	for _, lsn := range s.order {
+		t := s.pending[lsn]
+		if lsn <= upTo && (max <= 0 || len(out) < max) {
+			out = append(out, t)
+			delete(s.pending, lsn)
+		} else {
+			kept = append(kept, lsn)
+		}
+	}
+	s.order = kept
+	return out
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// TraceJSON is the wire form of a completed trace: the payload of the
+// X-Eta2-Trace replication header and the elements of the
+// GET /v1/admin/traces response.
+type TraceJSON struct {
+	ID      string     `json:"trace_id"`
+	Root    string     `json:"root"`
+	LSN     uint64     `json:"lsn,omitempty"`
+	StartNS int64      `json:"start_unix_ns"`
+	DurNS   int64      `json:"dur_ns"`
+	DurMS   float64    `json:"dur_ms"`
+	Spans   []SpanJSON `json:"spans"`
+	Dropped int        `json:"spans_dropped,omitempty"`
+}
+
+// SpanJSON is the wire form of one span. Offsets and durations are
+// nanoseconds relative to the trace's start.
+type SpanJSON struct {
+	ID    string `json:"span_id"`
+	Name  string `json:"name"`
+	Annot string `json:"annot,omitempty"`
+	OffNS int64  `json:"off_ns"`
+	DurNS int64  `json:"dur_ns"`
+}
+
+// Export converts a completed trace to its wire form.
+func (t *Trace) Export() TraceJSON {
+	if t == nil {
+		return TraceJSON{}
+	}
+	out := TraceJSON{
+		ID:      t.id.String(),
+		Root:    t.root,
+		LSN:     t.lsn,
+		StartNS: t.wall,
+		DurNS:   int64(t.dur),
+		DurMS:   float64(t.dur) / float64(time.Millisecond),
+		Spans:   make([]SpanJSON, t.n),
+		Dropped: t.dropped,
+	}
+	var sid [8]byte
+	for i := 0; i < t.n; i++ {
+		sp := &t.spans[i]
+		for b := 0; b < 8; b++ {
+			sid[b] = byte(sp.id >> (8 * b))
+		}
+		out.Spans[i] = SpanJSON{
+			ID:    hex.EncodeToString(sid[:]),
+			Name:  sp.Name,
+			Annot: sp.Annot,
+			OffNS: int64(sp.Off),
+			DurNS: int64(sp.Dur),
+		}
+	}
+	return out
+}
+
+// marshalShipped serializes the trace for the X-Eta2-Trace response
+// header, appending a repl-ship span that marks the hand-off instant.
+// The span is added to the wire form only — the in-memory trace is
+// already published and must stay immutable.
+func (t *Trace) marshalShipped() ([]byte, error) {
+	w := t.Export()
+	off := time.Now().UnixNano() - t.wall
+	if off < 0 {
+		off = 0
+	}
+	var sid [8]byte
+	shipID := t.sidBase + uint64(t.n)
+	for b := 0; b < 8; b++ {
+		sid[b] = byte(shipID >> (8 * b))
+	}
+	w.Spans = append(w.Spans, SpanJSON{
+		ID:    hex.EncodeToString(sid[:]),
+		Name:  SpanReplShip,
+		OffNS: off,
+		DurNS: 1, // instantaneous hand-off marker
+	})
+	return json.Marshal(w)
+}
+
+// Import reconstructs a shipped trace on the follower side. The result
+// keeps the primary's trace id, root, LSN, and wall-clock origin, so
+// follower-side spans added via AddRemoteSpan land on the same
+// timeline. Complete it with End as usual: it lands in THIS tracer's
+// flight recorder (the follower's, not the primary's).
+func (tr *Tracer) Import(data []byte) (*Trace, error) {
+	var w TraceJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("trace: import: %w", err)
+	}
+	raw, err := hex.DecodeString(w.ID)
+	if err != nil || len(raw) != 16 {
+		return nil, fmt.Errorf("trace: import: bad trace id %q", w.ID)
+	}
+	t := &Trace{tr: tr, root: w.Root, begin: time.Now(), wall: w.StartNS, lsn: w.LSN, imported: true}
+	copy(t.id[:], raw)
+	for i, sp := range w.Spans {
+		if i >= MaxSpans {
+			t.dropped++
+			continue
+		}
+		t.spans[i] = Span{
+			Name:  sp.Name,
+			Annot: sp.Annot,
+			Off:   time.Duration(sp.OffNS),
+			Dur:   time.Duration(sp.DurNS),
+			t:     t,
+		}
+		if rawSID, err := hex.DecodeString(sp.ID); err == nil && len(rawSID) == 8 {
+			var id uint64
+			for b := 0; b < 8; b++ {
+				id |= uint64(rawSID[b]) << (8 * b)
+			}
+			t.spans[i].id = id
+			if i == 0 {
+				t.sidBase = id
+			}
+		}
+		t.n++
+	}
+	t.dropped += w.Dropped
+	// Follower-side spans continue the primary's id sequence.
+	t.sidBase += uint64(len(w.Spans)) + 1
+	mTraceImported.Inc()
+	return t, nil
+}

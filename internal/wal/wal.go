@@ -524,12 +524,22 @@ func (l *Log) rewind(active *segment) {
 // SyncNever returns immediately, SyncInterval syncs only when the
 // interval has elapsed, SyncAlways always waits for stable storage.
 func (l *Log) Commit(lsn uint64) error {
+	_, err := l.CommitReported(lsn)
+	return err
+}
+
+// CommitReported is Commit plus group-commit attribution: leader is true
+// when this caller performed the batch fsync itself, false when it was
+// covered by another caller's sync (or the policy required no sync).
+// Tracing uses it to annotate the fsync-wait span without this package
+// importing the trace layer.
+func (l *Log) CommitReported(lsn uint64) (leader bool, err error) {
 	switch l.opts.Sync {
 	case SyncNever:
 		l.syncMu.Lock()
 		l.advanceCommittedLocked(lsn)
 		l.syncMu.Unlock()
-		return nil
+		return false, nil
 	case SyncInterval:
 		l.syncMu.Lock()
 		due := time.Since(l.lastSync) >= l.opts.SyncEvery
@@ -540,7 +550,7 @@ func (l *Log) Commit(lsn uint64) error {
 		}
 		l.syncMu.Unlock()
 		if !due {
-			return nil
+			return false, nil
 		}
 	}
 	return l.syncThrough(lsn)
@@ -551,14 +561,15 @@ func (l *Log) Commit(lsn uint64) error {
 // returns immediately; while a leader's fsync is in flight, callers park;
 // the first parked caller to wake uncovered becomes the next leader, and
 // its single fsync covers the whole batch written in the meantime.
-func (l *Log) syncThrough(lsn uint64) error {
+// Reports whether this caller was the leader that performed the fsync.
+func (l *Log) syncThrough(lsn uint64) (leader bool, err error) {
 	l.syncMu.Lock()
 	for l.durable < lsn && l.syncing {
 		l.syncCond.Wait()
 	}
 	if l.durable >= lsn {
 		l.syncMu.Unlock()
-		return nil
+		return false, nil
 	}
 	l.syncing = true
 	l.syncMu.Unlock()
@@ -576,7 +587,6 @@ func (l *Log) syncThrough(lsn uint64) error {
 	if l.opts.SyncDelay > 0 {
 		time.Sleep(l.opts.SyncDelay)
 	}
-	var err error
 	if closed {
 		err = ErrClosed
 	} else if serr := file.Sync(); serr != nil && !errors.Is(serr, os.ErrClosed) {
@@ -600,7 +610,7 @@ func (l *Log) syncThrough(lsn uint64) error {
 	l.syncing = false
 	l.syncCond.Broadcast()
 	l.syncMu.Unlock()
-	return err
+	return true, err
 }
 
 // Sync flushes every record written so far to stable storage.
@@ -612,7 +622,8 @@ func (l *Log) Sync() error {
 	}
 	frontier := l.next - 1
 	l.mu.Unlock()
-	return l.syncThrough(frontier)
+	_, err := l.syncThrough(frontier)
+	return err
 }
 
 // Replay streams every record currently in the log, in LSN order, to fn.

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"eta2/internal/trace"
 	"eta2/internal/wal"
 )
 
@@ -364,14 +365,33 @@ func (s *Server) journalBufferedPayload(payload []byte) (uint64, error) {
 // detached by a concurrent Close — Close syncs the log before detaching,
 // so the record is already durable.
 func (s *Server) journalCommit(lsn uint64) error {
+	return s.journalCommitSpanned(lsn, nil)
+}
+
+// journalCommitSpanned is journalCommit closing an open fsync-wait span:
+// the span (nil on untraced calls) ends when durability is reached, and
+// its annotation records whether this caller led the group commit's
+// fsync or was covered by another caller's flush.
+func (s *Server) journalCommitSpanned(lsn uint64, sp *trace.Span) error {
 	if lsn == 0 {
+		sp.End()
 		return nil
 	}
 	j := s.loadState().journal
 	if j == nil {
+		sp.End()
 		return nil
 	}
-	if err := j.Commit(lsn); err != nil {
+	leader, err := j.CommitReported(lsn)
+	if sp != nil {
+		if leader {
+			sp.Annotate("role=leader")
+		} else {
+			sp.Annotate("role=follower")
+		}
+		sp.End()
+	}
+	if err != nil {
 		return fmt.Errorf("eta2: journal commit: %w", err)
 	}
 	return nil
@@ -509,22 +529,41 @@ func (s *Server) finishCompactionLocked(cap compactionCapture) {
 func (s *Server) Compact() error {
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
+	t := s.compactionTrace()
+	defer t.End()
 	start := time.Now()
+	cs := t.StartSpan("capture")
 	s.mu.Lock()
 	cap, ok := s.captureCompactionLocked()
 	s.mu.Unlock()
+	cs.End()
 	if !ok {
 		return ErrNotDurable
 	}
-	if err := writeSnapshot(cap); err != nil {
+	ws := t.StartSpan("write snapshot")
+	err := writeSnapshot(cap)
+	ws.End()
+	if err != nil {
 		mCompactionsFailed.Inc()
 		return err
 	}
+	fin := t.StartSpan("finish")
 	s.mu.Lock()
 	s.finishCompactionLocked(cap)
 	s.mu.Unlock()
+	fin.End()
 	mCompactionForeground.Observe(time.Since(start).Seconds())
 	return nil
+}
+
+// compactionTrace starts a forced background-job trace for one
+// compaction cycle, or nil when tracing is off. Forced rather than
+// sampled: compactions are rare and always worth a flight-recorder slot.
+func (s *Server) compactionTrace() *trace.Trace {
+	if !s.tracer.Enabled() {
+		return nil
+	}
+	return s.tracer.StartRoot("compaction", true)
 }
 
 // startBackgroundCompactionLocked spawns one background compaction cycle
@@ -575,20 +614,29 @@ func (s *Server) compactionOwed() bool {
 func (s *Server) compactCycle() {
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
+	t := s.compactionTrace()
+	defer t.End()
 	start := time.Now()
+	cs := t.StartSpan("capture")
 	s.mu.Lock()
 	cap, ok := s.captureCompactionLocked()
 	s.mu.Unlock()
+	cs.End()
 	if !ok {
 		return // journal detached: a racing Close won
 	}
-	if err := writeSnapshot(cap); err != nil {
+	ws := t.StartSpan("write snapshot")
+	err := writeSnapshot(cap)
+	ws.End()
+	if err != nil {
 		mCompactionsFailed.Inc()
 		return
 	}
+	fin := t.StartSpan("finish")
 	s.mu.Lock()
 	s.finishCompactionLocked(cap)
 	s.mu.Unlock()
+	fin.End()
 	mCompactionBackground.Observe(time.Since(start).Seconds())
 }
 

@@ -1,0 +1,62 @@
+package eta2
+
+import (
+	"testing"
+)
+
+// TestPromoteResetsLagGauges covers the post-promotion metrics fix: the
+// replication lag gauges are written only by the follower pull loop, so
+// before the fix they froze at their last values forever once Promote
+// stopped the loop — a dashboard watching eta2_repl_lag_seconds would
+// show a healthy promoted primary as permanently lagging.
+func TestPromoteResetsLagGauges(t *testing.T) {
+	pdir := t.TempDir()
+	primary, err := NewServer(
+		WithDurability(pdir, DurabilityPolicy{Fsync: FsyncNever, CompactAt: -1, SegmentSize: 512}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := replTestServer(t, primary)
+
+	f, err := OpenFollower(ts.URL, fastFollowerOptions(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.AddUsers(User{ID: 0, Capacity: 4}, User{ID: 1, Capacity: 4}); err != nil {
+		t.Fatal(err)
+	}
+	lsn := primary.DurabilityStats().LastLSN
+	waitApplied(t, f, lsn)
+
+	ts.Close()
+	if err := primary.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pin the gauges at stale nonzero values, as a pull loop that lost its
+	// primary mid-lag would leave them.
+	mReplLagSeconds.Set(12.5)
+	mReplLagRecords.Set(42)
+	mReplPrimaryFrontier.Set(float64(lsn + 99))
+
+	if err := f.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if got := mReplLagSeconds.Value(); got != 0 {
+		t.Errorf("eta2_repl_lag_seconds = %v after promotion, want 0", got)
+	}
+	if got := mReplLagRecords.Value(); got != 0 {
+		t.Errorf("eta2_repl_lag_records = %v after promotion, want 0", got)
+	}
+	if got := mReplPrimaryFrontier.Value(); got != float64(lsn) {
+		t.Errorf("eta2_repl_primary_frontier_lsn = %v after promotion, want %d (own applied LSN)", got, lsn)
+	}
+
+	// The promoted node's own status must agree with the gauges.
+	rs := f.ReplicationStatus()
+	if rs.LagRecords != 0 || rs.LagSeconds != 0 {
+		t.Errorf("promoted status still reports lag: %+v", rs)
+	}
+}

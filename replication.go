@@ -72,6 +72,13 @@ func (s *Server) WaitCommitted(after uint64, timeout time.Duration) (uint64, err
 	return j.WaitCommitted(after, timeout), nil
 }
 
+// TakeShippedTraces drains up to max completed write traces whose LSN is
+// at or below upTo, serialized for the X-Eta2-Trace response header.
+// Implements repl.TraceSource.
+func (s *Server) TakeShippedTraces(upTo uint64, max int) [][]byte {
+	return s.tracer.TakeShippedTraces(upTo, max)
+}
+
 // ReadCommitted streams committed journal records with LSN >= from to fn,
 // at most max of them; see (*wal.Log).ReadCommitted for the contract
 // (including wal.ErrCompacted for cursors behind the latest compaction).

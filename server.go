@@ -1,6 +1,7 @@
 package eta2
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"eta2/internal/cluster"
 	"eta2/internal/core"
 	"eta2/internal/semantic"
+	"eta2/internal/trace"
 	"eta2/internal/truth"
 	"eta2/internal/wal"
 )
@@ -86,6 +88,11 @@ type Server struct {
 	role        serverRole
 	primaryAddr string
 
+	// tracer samples write-path traces into the flight recorder; see
+	// internal/trace and DESIGN.md §16. Per-server so an in-process
+	// primary + follower pair keep separate recorders.
+	tracer *trace.Tracer
+
 	// Background compaction coordination; see journal.go. compactMu
 	// serializes whole compaction cycles (capture → write → bookkeeping)
 	// and is always taken before mu, never while holding it. compacting
@@ -101,6 +108,7 @@ type config struct {
 	gamma       float64
 	epsilon     float64
 	parallelism int
+	traceEvery  int
 	truthCfg    truth.Config
 	embedder    Embedder
 	durable     *durabilityConfig
@@ -182,6 +190,19 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithTraceSampling enables write-path tracing, sampling one request in
+// every (0, the default, disables sampling; requests carrying an
+// X-Eta2-Trace header are always traced). See DESIGN.md §16.
+func WithTraceSampling(every int) Option {
+	return func(c *config) error {
+		if every < 0 {
+			return fmt.Errorf("eta2: trace sampling interval must be >= 0, got %d", every)
+		}
+		c.traceEvery = every
+		return nil
+	}
+}
+
 // NewServer creates a Server. With WithDurability it first recovers any
 // state the data directory holds (latest snapshot + write-ahead-log
 // replay), then journals every subsequent mutation.
@@ -222,6 +243,7 @@ func newServer(cfg config) (*Server, error) {
 		domainOf: make(map[TaskID]DomainID),
 		store:    truth.NewStore(cfg.alpha),
 		truths:   make(map[TaskID]TruthEstimate),
+		tracer:   trace.New(cfg.traceEvery, traceRecorderCapacity),
 	}
 	if cfg.embedder != nil {
 		s.vectorizer = semantic.NewVectorizer(cfg.embedder)
@@ -239,21 +261,37 @@ func newServer(cfg config) (*Server, error) {
 	return s, nil
 }
 
+// traceRecorderCapacity is the flight-recorder ring size per server.
+const traceRecorderCapacity = 256
+
+// Tracer returns the server's write-path tracer. Never nil.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
 // AddUsers registers users with the server. Re-adding an existing ID
 // updates its capacity. The batch is atomic: one invalid user — or a
 // failed journal write — rejects the whole call with no state change.
 // On a replication follower it fails with *FollowerWriteError.
 func (s *Server) AddUsers(users ...User) error {
+	return s.AddUsersContext(context.Background(), users...)
+}
+
+// AddUsersContext is AddUsers recording child spans on the trace carried
+// by ctx, if any.
+func (s *Server) AddUsersContext(ctx context.Context, users ...User) error {
 	if err := s.writable(); err != nil {
 		return err
 	}
-	return s.addUsers(users...)
+	return s.addUsersTraced(trace.FromContext(ctx), users...)
 }
 
 // addUsers is AddUsers without the follower write gate — the entry point
 // the replay/replication apply path uses, since shipped records must land
 // on a follower that rejects every external write.
 func (s *Server) addUsers(users ...User) error {
+	return s.addUsersTraced(nil, users...)
+}
+
+func (s *Server) addUsersTraced(t *trace.Trace, users ...User) error {
 	if len(users) == 0 {
 		return nil
 	}
@@ -262,13 +300,22 @@ func (s *Server) addUsers(users ...User) error {
 			return fmt.Errorf("eta2: %w", err)
 		}
 	}
+	app := t.StartSpan(trace.SpanJournalAppend)
 	s.mu.Lock()
 	lsn, err := s.addUsersLocked(users)
+	var fsync *trace.Span
+	if err == nil {
+		// Opened under the lock so the span order reflects the durability
+		// order (append → fsync wait); it ends in journalCommitSpanned.
+		fsync = t.StartSpan(trace.SpanFsyncWait)
+	}
 	s.mu.Unlock()
+	app.End()
 	if err != nil {
 		return err
 	}
-	return s.journalCommit(lsn)
+	t.SetLSN(lsn)
+	return s.journalCommitSpanned(lsn, fsync)
 }
 
 // addUsersLocked validates name bindings against live state, journals the
@@ -795,18 +842,31 @@ func (s *Server) AllocateMinCost(params MinCostParams, collect Collector) (MinCo
 // at all, letting the WAL group-commit one flush per batch of concurrent
 // submitters.
 func (s *Server) SubmitObservations(obs ...Observation) error {
+	return s.SubmitObservationsContext(context.Background(), obs...)
+}
+
+// SubmitObservationsContext is SubmitObservations recording child spans
+// on the trace carried by ctx, if any. The untraced path is identical to
+// before tracing existed: span calls on a nil trace are nil checks, so
+// the hot-path alloc budget holds with tracing disabled and enabled
+// (TestSubmitObservationsAllocBudget covers both).
+func (s *Server) SubmitObservationsContext(ctx context.Context, obs ...Observation) error {
 	if err := s.writable(); err != nil {
 		return err
 	}
 	if len(obs) == 0 {
 		return nil
 	}
+	t := trace.FromContext(ctx)
 	st := s.loadState()
+	enc := t.StartSpan(trace.SpanEncode)
 	for _, o := range obs {
 		if int(o.Task) < 0 || int(o.Task) >= st.numTasks {
+			enc.End()
 			return fmt.Errorf("eta2: observation for unknown task %d", o.Task)
 		}
 		if _, ok := st.users[o.User]; !ok {
+			enc.End()
 			return fmt.Errorf("eta2: observation from unknown user %d", o.User)
 		}
 	}
@@ -816,7 +876,9 @@ func (s *Server) SubmitObservations(obs ...Observation) error {
 	// state (asserted by TestSubmitObservationsZeroAlloc).
 	eb := obsEventPool.Get().(*obsEventBuf)
 	eb.b = encodeObservationsEvent(eb.b[:0], obs, st.day)
+	enc.End()
 
+	app := t.StartSpan(trace.SpanJournalAppend)
 	s.mu.Lock()
 	// Tasks and users only grow, so the snapshot validation above cannot
 	// be invalidated by the time the lock is held — but a concurrent
@@ -829,21 +891,32 @@ func (s *Server) SubmitObservations(obs ...Observation) error {
 	lsn, err := s.journalBufferedPayload(eb.b)
 	if err != nil {
 		s.mu.Unlock()
+		app.End()
 		obsEventPool.Put(eb)
 		return err
 	}
+	app.End()
+	// The fsync-wait span opens here — before publish, while the lock is
+	// still held — because the wait for durability logically begins the
+	// moment the record is appended; the publish below happens while the
+	// group commit is (potentially) already in flight. It ends in
+	// journalCommitSpanned.
+	fsync := t.StartSpan(trace.SpanFsyncWait)
+	pub := t.StartSpan(trace.SpanPublish)
 	for _, o := range obs {
 		o.Day = day
 		s.observations = append(s.observations, o)
 	}
 	mObsAccepted.Add(uint64(len(obs)))
 	s.publishLocked()
+	pub.End()
 	s.mu.Unlock()
 	// The WAL copied the payload into the segment file during the buffered
 	// append, so the buffer can recycle before the fsync wait completes.
 	obsEventPool.Put(eb)
 	ingestAllocSample()
-	return s.journalCommit(lsn)
+	t.SetLSN(lsn)
+	return s.journalCommitSpanned(lsn, fsync)
 }
 
 // ErrNoObservations is returned by CloseTimeStep when nothing was
@@ -857,20 +930,31 @@ var ErrNoObservations = errors.New("eta2: no observations submitted this time st
 // step's journal record is written, so a failed journal write leaves the
 // server (and what recovery would rebuild) exactly as it was.
 func (s *Server) CloseTimeStep() (StepReport, error) {
+	return s.CloseTimeStepContext(context.Background())
+}
+
+// CloseTimeStepContext is CloseTimeStep recording child spans on the
+// trace carried by ctx, if any.
+func (s *Server) CloseTimeStepContext(ctx context.Context) (StepReport, error) {
 	if err := s.writable(); err != nil {
 		return StepReport{}, err
 	}
-	return s.closeTimeStep()
+	return s.closeTimeStepTraced(trace.FromContext(ctx))
 }
 
 // closeTimeStep is CloseTimeStep without the follower write gate (see
 // addUsers).
 func (s *Server) closeTimeStep() (StepReport, error) {
+	return s.closeTimeStepTraced(nil)
+}
+
+func (s *Server) closeTimeStepTraced(t *trace.Trace) (StepReport, error) {
 	s.mu.Lock()
 	if len(s.observations) == 0 {
 		s.mu.Unlock()
 		return StepReport{}, ErrNoObservations
 	}
+	est := t.StartSpan(trace.SpanTruthEstimate)
 	table := core.NewObservationTable(s.observations)
 	domainFn := func(id TaskID) DomainID { return s.domainOf[id] }
 
@@ -883,6 +967,7 @@ func (s *Server) closeTimeStep() (StepReport, error) {
 		res, err := truth.Estimate(table, domainFn, nil, s.cfg.truthCfg)
 		if err != nil {
 			s.mu.Unlock()
+			est.End()
 			return StepReport{}, fmt.Errorf("eta2: %w", err)
 		}
 		store.Commit(truth.Contributions(table, domainFn, res.Mu, res.Sigma, s.cfg.truthCfg))
@@ -892,16 +977,23 @@ func (s *Server) closeTimeStep() (StepReport, error) {
 		res, err := truth.UpdateStep(store, table, domainFn, s.cfg.truthCfg)
 		if err != nil {
 			s.mu.Unlock()
+			est.End()
 			return StepReport{}, fmt.Errorf("eta2: %w", err)
 		}
 		mu, sigma, iters, converged = res.Mu, res.Sigma, res.Iterations, res.Converged
 	}
+	est.End()
 
+	app := t.StartSpan(trace.SpanJournalAppend)
 	lsn, err := s.journalBuffered(walEvent{Type: eventCloseStep})
 	if err != nil {
 		s.mu.Unlock()
+		app.End()
 		return StepReport{}, err
 	}
+	app.End()
+	fsync := t.StartSpan(trace.SpanFsyncWait) // ends in journalCommitSpanned
+	pub := t.StartSpan(trace.SpanPublish)
 
 	s.store = store
 	report := StepReport{
@@ -934,12 +1026,15 @@ func (s *Server) closeTimeStep() (StepReport, error) {
 	s.day++
 	mStepsClosed.Inc()
 	s.publishLocked()
+	pub.End()
 	derr := s.closeStepDurability()
 	s.mu.Unlock()
 	if derr != nil {
+		fsync.End()
 		return StepReport{}, derr
 	}
-	if err := s.journalCommit(lsn); err != nil {
+	t.SetLSN(lsn)
+	if err := s.journalCommitSpanned(lsn, fsync); err != nil {
 		return StepReport{}, err
 	}
 	return report, nil

@@ -12,6 +12,7 @@ import (
 	"eta2lint/passes/lockdiscipline"
 	"eta2lint/passes/maprange"
 	"eta2lint/passes/metrichygiene"
+	"eta2lint/passes/spandiscipline"
 )
 
 func main() {
@@ -22,5 +23,6 @@ func main() {
 		floatcmp.Analyzer,
 		metrichygiene.Analyzer,
 		allocdiscipline.Analyzer,
+		spandiscipline.Analyzer,
 	))
 }

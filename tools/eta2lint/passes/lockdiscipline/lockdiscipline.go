@@ -390,9 +390,10 @@ func (c *checker) forbidden(call *ast.CallExpr) string {
 	}
 	name := sel.Sel.Name
 
-	// s.journalCommit waits on the WAL group commit (and re-locks).
-	if c.isServerExpr(sel.X) && name == "journalCommit" {
-		return "journalCommit (waits on group commit)"
+	// s.journalCommit / s.journalCommitSpanned wait on the WAL group
+	// commit (and re-lock).
+	if c.isServerExpr(sel.X) && (name == "journalCommit" || name == "journalCommitSpanned") {
+		return name + " (waits on group commit)"
 	}
 
 	// Method receiver classification via type information.
@@ -407,7 +408,7 @@ func (c *checker) forbidden(call *ast.CallExpr) string {
 			if obj.Pkg() != nil {
 				pkgPath = obj.Pkg().Path()
 			}
-			if strings.HasSuffix(pkgPath, "internal/wal") && (name == "Commit" || name == "Sync") {
+			if strings.HasSuffix(pkgPath, "internal/wal") && (name == "Commit" || name == "CommitReported" || name == "Sync") {
 				return "WAL " + name + " (fsync wait)"
 			}
 			if pkgPath == "os" && obj.Name() == "File" && name == "Sync" {

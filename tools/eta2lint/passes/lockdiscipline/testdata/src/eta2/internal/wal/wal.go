@@ -4,6 +4,7 @@ package wal
 
 type Log struct{}
 
-func (l *Log) Append(b []byte) (uint64, error) { return 0, nil }
-func (l *Log) Commit(lsn uint64) error         { return nil }
-func (l *Log) Sync() error                     { return nil }
+func (l *Log) Append(b []byte) (uint64, error)         { return 0, nil }
+func (l *Log) Commit(lsn uint64) error                 { return nil }
+func (l *Log) CommitReported(lsn uint64) (bool, error) { return false, nil }
+func (l *Log) Sync() error                             { return nil }

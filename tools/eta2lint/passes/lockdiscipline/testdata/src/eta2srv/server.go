@@ -24,6 +24,11 @@ type Server struct {
 
 func (s *Server) journalCommit(lsn uint64) error { return s.journal.Commit(lsn) }
 
+func (s *Server) journalCommitSpanned(lsn uint64, annot string) error {
+	_, err := s.journal.CommitReported(lsn)
+	return err
+}
+
 // AddUser takes the write lock before writing: compliant.
 func (s *Server) AddUser(name string) {
 	s.mu.Lock()
@@ -62,6 +67,23 @@ func (s *Server) CommitUnderRLock() error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.journalCommit(1) // want "journalCommit .waits on group commit. while s.mu is held"
+}
+
+// SpannedCommitUnderLock: the traced commit wrapper (PR 9) is the same
+// group-commit wait with a span attached.
+func (s *Server) SpannedCommitUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journalCommitSpanned(1, "role=leader") // want "journalCommitSpanned .waits on group commit. while s.mu is held"
+}
+
+// ReportedCommitUnderLock: the leader-reporting WAL entry point blocks
+// exactly like Commit.
+func (s *Server) ReportedCommitUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.journal.CommitReported(2) // want "WAL CommitReported .fsync wait. while s.mu is held"
+	return err
 }
 
 // syncLocked runs with the lock held by convention (name suffix).

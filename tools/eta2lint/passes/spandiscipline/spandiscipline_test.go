@@ -1,0 +1,15 @@
+package spandiscipline
+
+import (
+	"testing"
+
+	"eta2lint/internal/analysistest"
+)
+
+func TestSpanDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "eta2")
+}
+
+func TestSpanDisciplineOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "eta2/internal/other")
+}

@@ -1,0 +1,11 @@
+// Package other is outside the spandiscipline scope (only eta2 and
+// internal/{httpapi,wal,repl} own write-path spans): an unclosed span
+// here draws no diagnostic.
+package other
+
+import "eta2/internal/trace"
+
+func leakOutOfScope(t *trace.Trace) {
+	sp := t.StartSpan("encode")
+	sp.Annotate("never ended, deliberately unflagged")
+}
