@@ -9,7 +9,7 @@ import (
 // available CPU" (runtime.GOMAXPROCS), anything else is taken as given.
 func Workers(n int) int {
 	if n <= 0 {
-		return runtime.GOMAXPROCS(0)
+		return runtime.GOMAXPROCS(0) //eta2:replaypurity-ok worker count only sizes chunks; ParallelFor's contract makes results bit-identical for every worker count
 	}
 	return n
 }
@@ -44,6 +44,7 @@ func ParallelFor(n, workers int, fn func(lo, hi, worker int)) {
 		if w < rem {
 			hi++
 		}
+		//eta2:replaypurity-ok chunks never overlap and are joined before return; results are bit-identical for every worker count (see determinism contract above, verified by TestContributionsParallelMatchesSequential)
 		go func(lo, hi, w int) {
 			defer wg.Done()
 			fn(lo, hi, w)

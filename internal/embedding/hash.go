@@ -33,11 +33,11 @@ func (h *HashEmbedder) Dim() int { return h.dim }
 // "known" to a hash embedder.
 func (h *HashEmbedder) Vector(word string) (Vector, bool) {
 	hs := fnv.New64a()
-	_, _ = hs.Write([]byte(word)) // fnv never errors
-	r := rand.New(rand.NewSource(int64(hs.Sum64()) ^ h.seed))
+	_, _ = hs.Write([]byte(word))                             // fnv never errors
+	r := rand.New(rand.NewSource(int64(hs.Sum64()) ^ h.seed)) //eta2:replaypurity-ok PRNG seeded purely from the word hash and fixed seed: same word, same vector, every run
 	v := make(Vector, h.dim)
 	for i := range v {
-		v[i] = r.NormFloat64()
+		v[i] = r.NormFloat64() //eta2:replaypurity-ok deterministic stream from the hash-seeded source above
 	}
 	v.Normalize()
 	return v, true

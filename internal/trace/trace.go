@@ -75,7 +75,7 @@ func (s *Span) End() {
 	if s == nil || s.Dur != 0 {
 		return
 	}
-	d := time.Since(s.t.begin) - s.Off
+	d := time.Since(s.t.begin) - s.Off //eta2:replaypurity-ok span duration is observability data, never replayed
 	if d <= 0 {
 		d = 1 // sub-resolution section: keep "ended" distinguishable from "open"
 	}
@@ -122,7 +122,7 @@ func (t *Trace) StartSpan(name string) *Span {
 	sp := &t.spans[t.n]
 	sp.Name = name
 	sp.Annot = ""
-	sp.Off = time.Since(t.begin)
+	sp.Off = time.Since(t.begin) //eta2:replaypurity-ok span offset is observability data, never replayed
 	sp.Dur = 0
 	sp.id = t.sidBase + uint64(t.n)
 	sp.t = t

@@ -107,7 +107,7 @@ func Estimate(obs *core.ObservationTable, domainOf func(core.TaskID) core.Domain
 	if obs == nil || obs.Len() == 0 {
 		return Result{}, ErrNoObservations
 	}
-	start := time.Now()
+	start := time.Now() //eta2:replaypurity-ok estimation latency metric, not replayed state
 
 	// Dense re-index once: the O(#obs · #iterations) inner loops below then
 	// run on contiguous buckets and flat parameter slices (see dense.go).
@@ -143,7 +143,7 @@ func Estimate(obs *core.ObservationTable, domainOf func(core.TaskID) core.Domain
 		}
 	}
 
-	mEstimateBatchDur.Observe(time.Since(start).Seconds())
+	mEstimateBatchDur.Observe(time.Since(start).Seconds()) //eta2:replaypurity-ok estimation latency metric, not replayed state
 	observeRun("batch", iterations, st.idx.NumTasks(), obs.Len(), converged)
 
 	return Result{

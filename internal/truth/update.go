@@ -35,7 +35,7 @@ func UpdateStep(store *Store, obs *core.ObservationTable, domainOf func(core.Tas
 	if obs == nil || obs.Len() == 0 {
 		return UpdateResult{}, ErrNoObservations
 	}
-	start := time.Now()
+	start := time.Now() //eta2:replaypurity-ok estimation latency metric, not replayed state
 
 	// Candidate expertise starts at the store's current values (the paper
 	// initializes the iteration with the time-T expertise); the dense state
@@ -65,7 +65,7 @@ func UpdateStep(store *Store, obs *core.ObservationTable, domainOf func(core.Tas
 	}
 
 	store.Commit(contribs)
-	mEstimateIncrementalDur.Observe(time.Since(start).Seconds())
+	mEstimateIncrementalDur.Observe(time.Since(start).Seconds()) //eta2:replaypurity-ok estimation latency metric, not replayed state
 	observeRun("incremental", iterations, st.idx.NumTasks(), obs.Len(), converged)
 	return UpdateResult{
 		Mu:         st.muMap(),

@@ -349,7 +349,7 @@ func (s *Server) journalBufferedPayload(payload []byte) (uint64, error) {
 	if s.journal == nil {
 		return 0, nil
 	}
-	lsn, err := s.journal.AppendBuffered(payload)
+	lsn, err := s.journal.AppendBuffered(payload) //eta2:snapshotimmutability-ok the WAL handle is internally synchronized infrastructure, published for lock-free durability waits, not frozen snapshot data
 	if err != nil {
 		return 0, fmt.Errorf("eta2: journal append: %w", err)
 	}
@@ -382,7 +382,7 @@ func (s *Server) journalCommitSpanned(lsn uint64, sp *trace.Span) error {
 		sp.End()
 		return nil
 	}
-	leader, err := j.CommitReported(lsn)
+	leader, err := j.CommitReported(lsn) //eta2:snapshotimmutability-ok the WAL handle is internally synchronized infrastructure, published for lock-free durability waits, not frozen snapshot data
 	if sp != nil {
 		if leader {
 			sp.Annotate("role=leader")
@@ -410,6 +410,7 @@ func (s *Server) closeStepDurability() error {
 		return nil
 	}
 	if s.journalPolicy.Fsync == FsyncInterval {
+		//eta2:snapshotimmutability-ok the WAL handle is internally synchronized infrastructure, published for lock-free durability waits, not frozen snapshot data
 		if err := s.journal.Sync(); err != nil {
 			return fmt.Errorf("eta2: journal sync: %w", err)
 		}
@@ -573,6 +574,7 @@ func (s *Server) startBackgroundCompactionLocked() {
 	if s.closing.Load() || !s.compacting.CompareAndSwap(false, true) {
 		return
 	}
+	//eta2:replaypurity-ok compaction rewrites durable files only; replayed state never observes it, and replay runs with s.journal == nil so the threshold never trips
 	go s.backgroundCompact()
 }
 
@@ -667,7 +669,7 @@ func (s *Server) Close() error {
 	j := s.journal
 	s.journal = nil
 	s.publishLocked()
-	if cerr := j.Close(); err == nil {
+	if cerr := j.Close(); err == nil { //eta2:snapshotimmutability-ok closing the WAL after unpublishing it (s.journal = nil republished above); the handle is infrastructure, not frozen snapshot data
 		err = cerr
 	}
 	return err

@@ -69,7 +69,7 @@ func (s *Server) WaitCommitted(after uint64, timeout time.Duration) (uint64, err
 	if j == nil {
 		return 0, ErrNotDurable
 	}
-	return j.WaitCommitted(after, timeout), nil
+	return j.WaitCommitted(after, timeout), nil //eta2:snapshotimmutability-ok the WAL handle is internally synchronized infrastructure, published for lock-free durability waits, not frozen snapshot data
 }
 
 // TakeShippedTraces drains up to max completed write traces whose LSN is

@@ -353,7 +353,7 @@ func (s *Server) addUsersLocked(users []User) (uint64, error) {
 	// Copy-on-write: the published snapshot shares the current map, so the
 	// batch lands in a fresh copy and readers keep a frozen view.
 	next := make(map[UserID]User, len(s.users)+len(users)) //eta2:allocdiscipline-ok copy-on-write mutation batch, not per-observation ingest
-	for id, u := range s.users {
+	for id, u := range s.users {                           //eta2:nondeterministic-ok independent per-key copy into the COW map; order cannot affect the result
 		next[id] = u
 	}
 	for _, u := range users {
@@ -547,7 +547,7 @@ func (s *Server) createTasksLocked(specs []TaskSpec) ([]TaskID, uint64, error) {
 	// published map), so the whole batch — hints and clustering
 	// assignments alike — lands in a fresh copy swapped in at the end.
 	domainOf := make(map[TaskID]DomainID, len(s.domainOf)+len(specs)) //eta2:allocdiscipline-ok copy-on-write mutation batch, not per-observation ingest
-	for k, v := range s.domainOf {
+	for k, v := range s.domainOf {                                    //eta2:nondeterministic-ok independent per-key copy into the COW map; order cannot affect the result
 		domainOf[k] = v
 	}
 	ids := make([]TaskID, 0, len(specs))
@@ -1006,7 +1006,7 @@ func (s *Server) closeTimeStepTraced(t *trace.Trace) (StepReport, error) {
 	// Copy-on-write: readers hold the published truths map, so the step's
 	// estimates land in a fresh copy swapped in with the cloned store.
 	truths := make(map[TaskID]TruthEstimate, len(s.truths)+len(mu)) //eta2:allocdiscipline-ok copy-on-write per closed time step, not per-observation ingest
-	for k, v := range s.truths {
+	for k, v := range s.truths {                                    //eta2:nondeterministic-ok independent per-key copy into the COW map; order cannot affect the result
 		truths[k] = v
 	}
 	for _, tid := range table.Tasks() {

@@ -93,7 +93,7 @@ func (s *Server) publishLocked() {
 		primaryAddr:    s.primaryAddr,
 	})
 	mSnapshotPublishes.Inc()
-	mSnapshotPublishTS.Set(float64(time.Now().UnixNano()) / 1e9)
+	mSnapshotPublishTS.Set(float64(time.Now().UnixNano()) / 1e9) //eta2:replaypurity-ok freshness gauge, not replayed state
 	s.publishMetricsLocked()
 }
 

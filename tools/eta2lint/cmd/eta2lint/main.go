@@ -12,6 +12,8 @@ import (
 	"eta2lint/passes/lockdiscipline"
 	"eta2lint/passes/maprange"
 	"eta2lint/passes/metrichygiene"
+	"eta2lint/passes/replaypurity"
+	"eta2lint/passes/snapshotimmutability"
 	"eta2lint/passes/spandiscipline"
 )
 
@@ -24,5 +26,7 @@ func main() {
 		metrichygiene.Analyzer,
 		allocdiscipline.Analyzer,
 		spandiscipline.Analyzer,
+		replaypurity.Analyzer,
+		snapshotimmutability.Analyzer,
 	))
 }

@@ -46,7 +46,31 @@ type Pass struct {
 	// Report receives diagnostics that survived directive suppression.
 	Report func(Diagnostic)
 
+	// facts is the inter-procedural side channel (nil when the driver
+	// runs without facts support); see facts.go.
+	facts Facts
+
 	directives map[*ast.File]map[int][]string // line -> directive names
+}
+
+// ReadFact returns the blob this analyzer exported for a dependency
+// package, or nil when the package is outside the analysis universe
+// (standard library, facts-less driver). Analyzers use a nil return to
+// tell "no summaries available" apart from "summaries say nothing".
+func (p *Pass) ReadFact(pkgPath string) []byte {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.Read(p.Analyzer.Name, pkgPath)
+}
+
+// ExportFact publishes the current package's blob for this analyzer so
+// downstream packages can ReadFact it. No-op on facts-less drivers.
+func (p *Pass) ExportFact(data []byte) {
+	if p.facts == nil {
+		return
+	}
+	p.facts.Export(p.Analyzer.Name, data)
 }
 
 // Reportf reports a diagnostic at pos unless an //eta2: directive on the
@@ -138,9 +162,18 @@ func (p *Pass) fileDirectives(f *ast.File) map[int][]string {
 }
 
 // RunAnalyzers executes each analyzer over the package and returns the
-// surviving diagnostics sorted by position.
+// surviving diagnostics sorted by position. Facts-less: analyzers see
+// nil ReadFact results and exports vanish.
 func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 	pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	return RunAnalyzersFacts(analyzers, fset, files, pkg, info, nil)
+}
+
+// RunAnalyzersFacts is RunAnalyzers with an inter-procedural facts
+// channel: each analyzer reads the blobs it exported for the package's
+// dependencies and exports one for this package.
+func RunAnalyzersFacts(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info, facts Facts) ([]Diagnostic, error) {
 
 	var out []Diagnostic
 	for _, a := range analyzers {
@@ -151,6 +184,7 @@ func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 			Pkg:       pkg,
 			TypesInfo: info,
 			Report:    func(d Diagnostic) { out = append(out, d) },
+			facts:     facts,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)

@@ -11,13 +11,26 @@ import "strings"
 // "nondeterministic-ok" for maprange) or "<analyzer>-ok" for any
 // analyzer. A justification after the name is encouraged and ignored by
 // the tooling.
+//
+// Whitespace is tolerated everywhere a human plausibly writes it:
+// "// eta2:<name>" (gofmt-style spaced comment), "//  eta2: <name>",
+// and tab indentation all parse to the same directive. Historically the
+// spaced forms were silently ignored, which turned an intended
+// suppression into a phantom finding — or worse, let an author believe
+// a site was audited when the analyzer never saw the annotation.
 
 // ParseDirective extracts the directive name from a comment's raw text.
 func ParseDirective(text string) (string, bool) {
-	rest, ok := strings.CutPrefix(text, "//eta2:")
+	rest, ok := strings.CutPrefix(text, "//")
 	if !ok {
 		return "", false
 	}
+	rest = strings.TrimLeft(rest, " \t")
+	rest, ok = strings.CutPrefix(rest, "eta2:")
+	if !ok {
+		return "", false
+	}
+	rest = strings.TrimLeft(rest, " \t")
 	name, _, _ := strings.Cut(rest, " ")
 	name = strings.TrimSpace(name)
 	if name == "" {

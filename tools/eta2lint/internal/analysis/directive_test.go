@@ -11,10 +11,25 @@ func TestParseDirective(t *testing.T) {
 		{"//eta2:nondeterministic-ok order cannot matter", "nondeterministic-ok", true},
 		{"//eta2:floatcmp-ok", "floatcmp-ok", true},
 		{"//eta2:lockdiscipline-ok   padded justification  ", "lockdiscipline-ok", true},
-		{"// eta2:floatcmp-ok space breaks the directive", "", false},
+
+		// Spaced / indented forms used to be silently ignored suppressions.
+		{"// eta2:floatcmp-ok gofmt-style spaced comment", "floatcmp-ok", true},
+		{"//  eta2:maprange-ok extra padding", "maprange-ok", true},
+		{"//\teta2:maprange-ok tab indent", "maprange-ok", true},
+		{"// eta2: floatcmp-ok space after the colon", "floatcmp-ok", true},
+		{"//eta2:  replaypurity-ok double space after colon", "replaypurity-ok", true},
+		{"// \t eta2: \t journalfirst-ok mixed whitespace", "journalfirst-ok", true},
+
+		// Non-directives must stay non-directives.
 		{"//eta2:", "", false},
+		{"// eta2:", "", false},
+		{"//eta2:   ", "", false},
 		{"// plain comment", "", false},
 		{"//go:build linux", "", false},
+		{"// the //eta2:maprange-ok directive is documented here", "", false},
+		{"//	//eta2:maprange-ok doc-comment example", "", false},
+		{"/* eta2:floatcmp-ok block comments are not directives */", "", false},
+		{"// eta3:floatcmp-ok wrong prefix", "", false},
 	}
 	for _, c := range cases {
 		name, ok := ParseDirective(c.text)

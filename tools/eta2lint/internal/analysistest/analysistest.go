@@ -34,27 +34,48 @@ import (
 // mismatches between diagnostics and // want expectations on t.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, path string) {
 	t.Helper()
+	RunDeps(t, testdata, a, path)
+}
+
+// RunDeps analyzes several testdata packages in order with one shared
+// facts store and checks // want expectations across all of them. The
+// earlier paths are dependencies of the later ones, analyzed first so
+// their exported facts (inter-procedural summaries) are visible — the
+// same dependencies-first scheduling cmd/go gives vet tools. Wants in
+// dependency files are checked too, so a test can assert that a
+// violation is reported only in the package that reaches it.
+func RunDeps(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
 	abs, err := filepath.Abs(testdata)
 	if err != nil {
 		t.Fatal(err)
 	}
 	imp := newImporter(filepath.Join(abs, "src"))
-	_, unit, err := imp.load(path)
-	if err != nil {
-		t.Fatalf("loading %s: %v", path, err)
+	facts := analysis.NewMemFacts()
+
+	var fset *token.FileSet
+	var allFiles []*ast.File
+	var diags []analysis.Diagnostic
+	for _, path := range paths {
+		_, unit, err := imp.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		ds, err := analysis.RunAnalyzersFacts([]*analysis.Analyzer{a},
+			unit.fset, unit.files, unit.pkg, unit.info, facts.For(path))
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		fset = unit.fset
+		allFiles = append(allFiles, unit.files...)
+		diags = append(diags, ds...)
 	}
 
-	diags, err := analysis.RunAnalyzers([]*analysis.Analyzer{a},
-		unit.fset, unit.files, unit.pkg, unit.info)
-	if err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
-	}
-
-	wants := collectWants(t, unit.fset, unit.files)
+	wants := collectWants(t, fset, allFiles)
 	matched := make([]bool, len(wants))
 
 	for _, d := range diags {
-		pos := unit.fset.Position(d.Pos)
+		pos := fset.Position(d.Pos)
 		ok := false
 		for i, w := range wants {
 			if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {

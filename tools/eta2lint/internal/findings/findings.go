@@ -1,0 +1,169 @@
+// Package findings is the machine-readable side of eta2lint: a stable
+// JSON schema for diagnostics (`eta2lint -json`), an order-independent
+// baseline matcher so pre-existing accepted findings don't fail the
+// build while new violations do, and GitHub Actions workflow-command
+// formatting so CI surfaces findings as inline annotations.
+package findings
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic in the -json output and the baseline file.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	// File is the diagnostic's file path as reported by the loader
+	// (module-relative in CI, where the driver runs at the module root).
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col,omitempty"`
+	Message string `json:"message"`
+}
+
+// Report is the top-level -json document. Findings are sorted so the
+// bytes are deterministic for identical runs.
+type Report struct {
+	Findings []Finding `json:"findings"`
+}
+
+// Sort orders findings by (file, line, col, analyzer, message) — the
+// canonical encode order.
+func Sort(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Encode writes the canonical JSON document for fs: sorted, one finding
+// per line, trailing newline. A nil or empty slice encodes an empty
+// (non-null) findings array so consumers can range without nil checks.
+func Encode(w io.Writer, fs []Finding) error {
+	sorted := make([]Finding, len(fs))
+	copy(sorted, fs)
+	Sort(sorted)
+	var b strings.Builder
+	b.WriteString("{\"findings\":[")
+	for i, f := range sorted {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n  ")
+		line, err := json.Marshal(f)
+		if err != nil {
+			return fmt.Errorf("findings: encode: %w", err)
+		}
+		b.Write(line)
+	}
+	if len(sorted) > 0 {
+		b.WriteString("\n")
+	}
+	b.WriteString("]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Decode parses a -json document (and therefore a baseline file).
+func Decode(r io.Reader) ([]Finding, error) {
+	var rep Report
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("findings: decode: %w", err)
+	}
+	for i, f := range rep.Findings {
+		if f.Analyzer == "" || f.File == "" {
+			return nil, fmt.Errorf("findings: entry %d missing analyzer or file", i)
+		}
+	}
+	return rep.Findings, nil
+}
+
+// key identifies a finding for baseline matching. Line and column are
+// deliberately excluded: a baseline must survive unrelated edits that
+// shift code up or down, so a finding is "the same" when the analyzer,
+// file, and message agree. Multiset semantics handle several identical
+// messages in one file.
+func key(f Finding) string {
+	return f.Analyzer + "\x00" + f.File + "\x00" + f.Message
+}
+
+// Baseline is a committed set of accepted findings.
+type Baseline struct {
+	counts map[string]int
+}
+
+// NewBaseline builds a baseline from its findings. Order is irrelevant.
+func NewBaseline(fs []Finding) *Baseline {
+	b := &Baseline{counts: make(map[string]int, len(fs))}
+	for _, f := range fs {
+		b.counts[key(f)]++
+	}
+	return b
+}
+
+// Filter splits current findings into new ones (not covered by the
+// baseline — these fail the build) and returns the number of stale
+// baseline entries (accepted findings that no longer occur — a nudge to
+// re-run the baseline update so the file doesn't rot). Matching is a
+// multiset subtraction, so it is independent of the order of both the
+// baseline file and the current run.
+func (b *Baseline) Filter(fs []Finding) (fresh []Finding, stale int) {
+	remaining := make(map[string]int, len(b.counts))
+	for k, n := range b.counts {
+		remaining[k] = n
+	}
+	for _, f := range fs {
+		k := key(f)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, n := range remaining {
+		stale += n
+	}
+	return fresh, stale
+}
+
+// GitHubAnnotation renders a finding as a GitHub Actions workflow
+// command — printed to stdout inside an Actions run, it becomes an
+// inline ::error annotation on the file/line in the PR diff. Newlines
+// and the characters the workflow-command grammar reserves are escaped
+// per the Actions spec.
+func GitHubAnnotation(f Finding) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=eta2lint(%s)::%s",
+		escapeProperty(f.File), f.Line, f.Col, escapeProperty(f.Analyzer), escapeData(f.Message))
+}
+
+// escapeData escapes the message portion of a workflow command.
+func escapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// escapeProperty escapes a property value of a workflow command.
+func escapeProperty(s string) string {
+	s = escapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
+}

@@ -1,0 +1,130 @@
+package findings
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sample() []Finding {
+	return []Finding{
+		{Analyzer: "replaypurity", File: "journal.go", Line: 12, Col: 3, Message: "calls time.Now"},
+		{Analyzer: "replaypurity", File: "journal.go", Line: 40, Col: 9, Message: "range over map"},
+		{Analyzer: "snapshotimmutability", File: "state.go", Line: 7, Col: 1, Message: "write after publish"},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	Sort(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestEncodeDeterministicAcrossOrder(t *testing.T) {
+	fs := sample()
+	var a, b bytes.Buffer
+	if err := Encode(&a, fs); err != nil {
+		t.Fatal(err)
+	}
+	rev := []Finding{fs[2], fs[0], fs[1]}
+	if err := Encode(&b, rev); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("encoding depends on input order:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestEncodeEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "[]") {
+		t.Fatalf("empty findings must encode as [], got %s", buf.String())
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("want no findings, got %+v", got)
+	}
+}
+
+func TestDecodeRejectsMissingFields(t *testing.T) {
+	_, err := Decode(strings.NewReader(`{"findings":[{"file":"x.go","line":1,"message":"m"}]}`))
+	if err == nil {
+		t.Fatal("want error for finding without analyzer")
+	}
+	_, err = Decode(strings.NewReader(`{"findings":`))
+	if err == nil {
+		t.Fatal("want error for truncated document")
+	}
+}
+
+func TestBaselineFilterOrderIndependent(t *testing.T) {
+	base := NewBaseline(sample())
+
+	// Same findings, shifted lines, shuffled order: all covered.
+	cur := []Finding{
+		{Analyzer: "snapshotimmutability", File: "state.go", Line: 99, Message: "write after publish"},
+		{Analyzer: "replaypurity", File: "journal.go", Line: 1, Message: "range over map"},
+		{Analyzer: "replaypurity", File: "journal.go", Line: 2, Message: "calls time.Now"},
+	}
+	fresh, stale := base.Filter(cur)
+	if len(fresh) != 0 || stale != 0 {
+		t.Fatalf("want all covered, got fresh=%+v stale=%d", fresh, stale)
+	}
+}
+
+func TestBaselineFilterNewAndStale(t *testing.T) {
+	base := NewBaseline(sample())
+	cur := []Finding{
+		{Analyzer: "replaypurity", File: "journal.go", Line: 12, Message: "calls time.Now"},
+		{Analyzer: "replaypurity", File: "server.go", Line: 5, Message: "spawns goroutine"}, // new
+	}
+	fresh, stale := base.Filter(cur)
+	if len(fresh) != 1 || fresh[0].File != "server.go" {
+		t.Fatalf("want exactly the new finding, got %+v", fresh)
+	}
+	if stale != 2 {
+		t.Fatalf("want 2 stale baseline entries, got %d", stale)
+	}
+}
+
+func TestBaselineMultiset(t *testing.T) {
+	// Two identical findings in the baseline cover exactly two, not three.
+	dup := Finding{Analyzer: "a", File: "f.go", Message: "m"}
+	base := NewBaseline([]Finding{dup, dup})
+	fresh, _ := base.Filter([]Finding{dup, dup, dup})
+	if len(fresh) != 1 {
+		t.Fatalf("multiset semantics: want 1 uncovered duplicate, got %d", len(fresh))
+	}
+}
+
+func TestGitHubAnnotationEscaping(t *testing.T) {
+	f := Finding{
+		Analyzer: "replaypurity",
+		File:     "a,b.go",
+		Line:     3,
+		Col:      7,
+		Message:  "50% of runs\ndiverge: order",
+	}
+	got := GitHubAnnotation(f)
+	want := "::error file=a%2Cb.go,line=3,col=7,title=eta2lint(replaypurity)::50%25 of runs%0Adiverge: order"
+	if got != want {
+		t.Fatalf("annotation:\n got %q\nwant %q", got, want)
+	}
+}

@@ -1,0 +1,65 @@
+package findings
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzFindingsRoundTrip feeds arbitrary bytes through Decode and, for
+// every document that parses, checks the codec invariants the baseline
+// workflow depends on:
+//
+//  1. Encode(Decode(x)) is accepted by Decode again and is a fixed
+//     point: re-encoding the re-decoded findings yields identical bytes
+//     (canonical form is stable).
+//  2. Baseline matching is order-independent and a baseline built from
+//     a run matches that run exactly — zero fresh, zero stale.
+func FuzzFindingsRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"findings":[]}`))
+	f.Add([]byte(`{"findings":[{"analyzer":"replaypurity","file":"journal.go","line":385,"col":17,"message":"replay determinism: call to time.Now"}]}`))
+	f.Add([]byte(`{"findings":[` +
+		`{"analyzer":"snapshotimmutability","file":"a.go","line":1,"message":"dup"},` +
+		`{"analyzer":"snapshotimmutability","file":"a.go","line":9,"message":"dup"},` +
+		`{"analyzer":"maprange","file":"b,c.go","line":2,"col":3,"message":"50% of runs\ndiverge: order"}]}`))
+	f.Add([]byte(`{"findings":null}`))
+	f.Add([]byte(`{"findings":[{"analyzer":"","file":""}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // invalid documents just need to be rejected cleanly
+		}
+
+		var enc bytes.Buffer
+		if err := Encode(&enc, fs); err != nil {
+			t.Fatalf("Encode(decoded) failed: %v", err)
+		}
+		first := enc.String()
+		fs2, err := Decode(strings.NewReader(first))
+		if err != nil {
+			t.Fatalf("Decode(Encode(decoded)) failed: %v\ndocument:\n%s", err, first)
+		}
+		if len(fs2) != len(fs) {
+			t.Fatalf("round trip changed finding count: %d -> %d", len(fs), len(fs2))
+		}
+		var enc2 bytes.Buffer
+		if err := Encode(&enc2, fs2); err != nil {
+			t.Fatalf("re-Encode failed: %v", err)
+		}
+		if second := enc2.String(); second != first {
+			t.Fatalf("canonical form is not a fixed point:\nfirst:\n%s\nsecond:\n%s", first, second)
+		}
+
+		// A baseline built from the run covers it exactly, regardless of
+		// the order either side is presented in.
+		reversed := make([]Finding, len(fs))
+		for i, f := range fs {
+			reversed[len(fs)-1-i] = f
+		}
+		fresh, stale := NewBaseline(reversed).Filter(fs)
+		if len(fresh) != 0 || stale != 0 {
+			t.Fatalf("self-baseline mismatch: fresh=%d stale=%d", len(fresh), stale)
+		}
+	})
+}

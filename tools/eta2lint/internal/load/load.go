@@ -31,6 +31,10 @@ type Unit struct {
 	Pkg   *types.Package
 	Info  *types.Info
 	Dir   string
+	// Imports lists the package's direct imports (canonical paths), so
+	// the standalone driver can order units dependencies-first and flow
+	// analysis facts the same direction the vet protocol does.
+	Imports []string
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -40,6 +44,7 @@ type listedPackage struct {
 	Name       string
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	Export     string
 	DepOnly    bool
 	Error      *struct{ Err string }
@@ -92,6 +97,7 @@ func Packages(dir string, patterns []string) ([]*Unit, error) {
 		if err != nil {
 			return nil, err
 		}
+		u.Imports = p.Imports
 		units = append(units, u)
 	}
 	return units, nil

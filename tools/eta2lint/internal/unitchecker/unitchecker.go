@@ -2,14 +2,22 @@
 // golang.org/x/tools: cmd/go hands the tool a JSON config file describing
 // one compilation unit (source files plus the export data of every
 // dependency, already built by the go command), the tool type-checks the
-// unit, runs its analyzers, writes the (empty) facts file cmd/go expects,
-// and reports diagnostics on stderr with a non-zero exit.
+// unit, runs its analyzers, writes the facts file cmd/go expects, and
+// reports diagnostics on stderr with a non-zero exit.
 //
 // The protocol, as documented in x/tools' unitchecker:
 //
 //	tool -V=full         describe the executable for the build cache
 //	tool -flags          describe the tool's flags in JSON
 //	tool foo.cfg         analyze the unit described by foo.cfg
+//
+// Facts: dependency units are analyzed first (cmd/go schedules them with
+// VetxOnly=true and caches their facts files), and the facts they export
+// arrive here through PackageVetx — so an inter-procedural analyzer sees
+// the effect summaries of everything the unit imports, exactly the way
+// x/tools facts compose across compilation units. VetxOnly units run the
+// full analysis with diagnostics suppressed: their job is producing
+// facts, not findings.
 package unitchecker
 
 import (
@@ -56,30 +64,21 @@ func Run(cfgPath string, analyzers []*analysis.Analyzer) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	// This suite exports no facts, so dependency units need no analysis —
-	// only the facts file cmd/go caches.
-	if cfg.VetxOnly {
-		if err := writeVetx(cfg); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		return 0
-	}
 
-	diags, fset, err := analyze(cfg, analyzers)
+	diags, facts, fset, err := analyze(cfg, analyzers)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			_ = writeVetx(cfg)
+			_ = writeVetx(cfg, nil)
 			return 0
 		}
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	if err := writeVetx(cfg); err != nil {
+	if err := writeVetx(cfg, facts.exported); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	if len(diags) == 0 {
+	if cfg.VetxOnly || len(diags) == 0 {
 		return 0
 	}
 	for _, d := range diags {
@@ -103,8 +102,9 @@ func readConfig(path string) (*Config, error) {
 	return cfg, nil
 }
 
-// analyze parses and type-checks the unit, then runs the analyzers.
-func analyze(cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, error) {
+// analyze parses and type-checks the unit, then runs the analyzers with
+// dependency facts wired in.
+func analyze(cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *vetxFacts, *token.FileSet, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
@@ -113,7 +113,7 @@ func analyze(cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic
 		}
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			return nil, nil, fmt.Errorf("eta2lint: %w", err)
+			return nil, nil, nil, fmt.Errorf("eta2lint: %w", err)
 		}
 		files = append(files, f)
 	}
@@ -123,13 +123,74 @@ func analyze(cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic
 	conf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
 	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		return nil, nil, fmt.Errorf("eta2lint: typecheck %s: %w", cfg.ImportPath, err)
+		return nil, nil, nil, fmt.Errorf("eta2lint: typecheck %s: %w", cfg.ImportPath, err)
 	}
-	diags, err := analysis.RunAnalyzers(analyzers, fset, files, pkg, info)
+	facts := newVetxFacts(cfg)
+	diags, err := analysis.RunAnalyzersFacts(analyzers, fset, files, pkg, info, facts)
 	if err != nil {
-		return nil, nil, fmt.Errorf("eta2lint: %w", err)
+		return nil, nil, nil, fmt.Errorf("eta2lint: %w", err)
 	}
-	return diags, fset, nil
+	return diags, facts, fset, nil
+}
+
+// vetxFacts implements analysis.Facts over the unit's PackageVetx table:
+// reads lazily open dependency facts files, exports collect in memory
+// until Run writes the unit's own vetx file.
+type vetxFacts struct {
+	files    map[string]string            // import path -> vetx file
+	loaded   map[string]map[string][]byte // import path -> decoded facts
+	exported map[string][]byte            // analyzer -> blob
+}
+
+func newVetxFacts(cfg *Config) *vetxFacts {
+	files := make(map[string]string, len(cfg.PackageVetx))
+	for path, file := range cfg.PackageVetx {
+		files[path] = file
+	}
+	// ImportMap translates source-level import paths to the canonical
+	// package paths PackageVetx is keyed by — the same remapping the
+	// export-data importer applies (see newUnitImporter).
+	for src, canonical := range cfg.ImportMap {
+		if src == canonical {
+			continue
+		}
+		if file, ok := cfg.PackageVetx[canonical]; ok {
+			files[src] = file
+		}
+	}
+	return &vetxFacts{
+		files:    files,
+		loaded:   make(map[string]map[string][]byte),
+		exported: make(map[string][]byte),
+	}
+}
+
+func (v *vetxFacts) Read(analyzer, pkgPath string) []byte {
+	byAnalyzer, ok := v.loaded[pkgPath]
+	if !ok {
+		file, listed := v.files[pkgPath]
+		if !listed {
+			// Outside the analysis universe (typically the standard
+			// library): no facts, by design.
+			v.loaded[pkgPath] = nil
+			return nil
+		}
+		decoded, err := analysis.DecodeVetx(file)
+		if err != nil {
+			// A garbled dependency facts file degrades to "no facts"
+			// rather than failing the whole unit: the dependency itself
+			// was already analyzed (and its own diagnostics reported)
+			// when its unit ran.
+			decoded = nil
+		}
+		byAnalyzer = decoded
+		v.loaded[pkgPath] = byAnalyzer
+	}
+	return byAnalyzer[analyzer]
+}
+
+func (v *vetxFacts) Export(analyzer string, data []byte) {
+	v.exported[analyzer] = data
 }
 
 // newUnitImporter reads dependency export data from the files cmd/go
@@ -154,14 +215,14 @@ func newUnitImporter(fset *token.FileSet, cfg *Config) types.Importer {
 	return imp
 }
 
-// writeVetx writes the facts file cmd/go caches for dependent units.
-// This suite exports no facts, so the file is empty — but it must exist.
-func writeVetx(cfg *Config) error {
+// writeVetx writes the facts file cmd/go caches for dependent units. It
+// must exist even when no analyzer exported anything.
+func writeVetx(cfg *Config, byAnalyzer map[string][]byte) error {
 	if cfg.VetxOutput == "" {
 		return nil
 	}
-	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-		return fmt.Errorf("eta2lint: write facts: %w", err)
+	if err := analysis.EncodeVetx(cfg.VetxOutput, byAnalyzer); err != nil {
+		return fmt.Errorf("eta2lint: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,25 @@
+package replaypurity
+
+import (
+	"testing"
+
+	"eta2lint/internal/analysistest"
+)
+
+func TestSinglePackage(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "replay/single")
+}
+
+// TestCrossPackage analyzes the dependency first (producing its effect
+// summary fact) and then the root package, mirroring how cmd/go
+// schedules vet units; the dependency's violations surface only at the
+// root package's call edges.
+func TestCrossPackage(t *testing.T) {
+	analysistest.RunDeps(t, "testdata", Analyzer, "replay/dep", "replay/cross")
+}
+
+// TestDepAloneIsClean: a package with impure helpers but no replay
+// roots reports nothing.
+func TestDepAloneIsClean(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "replay/dep")
+}

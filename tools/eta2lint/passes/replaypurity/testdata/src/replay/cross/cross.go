@@ -1,0 +1,15 @@
+// Package cross proves summaries propagate across package boundaries:
+// the violations live in replay/dep, which is clean in isolation; they
+// surface only here, where a replay root reaches them, anchored at the
+// local call edge with the path in the message.
+package cross
+
+import "replay/dep"
+
+// applyEvent is a replay root by name.
+func applyEvent(t dep.Ticker) {
+	_ = dep.Pure(1)
+	_ = dep.Mid() // want `call into replay/dep\.Mid reaches call to time\.Now .*path replay/cross\.applyEvent -> replay/dep\.Mid -> replay/dep\.Stamp`
+	_ = t.Tick()  // want `call into \(replay/dep\.Wall\)\.Tick reaches call to time\.Now`
+	_ = dep.Pure(2)
+}

@@ -1,0 +1,26 @@
+// Package dep holds impure helpers behind package boundaries. It has no
+// replay roots, so analyzing it alone produces no findings — its effect
+// summaries ride analysis facts into dependent packages.
+package dep
+
+import "time"
+
+// Stamp reads the wall clock. Legal outside the replay path.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Pure is safe from anywhere.
+func Pure(x int) int { return x + 1 }
+
+// Mid adds a hop so the reported path has length three.
+func Mid() int64 { return Stamp() }
+
+// Ticker dispatches dynamically across packages.
+type Ticker interface{ Tick() int64 }
+
+type Wall struct{}
+
+func (Wall) Tick() int64 { return time.Now().UnixNano() }
+
+type Fixed struct{}
+
+func (Fixed) Tick() int64 { return 0 }

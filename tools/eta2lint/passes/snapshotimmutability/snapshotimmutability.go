@@ -1,0 +1,458 @@
+// Package snapshotimmutability proves at compile time that published
+// snapshots are never mutated. The server's lock-free read path (PR 2)
+// works because publishLocked atomically publishes an immutable
+// serverState; every write after publication must go through
+// copy-on-write — build a fresh container, then swap the field
+// wholesale. A single `s.users[id] = u` on the live map is a data race
+// against every in-flight reader and silently corrupts snapshots that
+// were supposed to be frozen.
+//
+// The analyzer derives the snapshot shape from publishLocked itself: the
+// composite literal it publishes names the snapshot type, and every
+// `field: s.field` element marks an owner field whose referenced
+// container is shared with published snapshots ("publish roots"). It
+// then flags, in every function of the package:
+//
+//   - writes through a publish root or a value aliasing one (map/slice
+//     element stores, field stores through pointers, delete/copy);
+//   - calls that pass a snapshot-reachable value to a function that
+//     writes through that parameter — including functions in other
+//     packages, via the write-through-parameter facts of the callgraph
+//     engine, and interface methods via its binds.
+//
+// Aliasing is tracked through reference-typed assignments; value copies
+// and calls to clone/constructor-shaped functions (new*, make*, clone*,
+// copy*, decode*, restore*) break the taint, which is exactly the legal
+// copy-on-write idiom. Clone/constructor-shaped functions are themselves
+// exempt from write checks: their whole job is building the next
+// snapshot. Audited escape hatch:
+//
+//	//eta2:snapshotimmutability-ok <why this write cannot reach a published snapshot>
+package snapshotimmutability
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"eta2lint/internal/analysis"
+	"eta2lint/internal/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotimmutability",
+	Doc:  "forbid writes to values reachable from the published snapshot outside clone/constructor functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	g, err := callgraph.Analyze(pass)
+	if err != nil {
+		return err
+	}
+	owner, snap, roots := derivePublish(pass, g)
+	if snap == nil {
+		return nil // no publishLocked here; this package only contributes facts
+	}
+	for _, decl := range g.LocalDecls {
+		if isCloneName(decl.Name.Name) || pass.FuncSuppressed(decl) {
+			continue
+		}
+		c := &checker{
+			pass:    pass,
+			g:       g,
+			owner:   owner,
+			snap:    snap,
+			roots:   roots,
+			tainted: make(map[*types.Var]bool),
+		}
+		c.check(decl)
+	}
+	return nil
+}
+
+// derivePublish locates publishLocked and reads the snapshot contract
+// out of it: the published composite literal's type, and the owner
+// fields whose containers it shares.
+func derivePublish(pass *analysis.Pass, g *callgraph.Graph) (owner, snap *types.Named, roots map[string]bool) {
+	var decl *ast.FuncDecl
+	for _, d := range g.LocalDecls {
+		if d.Name.Name == "publishLocked" && d.Recv != nil {
+			decl = d
+			break
+		}
+	}
+	if decl == nil {
+		return nil, nil, nil
+	}
+	obj, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return nil, nil, nil
+	}
+	sig := obj.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return nil, nil, nil
+	}
+	owner = namedOf(recv.Type())
+	if owner == nil {
+		return nil, nil, nil
+	}
+
+	roots = make(map[string]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if snap != nil {
+			return false
+		}
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		named := namedOf(pass.TypesInfo.TypeOf(cl))
+		if named == nil {
+			return true
+		}
+		if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+			return true
+		}
+		snap = named
+		for _, elt := range cl.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			sel, ok := ast.Unparen(kv.Value).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				// Only reference-typed fields share memory with the
+				// snapshot; scalars are copied at publish time.
+				if pass.TypesInfo.Uses[id] == recv && refLikeType(pass.TypesInfo.TypeOf(kv.Value)) {
+					roots[sel.Sel.Name] = true
+				}
+			}
+		}
+		return false
+	})
+	if snap == nil {
+		return nil, nil, nil
+	}
+	return owner, snap, roots
+}
+
+// checker runs the per-function taint + write analysis.
+type checker struct {
+	pass    *analysis.Pass
+	g       *callgraph.Graph
+	owner   *types.Named
+	snap    *types.Named
+	roots   map[string]bool
+	tainted map[*types.Var]bool
+}
+
+func (c *checker) check(decl *ast.FuncDecl) {
+	obj, ok := c.pass.TypesInfo.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	// Snapshot-typed parameters arrive from outside the function: assume
+	// published. (The owner receiver is not itself tainted — only its
+	// publish-root fields are.)
+	if recv := sig.Recv(); recv != nil && c.isSnapType(recv.Type()) {
+		c.tainted[recv] = true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if p := sig.Params().At(i); c.isSnapType(p.Type()) {
+			c.tainted[p] = true
+		}
+	}
+
+	// Taint propagation to a fixpoint (taint only grows, so this
+	// terminates; loops in the body may need a few rounds).
+	for {
+		before := len(c.tainted)
+		c.propagate(decl.Body)
+		if len(c.tainted) == before {
+			break
+		}
+	}
+	c.findWrites(decl.Body)
+}
+
+// propagate marks local variables that alias snapshot-reachable memory.
+func (c *checker) propagate(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+				// Tuple assignment from a call: taint snapshot-typed
+				// results unless the callee is clone-shaped.
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+					callee := callgraph.Callee(c.pass.TypesInfo, call)
+					if callee != nil && isCloneName(callee.Name()) {
+						return true
+					}
+					for _, lhs := range n.Lhs {
+						if v := c.varOf(lhs); v != nil && c.isSnapType(v.Type()) {
+							c.tainted[v] = true
+						}
+					}
+				}
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				v := c.varOf(lhs)
+				if v == nil || c.tainted[v] {
+					continue
+				}
+				if c.refLike(v.Type()) && c.taintedExpr(n.Rhs[i]) {
+					c.tainted[v] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if !c.taintedExpr(n.X) {
+				return true
+			}
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if v := c.varOf(e); v != nil && c.refLike(v.Type()) {
+					c.tainted[v] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i >= len(n.Values) {
+					break
+				}
+				v, _ := c.pass.TypesInfo.Defs[name].(*types.Var)
+				if v != nil && !c.tainted[v] && c.refLike(v.Type()) && c.taintedExpr(n.Values[i]) {
+					c.tainted[v] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// findWrites reports stores and mutating calls that reach published
+// snapshot memory.
+func (c *checker) findWrites(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				c.checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			c.checkWrite(n.X)
+		case *ast.CallExpr:
+			c.checkCall(n)
+		}
+		return true
+	})
+}
+
+// checkWrite flags a store whose target dereferences (map/slice element,
+// field through pointer, explicit *) a snapshot-reachable base.
+// Replacing a publish-root field wholesale (`s.users = next`) is the
+// legal copy-on-write publication and is not a dereference of the
+// shared container, so it passes.
+func (c *checker) checkWrite(lhs ast.Expr) {
+	expr := lhs
+	derefs := 0
+	for {
+		if derefs > 0 && c.taintedExpr(expr) {
+			c.pass.Reportf(lhs.Pos(),
+				"snapshot immutability: write to %s mutates memory reachable from the published snapshot; clone before mutating (copy-on-write), then republish",
+				types.ExprString(lhs))
+			return
+		}
+		switch x := expr.(type) {
+		case *ast.ParenExpr:
+			expr = x.X
+		case *ast.StarExpr:
+			derefs++
+			expr = x.X
+		case *ast.IndexExpr:
+			switch c.typeOf(x.X).(type) {
+			case *types.Map, *types.Slice, *types.Pointer:
+				derefs++
+			}
+			expr = x.X
+		case *ast.SelectorExpr:
+			if _, ok := c.typeOf(x.X).(*types.Pointer); ok {
+				derefs++
+			}
+			expr = x.X
+		default:
+			return
+		}
+	}
+}
+
+// checkCall flags builtin mutations of tainted containers and calls
+// passing tainted values into parameters the callee writes through.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			if (id.Name == "delete" || id.Name == "copy") && len(call.Args) > 0 && c.taintedExpr(call.Args[0]) {
+				c.pass.Reportf(call.Pos(),
+					"snapshot immutability: %s mutates %s, which is reachable from the published snapshot; clone before mutating",
+					id.Name, types.ExprString(call.Args[0]))
+			}
+			return
+		}
+	}
+	callee := callgraph.Callee(c.pass.TypesInfo, call)
+	if callee == nil || isCloneName(callee.Name()) {
+		return
+	}
+	args := callgraph.CallArgs(c.pass.TypesInfo, call, callee)
+	for idx, arg := range args {
+		if !c.taintedExpr(arg) {
+			continue
+		}
+		if target, ok := c.writesParam(callee.FullName(), idx); ok {
+			c.pass.Reportf(call.Pos(),
+				"snapshot immutability: call passes snapshot-reachable %s to %s, which writes through that parameter; pass a clone instead",
+				types.ExprString(arg), target)
+		}
+	}
+}
+
+// writesParam consults the callgraph facts (local summaries, imported
+// summaries, interface binds) for a write through parameter idx.
+func (c *checker) writesParam(callee string, idx int) (string, bool) {
+	if fs := c.g.Func(callee); fs != nil && fs.WritesParam(idx) {
+		return callee, true
+	}
+	for _, impl := range c.g.Impls(callee) {
+		if fs := c.g.Func(impl); fs != nil && fs.WritesParam(idx) {
+			return impl, true
+		}
+	}
+	return "", false
+}
+
+// taintedExpr reports whether the expression evaluates to memory
+// reachable from a published snapshot.
+func (c *checker) taintedExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := c.pass.TypesInfo.Uses[x].(*types.Var)
+		return v != nil && c.tainted[v]
+	case *ast.SelectorExpr:
+		// A publish-root field of the owner: the container shared with
+		// published snapshots.
+		if c.isOwner(c.pass.TypesInfo.TypeOf(x.X)) && c.roots[x.Sel.Name] {
+			return true
+		}
+		// Any reference-typed field reached off tainted memory.
+		if c.taintedExpr(x.X) {
+			t := c.pass.TypesInfo.TypeOf(ast.Expr(x))
+			return t != nil && (c.refLike(t) || c.isSnapType(t))
+		}
+		// A snapshot-typed value read from anywhere else (a field, a
+		// global) is assumed published.
+		if t := c.pass.TypesInfo.TypeOf(ast.Expr(x)); t != nil && c.isSnapType(t) {
+			return true
+		}
+		return false
+	case *ast.IndexExpr:
+		if !c.taintedExpr(x.X) {
+			return false
+		}
+		t := c.pass.TypesInfo.TypeOf(ast.Expr(x))
+		return t != nil && (c.refLike(t) || c.isSnapType(t))
+	case *ast.CallExpr:
+		callee := callgraph.Callee(c.pass.TypesInfo, x)
+		if callee != nil && isCloneName(callee.Name()) {
+			return false // clone-shaped calls return fresh memory
+		}
+		// A call handing back the snapshot type (atomic pointer Load,
+		// accessor) yields published memory.
+		t := c.pass.TypesInfo.TypeOf(ast.Expr(x))
+		return t != nil && c.isSnapType(t)
+	case *ast.UnaryExpr:
+		if x.Op != token.AND {
+			return false
+		}
+		if _, isLit := ast.Unparen(x.X).(*ast.CompositeLit); isLit {
+			return false // &T{...} is fresh
+		}
+		return c.taintedExpr(x.X)
+	}
+	return false
+}
+
+func (c *checker) varOf(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := c.pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	t := c.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func (c *checker) isSnapType(t types.Type) bool {
+	return namedOf(t) == c.snap
+}
+
+func (c *checker) isOwner(t types.Type) bool {
+	return namedOf(t) == c.owner
+}
+
+// refLike reports whether values of t alias underlying storage.
+func (c *checker) refLike(t types.Type) bool { return refLikeType(t) }
+
+func refLikeType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Map, *types.Slice, *types.Pointer, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// namedOf unwraps pointers to the named type, if any.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isCloneName matches the clone/constructor shapes whose purpose is
+// building the next snapshot: they may write freely, and their return
+// values are fresh memory.
+func isCloneName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, prefix := range []string{"new", "make", "clone", "copy", "decode", "restore"} {
+		if strings.HasPrefix(lower, prefix) {
+			return true
+		}
+	}
+	return false
+}

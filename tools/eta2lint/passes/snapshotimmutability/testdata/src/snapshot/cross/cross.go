@@ -1,0 +1,37 @@
+// Package cross proves write-through-parameter facts propagate across
+// package boundaries: the mutation lives in snapshot/storage, which is
+// clean in isolation; the violation surfaces here, where a published
+// container is passed in.
+package cross
+
+import "snapshot/storage"
+
+type serverState struct {
+	truths map[string]float64
+}
+
+type Server struct {
+	truths map[string]float64
+	state  *serverState
+}
+
+func (s *Server) publishLocked() {
+	s.state = &serverState{truths: s.truths}
+}
+
+func (s *Server) badCrossPackage(k string, sink storage.Sink) {
+	storage.Bump(s.truths, k)         // want `passes snapshot-reachable s\.truths to snapshot/storage\.Bump`
+	storage.Touch(s.truths, k)        // want `passes snapshot-reachable s\.truths to snapshot/storage\.Touch`
+	sink.Put(s.truths, k)             // want `passes snapshot-reachable s\.truths to \(snapshot/storage\.Writer\)\.Put`
+	_ = storage.ReadOnly(s.truths, k) // reads are the whole point of snapshots
+}
+
+func (s *Server) goodCrossPackage(k string) {
+	next := make(map[string]float64, len(s.truths))
+	for key, v := range s.truths {
+		next[key] = v
+	}
+	storage.Bump(next, k) // fresh map: fine
+	s.truths = next
+	s.publishLocked()
+}

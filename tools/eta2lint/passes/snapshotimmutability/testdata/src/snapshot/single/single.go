@@ -1,0 +1,120 @@
+// Package single exercises snapshotimmutability inside one package: the
+// snapshot contract is derived from publishLocked, writes after publish
+// are flagged, and the copy-on-write idiom passes.
+package single
+
+import "sync/atomic"
+
+type user struct {
+	name  string
+	score int
+}
+
+type serverState struct {
+	users  map[string]*user
+	truths map[string]float64
+	day    int
+}
+
+type Server struct {
+	mu    int // stand-in
+	users map[string]*user
+	// truths is shared with the published snapshot too.
+	truths map[string]float64
+	// scratch is NOT published: writes to it stay legal.
+	scratch map[string]int
+	state   atomic.Pointer[serverState]
+	day     int
+}
+
+// publishLocked is the single publication point the analyzer learns the
+// contract from: serverState is the snapshot type; users and truths are
+// publish roots.
+func (s *Server) publishLocked() {
+	s.state.Store(&serverState{
+		users:  s.users,
+		truths: s.truths,
+		day:    s.day,
+	})
+}
+
+// badDirectWrites stores straight into published containers.
+func (s *Server) badDirectWrites(id string, u *user) {
+	s.users[id] = u             // want `write to s\.users\[id\] mutates memory reachable from the published snapshot`
+	s.truths[id] = 0.5          // want `write to s\.truths\[id\] mutates`
+	delete(s.users, id)         // want `delete mutates s\.users`
+	s.users[id].score++         // want `write to s\.users\[id\]\.score mutates`
+	for _, u := range s.users { // element pointers alias published memory
+		u.score = 0 // want `write to u\.score mutates`
+	}
+}
+
+// badAlias writes through a local alias of a published container.
+func (s *Server) badAlias(id string) {
+	m := s.users
+	m[id] = nil // want `write to m\[id\] mutates`
+}
+
+// badSnapshotWrite mutates a snapshot obtained from the atomic pointer.
+func (s *Server) badSnapshotWrite(id string) {
+	st := s.state.Load()
+	st.day = 9         // want `write to st\.day mutates`
+	st.users[id] = nil // want `write to st\.users\[id\] mutates`
+}
+
+// goodCOW is the sanctioned idiom: build fresh, then swap wholesale.
+func (s *Server) goodCOW(id string, u *user) {
+	next := make(map[string]*user, len(s.users)+1)
+	for k, v := range s.users {
+		next[k] = v
+	}
+	next[id] = u
+	s.users = next // wholesale replacement, not a write into shared memory
+	s.publishLocked()
+}
+
+// goodScratch writes to an unpublished field.
+func (s *Server) goodScratch(id string) {
+	s.scratch[id] = 1
+	s.day++
+}
+
+// cloneUsers is clone-shaped: it may write freely and returns fresh
+// memory that breaks the taint.
+func (s *Server) cloneUsers() map[string]*user {
+	next := make(map[string]*user, len(s.users))
+	for k, v := range s.users {
+		next[k] = v
+	}
+	return next
+}
+
+// goodViaClone mutates a clone, never the published container.
+func (s *Server) goodViaClone(id string) {
+	next := s.cloneUsers()
+	next[id] = &user{name: id}
+	s.users = next
+}
+
+// scrub writes through its parameter; calls passing published
+// containers are the violation, the function itself is fine.
+func scrub(m map[string]*user, id string) {
+	delete(m, id)
+}
+
+// forward propagates the write-through one hop: the fixpoint closes
+// ParamWrites over local call chains.
+func forward(m map[string]*user, id string) {
+	scrub(m, id)
+}
+
+func (s *Server) badParamWrite(id string) {
+	scrub(s.users, id)        // want `passes snapshot-reachable s\.users to snapshot/single\.scrub`
+	forward(s.users, id)      // want `passes snapshot-reachable s\.users to snapshot/single\.forward`
+	scrub(s.cloneUsers(), id) // clone argument: fine
+}
+
+// audited write, justified at the site.
+func (s *Server) annotated(id string) {
+	s.users[id] = nil //eta2:snapshotimmutability-ok placeholder entry is invisible to readers by contract
+}
